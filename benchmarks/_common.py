@@ -1,0 +1,31 @@
+"""Shared table-printing helpers for the benchmark harness.
+
+Each benchmark regenerates one row-set of the paper's evaluation (Table 1
+or a theorem's headline claim) and prints it in a fixed-width table so the
+captured ``bench_output.txt`` is the reproduction artifact.  The
+pytest-benchmark timer wraps the core computation so wall-clock numbers
+ride along, but the *reported* quantities are simulated CONGEST rounds and
+solution quality — the units the paper's claims are stated in.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    print()
+
+
+def fmt(value, digits: int = 3):
+    if isinstance(value, float):
+        return round(value, digits)
+    return value

@@ -1,0 +1,77 @@
+"""The Section 4.1 CONGEST obstruction, measured.
+
+The paper: "Step 1 is the only part of the heavy-stars algorithm that
+does not appear to admit an efficient implementation in the CONGEST
+model, as it requires computing, for each neighboring cluster, the number
+of incident edges, and then identifying the maximum."
+
+This bench runs that exact aggregation through the simulator in LOCAL
+mode and reports the max per-edge message size as the number of distinct
+neighbouring clusters grows — against the fixed O(log n) CONGEST budget.
+The crossover is the measured reason the paper replaces Step 1 with the
+Lemma 2.2 information-gathering router (whose per-message size is always
+O(log n) by construction).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import networkx as nx
+
+from _common import print_table
+
+from repro.congest import measure_step1_message_bits
+
+
+def _star_of_clusters(pendants: int):
+    """A path-shaped centre cluster touching ``pendants`` distinct
+    single-vertex clusters: the centre root's table has one entry per
+    pendant."""
+    graph = nx.Graph()
+    assignment = {}
+    # Integer ids throughout — the model's O(log n)-bit identifiers;
+    # cluster 0 is the centre, clusters 1..pendants the satellites.
+    for i in range(pendants):
+        centre = 2 * i
+        pendant = 2 * i + 1
+        graph.add_node(centre)
+        assignment[centre] = 0
+        if i:
+            graph.add_edge(2 * (i - 1), centre)
+        graph.add_node(pendant)
+        assignment[pendant] = i + 1
+        graph.add_edge(centre, pendant)
+    return graph, assignment
+
+
+def test_step1_message_size_blowup(benchmark):
+    sizes = [4, 16, 64, 256]
+
+    def run():
+        out = []
+        for pendants in sizes:
+            graph, assignment = _star_of_clusters(pendants)
+            result = measure_step1_message_bits(graph, assignment, model="local")
+            out.append((pendants, result))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [pendants, result["max_message_bits"],
+         result["congest_budget_bits"],
+         "YES" if result["violates_congest"] else "no"]
+        for pendants, result in results
+    ]
+    print_table(
+        "§4.1 obstruction — heavy-stars Step 1 aggregation message size "
+        "vs the CONGEST budget (LOCAL-mode measurement)",
+        ["neighbouring clusters", "max message bits", "CONGEST budget",
+         "violates CONGEST"],
+        rows,
+    )
+    # Message size grows ~linearly in the cluster count; the budget is
+    # O(log n): the blow-up must materialize at the largest size.
+    assert results[-1][1]["violates_congest"]
+    assert not results[0][1]["violates_congest"]

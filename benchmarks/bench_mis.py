@@ -1,0 +1,193 @@
+"""Corollary 6.5 + Theorem 6.1: (1 − ε)-approximate maximum independent set
+near the Ω(ε⁻¹ log* n) lower bound.
+
+Series regenerated:
+
+* MIS quality vs the exact optimum across an ε sweep, vs greedy;
+* the lower-bound family (paths/cycles, Theorem 6.1): quality on the
+  exact family the Lenzen–Wattenhofer bound is proved on;
+* rounds-vs-n on paths at fixed ε: the log*-shaped construction cost that
+  the corollary's O(ε⁻¹ log* n) + poly(1/ε) claim predicts (flat-ish in n).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import fmt, print_table
+
+from repro.applications import (
+    approximate_maximum_independent_set,
+    greedy_maximal_independent_set,
+    maximum_independent_set_exact,
+)
+from repro.applications._template import kpr_decomposer
+from repro.decomposition import chw_low_diameter_decomposition
+from repro.graphs import path_graph, random_planar_triangulation
+
+
+def test_mis_quality_sweep(benchmark):
+    graph = random_planar_triangulation(90, seed=5)
+    optimum = len(maximum_independent_set_exact(graph))
+    baseline = len(greedy_maximal_independent_set(graph))
+    epsilons = [0.4, 0.25]
+
+    def run():
+        return [
+            (eps, approximate_maximum_independent_set(
+                graph, eps, decomposer=kpr_decomposer))
+            for eps in epsilons
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [eps, result.value, optimum, baseline, fmt(result.value / optimum)]
+        for eps, result in results
+    ]
+    print_table(
+        "Cor 6.5 — (1−ε)-approximate maximum independent set",
+        ["ε", "decomposition", "exact OPT", "greedy", "ratio"],
+        rows,
+    )
+    for eps, result in results:
+        assert result.value >= (1 - eps) * optimum
+
+
+def test_mis_on_lower_bound_family(benchmark):
+    """Paths/cycles: the Theorem 6.1 lower-bound family.  MIS OPT = ⌈n/2⌉."""
+    sizes = [100, 400, 1600]
+    epsilon = 0.2
+
+    def run():
+        out = []
+        for n in sizes:
+            graph = path_graph(n)
+            result = approximate_maximum_independent_set(
+                graph, epsilon, decomposer=kpr_decomposer
+            )
+            out.append((n, result))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, result.value, (n + 1) // 2, fmt(result.value / ((n + 1) // 2))]
+        for n, result in results
+    ]
+    print_table(
+        "Thm 6.1 family — MIS on paths at ε = 0.2",
+        ["n", "decomposition MIS", "OPT = ⌈n/2⌉", "ratio"],
+        rows,
+    )
+    for n, result in results:
+        assert result.value >= (1 - epsilon) * ((n + 1) // 2)
+
+
+def test_mis_granularity_ablation(benchmark):
+    """Ablation of the paper's ε* scaling (Cor 6.5 sets
+    ε* = ε/(α(2α − 1)), *not* ε): decompose at the raw grain instead and
+    watch the inter-cluster conflict losses eat the solution — exactly the
+    slack the ε* scaling exists to absorb.  The structural bound
+    |I| ≥ OPT − (#inter-cluster edges) always holds and is asserted."""
+    from repro.graphs import grid_graph
+
+    graph = grid_graph(40, 4)  # bipartite strip: OPT via Kőnig/Gallai below
+    matching_size = len(__import__("networkx").max_weight_matching(
+        graph, maxcardinality=True))
+    optimum = graph.number_of_nodes() - matching_size
+    grains = [0.4, 0.2, 0.1, 0.05]
+
+    def run():
+        out = []
+        for grain in grains:
+            def decomposer(g, _eps_star, grain=grain):
+                return kpr_decomposer(g, grain, depth=1, diameter_slack=1.0)
+
+            result = approximate_maximum_independent_set(
+                graph, grain, decomposer=decomposer, use_sparsifier=False
+            )
+            cut_edges = len(
+                result.decomposition.clustering.inter_cluster_edges(graph)
+            )
+            out.append((grain, result, cut_edges))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [grain, len(result.decomposition.cluster_members()), cut_edges,
+         result.value, optimum, fmt(result.value / optimum)]
+        for grain, result, cut_edges in results
+    ]
+    print_table(
+        "Ablation of Cor 6.5's ε* scaling — MIS with raw-grain clusters "
+        "(40×4 strip): coarse grains lose the guarantee, finer grains "
+        "recover it, as ε* = ε/(α(2α−1)) predicts",
+        ["raw grain", "clusters", "cut edges", "MIS", "exact OPT", "ratio"],
+        rows,
+    )
+    for _grain, result, cut_edges in results:
+        assert result.value >= optimum - cut_edges
+    # Finer grain (the ε*-scaled direction) restores near-optimality.
+    assert results[-1][1].value >= 0.9 * optimum
+
+
+def test_mis_vs_distributed_baseline(benchmark):
+    """Who wins: the decomposition's near-optimal MIS vs Luby's genuinely
+    distributed maximal IS (measured rounds from the simulator).  The
+    paper's point: Luby is fast but only maximal (can be far from optimal
+    on planar instances); the decomposition trades rounds for a (1 − ε)
+    guarantee."""
+    from repro.congest import luby_mis
+
+    graph = random_planar_triangulation(120, seed=11)
+    optimum = len(maximum_independent_set_exact(graph))
+    epsilon = 0.25
+
+    def run():
+        luby_set, luby_metrics = luby_mis(graph, seed=1)
+        decomposition_result = approximate_maximum_independent_set(
+            graph, epsilon, decomposer=kpr_decomposer
+        )
+        return luby_set, luby_metrics, decomposition_result
+
+    luby_set, luby_metrics, result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "Cor 6.5 — decomposition MIS vs Luby (measured simulator rounds)",
+        ["algorithm", "MIS size", "ratio to OPT", "rounds"],
+        [
+            ["decomposition (1−ε)", result.value,
+             fmt(result.value / optimum),
+             result.construction_rounds or "n/a (KPR fast path)"],
+            ["Luby maximal IS", len(luby_set),
+             fmt(len(luby_set) / optimum), luby_metrics.rounds],
+            ["exact OPT", optimum, 1.0, "—"],
+        ],
+    )
+    assert result.value >= (1 - epsilon) * optimum
+    assert result.value >= len(luby_set)  # quality is the paper's win
+
+
+def test_mis_rounds_vs_n(benchmark):
+    """Construction rounds on paths: the log*-flavoured n-dependence."""
+    sizes = [128, 512, 2048]
+    epsilon = 0.25
+
+    def run():
+        out = []
+        for n in sizes:
+            graph = path_graph(n)
+            _, ledger = chw_low_diameter_decomposition(graph, epsilon)
+            out.append((n, ledger.total_rounds))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[n, rounds] for n, rounds in results]
+    print_table(
+        "Cor 6.5 — decomposition rounds vs n on paths "
+        "(vs the Ω(ε⁻¹ log* n) lower bound: expect near-flat)",
+        ["n", "merge rounds"],
+        rows,
+    )
+    assert results[-1][1] <= 6 * max(1, results[0][1])

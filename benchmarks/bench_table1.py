@@ -1,0 +1,102 @@
+"""Table 1: construction time and routing time T of (ε, D, T)-decompositions
+in the four (Δ, ε) regimes.
+
+Paper's table (asymptotics):
+
+    Δ         ε         construction                 routing T
+    constant  constant  O(log* n)                    O(1)
+    constant  any       O(ε⁻¹ log* n) + poly(1/ε)    poly(1/ε)
+    any       constant  O(log n)                     O(log n)
+    any       any       poly(1/ε, log n)             poly(1/ε, log n)
+
+We reproduce the *shape*: measured construction rounds (the ledger's
+structural phases, which scale with log* n via Cole–Vishkin) and measured
+routing T (executing Lemma 2.2's router on every routing group) across the
+four regimes: Δ-constant uses grids (Δ = 6); Δ-large uses random planar
+triangulations (skewed degrees); ε-constant is 0.35, ε-small is 0.15.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import fmt, print_table
+
+from repro.decomposition.edt import edt_decomposition, run_gather_on_groups
+from repro.graphs import random_planar_triangulation, triangulated_grid
+
+
+def _measure(graph, epsilon):
+    decomposition = edt_decomposition(graph, epsilon, variant="52")
+    structural = sum(
+        rounds
+        for label, rounds in decomposition.ledger.breakdown.items()
+        if "heavy_stars" in label or "steps" in label
+    )
+    routing = run_gather_on_groups(graph, decomposition, backend="load_balancing")
+    return {
+        "construction_structural": structural,
+        "construction_total": decomposition.construction_rounds,
+        "routing_T": routing,
+        "cut": decomposition.epsilon(graph),
+        "D": decomposition.diameter(graph),
+        "clusters": len(decomposition.cluster_members()),
+    }
+
+
+def test_table1_four_regimes(benchmark):
+    regimes = [
+        ("Δ const, ε const", triangulated_grid(10, 10), 0.35),
+        ("Δ const, ε small", triangulated_grid(10, 10), 0.15),
+        ("Δ any,   ε const", random_planar_triangulation(100, seed=1), 0.35),
+        ("Δ any,   ε small", random_planar_triangulation(100, seed=1), 0.15),
+    ]
+
+    def run():
+        return [(name, _measure(graph, eps)) for name, graph, eps in regimes]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for (name, graph, eps), (_, m) in zip(regimes, results):
+        delta = max(d for _, d in graph.degree)
+        rows.append([
+            name, graph.number_of_nodes(), delta, eps,
+            m["construction_structural"], m["routing_T"],
+            fmt(m["cut"]), m["D"], m["clusters"],
+        ])
+    print_table(
+        "Table 1 — (ε, D, T)-decomposition regimes (measured)",
+        ["regime", "n", "Δ", "ε", "constr(structural)", "routing T",
+         "cut≤ε", "D", "clusters"],
+        rows,
+    )
+
+
+def test_table1_log_star_scaling(benchmark):
+    """Δ, ε constant: construction's structural cost must be near-flat in n
+    (the O(log* n) row of Table 1)."""
+    sizes = [6, 9, 12, 16]
+
+    def run():
+        out = []
+        for side in sizes:
+            graph = triangulated_grid(side, side)
+            m = _measure(graph, 0.35)
+            out.append((side * side, m))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, m["construction_structural"], m["routing_T"], fmt(m["cut"]), m["D"]]
+        for n, m in results
+    ]
+    print_table(
+        "Table 1 row 1 — Δ, ε constant: rounds vs n (expect near-flat)",
+        ["n", "constr(structural)", "routing T", "cut", "D"],
+        rows,
+    )
+    small = results[0][1]["construction_structural"]
+    large = results[-1][1]["construction_structural"]
+    # 7x more vertices: structural construction rounds grow far sublinearly.
+    assert large <= 6 * max(small, 1), (small, large)

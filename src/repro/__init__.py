@@ -1,0 +1,68 @@
+"""repro — a full reproduction of Chang, "Efficient Distributed
+Decomposition and Routing Algorithms in Minor-Free Networks and Their
+Applications" (PODC 2023).
+
+Layers (bottom-up, matching the paper's structure):
+
+* :mod:`repro.congest` — the LOCAL/CONGEST synchronous message-passing
+  simulator and stock primitives (BFS, broadcast, convergecast,
+  Cole–Vishkin colouring).
+* :mod:`repro.graphs` — minor-free graph families, structural predicates,
+  arboricity/forest decompositions, conductance machinery, the expander
+  split.
+* :mod:`repro.gathering` — information gathering in high-conductance
+  graphs: GLM load balancing (Lemma 2.2) and derandomized lazy random
+  walks (Lemmas 2.5/2.6).
+* :mod:`repro.decomposition` — KPR low-diameter decomposition, heavy
+  stars, overlapping expander decompositions, and the (ε, D, T)-
+  decomposition of Theorem 1.1.
+* :mod:`repro.applications` — distributed approximation (max cut,
+  matching, vertex cover, independent set) and property testing.
+
+Quick start::
+
+    import networkx as nx
+    from repro import edt_decomposition
+
+    graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(16, 16))
+    decomposition = edt_decomposition(graph, epsilon=0.25)
+    print(decomposition.epsilon(graph), decomposition.diameter(graph))
+"""
+
+from repro.congest import Network, NodeAlgorithm, Message, RoundLedger
+from repro.decomposition import (
+    Clustering,
+    EDTDecomposition,
+    chw_low_diameter_decomposition,
+    edt_decomposition,
+    kpr_low_diameter_decomposition,
+    overlap_expander_decomposition,
+)
+from repro.applications import (
+    approximate_max_cut,
+    approximate_maximum_independent_set,
+    approximate_maximum_matching,
+    approximate_minimum_vertex_cover,
+    test_minor_closed_property,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network",
+    "NodeAlgorithm",
+    "Message",
+    "RoundLedger",
+    "Clustering",
+    "EDTDecomposition",
+    "chw_low_diameter_decomposition",
+    "edt_decomposition",
+    "kpr_low_diameter_decomposition",
+    "overlap_expander_decomposition",
+    "approximate_max_cut",
+    "approximate_maximum_independent_set",
+    "approximate_maximum_matching",
+    "approximate_minimum_vertex_cover",
+    "test_minor_closed_property",
+    "__version__",
+]

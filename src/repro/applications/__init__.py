@@ -1,0 +1,78 @@
+"""Applications of the (ε, D, T)-decomposition (Section 6).
+
+Distributed approximation (§6.1): max cut (Cor 6.3), maximum matching and
+minimum vertex cover (Cor 6.4), maximum independent set (Cor 6.5) — each
+built on the same template: decompose, have every cluster leader solve its
+cluster exactly (free local computation), combine, and fix up the
+inter-cluster boundary.  Solomon's bounded-degree sparsifiers reduce the
+degree to O(1/ε) first where the paper uses them.
+
+Distributed property testing (§6.2): testing of additive minor-closed
+properties (Cor 6.6), with the Barenboim–Elkin forests-decomposition error
+detection and the Lemma 2.7 degree check.
+
+Baselines: the greedy/sequential algorithms the approximation benchmarks
+compare against.
+"""
+
+from repro.applications.exact import (
+    ExactBudgetExceeded,
+    max_cut_exact,
+    max_cut_local_search,
+    maximum_independent_set_exact,
+    maximum_matching_exact,
+    minimum_vertex_cover_exact,
+)
+from repro.applications.sparsifiers import (
+    matching_sparsifier,
+    mis_sparsifier,
+    vertex_cover_sparsifier,
+)
+from repro.applications.max_cut import approximate_max_cut
+from repro.applications.matching import approximate_maximum_matching
+from repro.applications.vertex_cover import approximate_minimum_vertex_cover
+from repro.applications.independent_set import approximate_maximum_independent_set
+from repro.applications.baselines import (
+    greedy_matching,
+    greedy_maximal_independent_set,
+    greedy_vertex_cover,
+    local_search_max_cut,
+)
+from repro.applications.dominating_set import (
+    approximate_minimum_dominating_set,
+    greedy_dominating_set,
+    minimum_dominating_set_exact,
+)
+from repro.applications.forest_check import certify_arboricity
+from repro.applications.property_testing import (
+    PROPERTY_REGISTRY,
+    PropertyTestVerdict,
+    test_minor_closed_property,
+)
+
+__all__ = [
+    "ExactBudgetExceeded",
+    "max_cut_exact",
+    "max_cut_local_search",
+    "maximum_independent_set_exact",
+    "maximum_matching_exact",
+    "minimum_vertex_cover_exact",
+    "matching_sparsifier",
+    "mis_sparsifier",
+    "vertex_cover_sparsifier",
+    "approximate_max_cut",
+    "approximate_maximum_matching",
+    "approximate_minimum_vertex_cover",
+    "approximate_maximum_independent_set",
+    "greedy_matching",
+    "greedy_maximal_independent_set",
+    "greedy_vertex_cover",
+    "local_search_max_cut",
+    "approximate_minimum_dominating_set",
+    "greedy_dominating_set",
+    "minimum_dominating_set_exact",
+    "certify_arboricity",
+    "PROPERTY_REGISTRY",
+    "PropertyTestVerdict",
+    "test_minor_closed_property",
+]

@@ -1,0 +1,87 @@
+"""Shared template for the Section 6.1 approximation algorithms.
+
+Every corollary follows the same recipe: build an (ε*, D, T)-decomposition,
+let each cluster leader solve its cluster exactly, combine the cluster
+solutions, and patch the inter-cluster boundary.  This module holds the
+result container and the default decomposer so the four application
+modules stay small and symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import networkx as nx
+
+from repro.decomposition.edt import edt_decomposition
+from repro.decomposition.types import EDTDecomposition
+
+
+@dataclass
+class ApproxResult:
+    """Outcome of one distributed approximation run.
+
+    ``solution`` is problem-shaped (vertex set, or set of frozenset edges);
+    ``value`` its objective; ``exact_clusters`` / ``total_clusters`` report
+    how many clusters the leader solved exactly vs via the documented
+    fallback; round counts come from the decomposition's ledger and
+    measured routing.
+    """
+
+    solution: Any
+    value: float
+    decomposition: EDTDecomposition
+    exact_clusters: int = 0
+    total_clusters: int = 0
+    construction_rounds: int = 0
+    routing_rounds: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def all_exact(self) -> bool:
+        return self.exact_clusters == self.total_clusters
+
+
+Decomposer = Callable[[nx.Graph, float], EDTDecomposition]
+
+
+def default_decomposer(graph: nx.Graph, epsilon: float) -> EDTDecomposition:
+    """Theorem 1.1 with the Lemma 5.5 (poly(1/ε, log Δ)) routing regime."""
+    return edt_decomposition(graph, epsilon, variant="52")
+
+
+def kpr_decomposer(
+    graph: nx.Graph,
+    epsilon: float,
+    depth: int = 3,
+    diameter_slack: float = 4.0,
+) -> EDTDecomposition:
+    """Cheap decomposer for ablations: plain KPR clusters, leaders = the
+    max-degree vertex of each cluster, routing groups the induced
+    subgraphs themselves (valid: information gathering inside a
+    low-diameter cluster costs O(D · Δ) trivially; used only where the
+    benchmark explicitly compares decomposers).  ``depth`` /
+    ``diameter_slack`` pass through to KPR so benchmarks can force finer
+    granularity."""
+    from repro.decomposition.kpr import kpr_low_diameter_decomposition
+    from repro.decomposition.types import RoutingGroup
+
+    clustering = kpr_low_diameter_decomposition(
+        graph, epsilon, depth=depth, diameter_slack=diameter_slack
+    ).relabel()
+    leaders: dict = {}
+    groups: dict = {}
+    for cluster_id, members in clustering.clusters().items():
+        sub = graph.subgraph(members)
+        leader = max(members, key=lambda v: (sub.degree[v], repr(v)))
+        leaders[cluster_id] = leader
+        if len(members) > 1:
+            groups[cluster_id] = [
+                RoutingGroup(
+                    nodes=frozenset(sub.nodes),
+                    edges=frozenset(frozenset(e) for e in sub.edges),
+                    sink=leader,
+                )
+            ]
+    return EDTDecomposition(clustering=clustering, leaders=leaders, groups=groups)

@@ -1,0 +1,51 @@
+"""Sequential baselines the approximation benchmarks compare against.
+
+These are the standard greedy algorithms: they are *not* from the paper —
+they provide the quality floor (greedy MIS on planar graphs, maximal
+matching's ½-guarantee, matching-based 2-approximate VC, BFS-parity max
+cut) that the corollaries' (1 ± ε) guarantees are measured against.
+All are deterministic (id-order tie-breaking).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def greedy_maximal_independent_set(graph: nx.Graph) -> set:
+    """Min-degree greedy MIS (the classic planar-graph heuristic)."""
+    remaining = {v: set(graph.neighbors(v)) for v in graph.nodes}
+    alive = set(graph.nodes)
+    independent: set = set()
+    while alive:
+        v = min(alive, key=lambda u: (len(remaining[u] & alive), repr(u)))
+        independent.add(v)
+        dead = (remaining[v] & alive) | {v}
+        alive -= dead
+    return independent
+
+
+def greedy_matching(graph: nx.Graph) -> set[frozenset]:
+    """Greedy maximal matching in id order: ≥ ½ of the maximum."""
+    used: set = set()
+    matching: set[frozenset] = set()
+    for u, v in sorted(graph.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+        if u not in used and v not in used:
+            matching.add(frozenset((u, v)))
+            used.update((u, v))
+    return matching
+
+
+def greedy_vertex_cover(graph: nx.Graph) -> set:
+    """Matching-based 2-approximate vertex cover."""
+    cover: set = set()
+    for edge in greedy_matching(graph):
+        cover.update(edge)
+    return cover
+
+
+def local_search_max_cut(graph: nx.Graph) -> tuple[set, int]:
+    """The plain 1-flip local-search baseline (≥ m/2 guarantee)."""
+    from repro.applications.exact import max_cut_local_search
+
+    return max_cut_local_search(graph)

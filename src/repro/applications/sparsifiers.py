@@ -1,0 +1,73 @@
+"""Solomon's bounded-degree sparsifiers [Sol18] (quoted in Section 6.1).
+
+One-round deterministic reductions from (1 ± ε)-approximation in a
+bounded-arboricity graph to the same problem in a subgraph of maximum
+degree O(1/ε):
+
+* minimum vertex cover:  with d = O(α/ε), any (1+ε)-approximate VC C of
+  G_low = G[V ∖ V_high] makes V_high ∪ C a (1+O(ε))-approximate VC of G,
+  where V_high = {v : deg(v) ≥ d};
+* maximum matching: every vertex marks min(deg(v), d) incident edges; G_d
+  keeps the doubly marked ones — a (1−ε) matching of G_d is (1−O(ε)) in G;
+* maximum independent set: with d = O(α²/ε), a (1−ε)-approximate MIS of
+  G_low is (1−O(ε))-approximate in G.
+
+All functions return a *new* graph (plus the high-degree set where
+relevant) and never mutate the input.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+
+def vertex_cover_sparsifier(
+    graph: nx.Graph, epsilon: float, alpha: int, constant: float = 2.0
+) -> tuple[nx.Graph, set]:
+    """(G_low, V_high) with threshold d = ⌈c·α/ε⌉.
+
+    V_high joins the cover outright; the approximation problem moves to
+    G_low, whose maximum degree is < d = O(1/ε) for constant α.
+    """
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must lie in (0, 1]")
+    d = max(1, math.ceil(constant * alpha / epsilon))
+    high = {v for v in graph.nodes if graph.degree[v] >= d}
+    low_graph = graph.subgraph(set(graph.nodes) - high).copy()
+    return low_graph, high
+
+
+def mis_sparsifier(
+    graph: nx.Graph, epsilon: float, alpha: int, constant: float = 2.0
+) -> nx.Graph:
+    """G_low with threshold d = ⌈c·α²/ε⌉ (high-degree vertices dropped)."""
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must lie in (0, 1]")
+    d = max(1, math.ceil(constant * alpha * alpha / epsilon))
+    low = {v for v in graph.nodes if graph.degree[v] < d}
+    return graph.subgraph(low).copy()
+
+
+def matching_sparsifier(
+    graph: nx.Graph, epsilon: float, alpha: int, constant: float = 2.0
+) -> nx.Graph:
+    """G_d: keep edges marked by both endpoints; Δ(G_d) ≤ d = ⌈c·α/ε⌉.
+
+    Marking is deterministic: each vertex marks its d incident edges with
+    the smallest neighbour ids (any rule works for the guarantee).
+    """
+    if not 0 < epsilon <= 1:
+        raise ValueError("epsilon must lie in (0, 1]")
+    d = max(1, math.ceil(constant * alpha / epsilon))
+    marked: dict = {}
+    for v in graph.nodes:
+        neighbors = sorted(graph.neighbors(v), key=repr)[:d]
+        marked[v] = set(neighbors)
+    sparsifier = nx.Graph()
+    sparsifier.add_nodes_from(graph.nodes)
+    for u, v in graph.edges:
+        if v in marked[u] and u in marked[v]:
+            sparsifier.add_edge(u, v)
+    return sparsifier

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``decompose``
+    Build an (ε, D, T)-decomposition of a generated instance and print
+    the measured parameters (Theorem 1.1).
+``approximate``
+    Run one of the Section 6.1 approximation algorithms.
+``test-property``
+    Run the Corollary 6.6 property tester.
+``gather``
+    Run an information-gathering backend on an expander instance
+    (Lemmas 2.2 / 2.5).
+
+Instances are specified as ``family:size[:seed]`` with families
+``grid``, ``tri-grid``, ``planar``, ``tree``, ``outerplanar``, ``cactus``,
+``path``, ``cycle``, ``expander``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import networkx as nx
+
+
+def build_instance(spec: str) -> nx.Graph:
+    """Parse ``family:size[:seed]`` into a graph."""
+    from repro import graphs
+
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise ValueError("instance spec must be family:size[:seed]")
+    family, size = parts[0], int(parts[1])
+    seed = int(parts[2]) if len(parts) > 2 else 0
+    side = max(2, round(size ** 0.5))
+    builders = {
+        "grid": lambda: graphs.grid_graph(side, side),
+        "tri-grid": lambda: graphs.triangulated_grid(side, side),
+        "planar": lambda: graphs.random_planar_triangulation(size, seed),
+        "tree": lambda: graphs.random_tree(size, seed),
+        "outerplanar": lambda: graphs.random_outerplanar(size, seed),
+        "cactus": lambda: graphs.random_cactus(size, seed),
+        "path": lambda: graphs.path_graph(size),
+        "cycle": lambda: graphs.cycle_graph(size),
+        "expander": lambda: graphs.random_regular_expander(
+            size + (size % 2), 4, seed
+        ),
+    }
+    if family not in builders:
+        raise ValueError(
+            f"unknown family {family!r}; choose from {sorted(builders)}"
+        )
+    return builders[family]()
+
+
+def cmd_decompose(args: argparse.Namespace) -> int:
+    from repro import edt_decomposition
+    from repro.decomposition.edt import run_gather_on_groups
+
+    graph = build_instance(args.instance)
+    decomposition = edt_decomposition(graph, args.epsilon, variant=args.variant)
+    print(f"instance: {args.instance} "
+          f"(n={graph.number_of_nodes()}, m={graph.number_of_edges()})")
+    print(f"cut fraction: {decomposition.epsilon(graph):.4f} (target {args.epsilon})")
+    print(f"max cluster diameter: {decomposition.diameter(graph)}")
+    print(f"clusters: {len(decomposition.cluster_members())}")
+    print(f"construction rounds (ledger): {decomposition.construction_rounds}")
+    if args.measure_routing:
+        measured = run_gather_on_groups(
+            graph, decomposition, backend="load_balancing"
+        )
+        print(f"measured routing T: {measured}")
+    return 0
+
+
+def cmd_approximate(args: argparse.Namespace) -> int:
+    from repro.applications import (
+        approximate_max_cut,
+        approximate_maximum_independent_set,
+        approximate_maximum_matching,
+        approximate_minimum_dominating_set,
+        approximate_minimum_vertex_cover,
+    )
+    from repro.applications._template import kpr_decomposer
+
+    solvers = {
+        "max-cut": approximate_max_cut,
+        "matching": approximate_maximum_matching,
+        "vertex-cover": approximate_minimum_vertex_cover,
+        "independent-set": approximate_maximum_independent_set,
+        "dominating-set": approximate_minimum_dominating_set,
+    }
+    graph = build_instance(args.instance)
+    decomposer = kpr_decomposer if args.fast else None
+    kwargs = {"decomposer": decomposer} if decomposer else {}
+    result = solvers[args.problem](graph, args.epsilon, **kwargs)
+    print(f"instance: {args.instance} "
+          f"(n={graph.number_of_nodes()}, m={graph.number_of_edges()})")
+    print(f"problem: {args.problem}  ε = {args.epsilon}")
+    print(f"objective value: {result.value}")
+    print(f"clusters: {result.total_clusters} "
+          f"(exactly solved: {result.exact_clusters})")
+    print(f"construction rounds: {result.construction_rounds}")
+    return 0
+
+
+def cmd_test_property(args: argparse.Namespace) -> int:
+    from repro.applications import PROPERTY_REGISTRY, test_minor_closed_property
+
+    graph = build_instance(args.instance)
+    verdict = test_minor_closed_property(graph, args.property, epsilon=args.epsilon)
+    print(f"instance: {args.instance} "
+          f"(n={graph.number_of_nodes()}, m={graph.number_of_edges()})")
+    print(f"property: {args.property}  ε = {args.epsilon}")
+    print(f"verdict: {'ACCEPT' if verdict.accepted else 'REJECT'}")
+    if verdict.reasons:
+        print(f"detectors fired: {', '.join(sorted(set(verdict.reasons)))}")
+    print(f"rounds: {verdict.rounds}")
+    return 0 if verdict.accepted else 1
+
+
+def cmd_gather(args: argparse.Namespace) -> int:
+    from repro.gathering import (
+        gather_with_load_balancing,
+        gather_with_random_walks,
+    )
+
+    graph = build_instance(args.instance)
+    sink = max(graph.nodes, key=lambda v: graph.degree[v])
+    total = 2 * graph.number_of_edges()
+    print(f"instance: {args.instance}  sink: {sink!r}  messages: {total}")
+    if args.backend in ("load-balancing", "both"):
+        outcome = gather_with_load_balancing(graph, sink, f=args.f)
+        print(f"load balancing: delivered {outcome.delivered_fraction:.1%} "
+              f"in {outcome.rounds} rounds")
+    if args.backend in ("walks", "both"):
+        delivered, rounds, schedule = gather_with_random_walks(
+            graph, sink, f=args.f, phi_hint=0.15
+        )
+        print(f"random walks:   delivered {len(delivered) / total:.1%} "
+              f"in {rounds} rounds (seed {schedule.seed}, "
+              f"{schedule.schedule_bits}-bit schedule)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Minor-free network decomposition toolkit (PODC 2023 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("decompose", help="build an (ε, D, T)-decomposition")
+    p.add_argument("instance", help="family:size[:seed], e.g. planar:200:1")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--variant", choices=["51", "52"], default="52")
+    p.add_argument("--measure-routing", action="store_true")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("approximate", help="run a Section 6.1 algorithm")
+    p.add_argument("problem", choices=[
+        "max-cut", "matching", "vertex-cover", "independent-set",
+        "dominating-set",
+    ])
+    p.add_argument("instance")
+    p.add_argument("--epsilon", type=float, default=0.25)
+    p.add_argument("--fast", action="store_true",
+                   help="use the KPR decomposer instead of Theorem 1.1")
+    p.set_defaults(func=cmd_approximate)
+
+    p = sub.add_parser("test-property", help="run the Corollary 6.6 tester")
+    p.add_argument("property", choices=["planar", "forest", "outerplanar",
+                                        "cactus"])
+    p.add_argument("instance")
+    p.add_argument("--epsilon", type=float, default=0.2)
+    p.set_defaults(func=cmd_test_property)
+
+    p = sub.add_parser("gather", help="run an information-gathering backend")
+    p.add_argument("instance")
+    p.add_argument("--backend", choices=["load-balancing", "walks", "both"],
+                   default="both")
+    p.add_argument("--f", type=float, default=0.25)
+    p.set_defaults(func=cmd_gather)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Synchronous message-passing network simulator (LOCAL and CONGEST models).
+
+The simulator implements the model of Section 1 of the paper: the network is
+a graph ``G = (V, E)``; computation proceeds in synchronous rounds; in each
+round every vertex sends one message to each neighbour, receives one message
+from each neighbour, and then performs arbitrary local computation.  In the
+CONGEST model each message is limited to ``O(log n)`` bits; in the LOCAL
+model message size is unbounded.
+
+Public API
+----------
+``Message``
+    A payload plus an explicit bit-size used for bandwidth accounting.
+``NodeAlgorithm`` / ``NodeContext``
+    Base class for per-vertex algorithms and the per-vertex view of the
+    network (id, neighbours, round number).
+``Network``
+    The synchronous executor, with per-edge bandwidth enforcement and
+    round/message/bit metrics.
+``RoundLedger``
+    Cost accounting for composite cluster-level algorithms whose primitives
+    have measured CONGEST costs (see DESIGN.md section 3).
+"""
+
+from repro.congest.message import Message, bits_for_int, bits_for_payload
+from repro.congest.metrics import NetworkMetrics, RoundLedger
+from repro.congest.network import (
+    BandwidthExceededError,
+    Network,
+    NodeContext,
+    NodeAlgorithm,
+)
+from repro.congest.cluster_sim import (
+    HeaviestNeighborAggregation,
+    measure_step1_message_bits,
+)
+from repro.congest.classic import (
+    delta_plus_one_coloring,
+    distributed_greedy_matching,
+    luby_mis,
+)
+from repro.congest.algorithms import (
+    BFSTreeAlgorithm,
+    BroadcastAlgorithm,
+    ColorReductionAlgorithm,
+    ConvergecastSumAlgorithm,
+    FloodMaxLeaderElection,
+    bfs_tree,
+    broadcast,
+    cole_vishkin_forest_coloring,
+    cole_vishkin_schedule_length,
+    convergecast_sum,
+    elect_leaders,
+)
+
+__all__ = [
+    "Message",
+    "bits_for_int",
+    "bits_for_payload",
+    "NetworkMetrics",
+    "RoundLedger",
+    "BandwidthExceededError",
+    "Network",
+    "NodeContext",
+    "NodeAlgorithm",
+    "BFSTreeAlgorithm",
+    "BroadcastAlgorithm",
+    "ColorReductionAlgorithm",
+    "ConvergecastSumAlgorithm",
+    "FloodMaxLeaderElection",
+    "bfs_tree",
+    "broadcast",
+    "cole_vishkin_forest_coloring",
+    "cole_vishkin_schedule_length",
+    "convergecast_sum",
+    "elect_leaders",
+    "delta_plus_one_coloring",
+    "distributed_greedy_matching",
+    "luby_mis",
+    "HeaviestNeighborAggregation",
+    "measure_step1_message_bits",
+]

@@ -1,0 +1,309 @@
+"""Classic distributed algorithms run through the simulator.
+
+These are the standard CONGEST/LOCAL baselines the paper's round counts
+are implicitly compared against, implemented as genuine message-passing
+node algorithms so their round counts are *measured*:
+
+* :func:`luby_mis` — Luby's randomized maximal independent set,
+  O(log n) rounds w.h.p.  (A maximal IS is a (1/Δ)-ish approximation on
+  planar graphs — the fast-but-crude baseline for Corollary 6.5.)
+* :func:`distributed_greedy_matching` — randomized maximal matching by
+  local proposals, O(log n) rounds w.h.p. (the ½-approximation baseline
+  for Corollary 6.4).
+* :func:`delta_plus_one_coloring` — randomized (Δ+1)-colouring by trial
+  colours, O(log n) rounds w.h.p. (used by tests as another genuinely
+  distributed primitive exercising the simulator).
+
+Each takes an explicit ``seed``: the *paper's* algorithms are
+deterministic; these baselines are the randomized competition.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Hashable, Mapping
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.metrics import NetworkMetrics
+from repro.congest.network import Network, NodeAlgorithm, NodeContext
+
+
+class LubyMISAlgorithm(NodeAlgorithm):
+    """One node of Luby's algorithm.
+
+    Per phase (2 rounds): draw a random priority, exchange with active
+    neighbours; local maxima join the IS and notify; neighbours of
+    IS vertices retire.  ``input`` is the per-vertex RNG seed.
+    """
+
+    _DRAW, _RESOLVE = 0, 1
+
+    def __init__(self, horizon: int) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.rng: random.Random | None = None
+        self.active = True
+        self.in_set = False
+        self.priority = 0
+        self.phase = self._DRAW
+        self.active_neighbors: set = set()
+
+    def spawn(self) -> "LubyMISAlgorithm":
+        return LubyMISAlgorithm(self.horizon)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self.rng = random.Random(self.input)
+        self.active_neighbors = set(ctx.neighbors)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
+        if not self.active:
+            self.halt()
+            return {}
+        if ctx.round_number > self.horizon:
+            raise RuntimeError("Luby MIS exceeded horizon")
+        if self.phase == self._DRAW:
+            # Resolve the previous phase's notifications first.
+            for sender, message in inbox.items():
+                kind, _value = message.payload
+                if kind == 1:  # neighbour joined the IS
+                    self.active = False
+                elif kind == 2:  # neighbour retired
+                    self.active_neighbors.discard(sender)
+            if not self.active:
+                self.halt()
+                return {}
+            if not self.active_neighbors:
+                self.in_set = True
+                self.active = False
+                self.halt()
+                return {}
+            self.priority = self.rng.randrange(1 << 30)
+            self.phase = self._RESOLVE
+            return {
+                u: Message((0, self.priority))
+                for u in self.active_neighbors
+            }
+        # RESOLVE: compare priorities.
+        wins = True
+        for sender, message in inbox.items():
+            kind, value = message.payload
+            if kind == 0 and sender in self.active_neighbors:
+                if (value, repr(sender)) > (self.priority, repr(ctx.node)):
+                    wins = False
+        self.phase = self._DRAW
+        if wins:
+            self.in_set = True
+            self.active = False
+            # Notify neighbours, then stop next round.
+            out = {u: Message((1, 0)) for u in self.active_neighbors}
+            self.halt()
+            return out
+        return {}
+
+    def output(self):
+        return self.in_set
+
+
+def luby_mis(
+    graph: nx.Graph, seed: int = 0, model: str = "congest"
+) -> tuple[set, NetworkMetrics]:
+    """Run Luby's MIS; returns (independent set, metrics).
+
+    The result is verified maximal and independent before returning.
+    """
+    n = graph.number_of_nodes()
+    horizon = 20 * max(4, n.bit_length() ** 2)
+    rng = random.Random(seed)
+    inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
+    net = Network(graph, model=model)
+    outputs = net.run(LubyMISAlgorithm(horizon), max_rounds=horizon + 2,
+                      inputs=inputs)
+    independent = {v for v, flag in outputs.items() if flag}
+    for u, v in graph.edges:
+        if u in independent and v in independent:
+            raise AssertionError("Luby output not independent")
+    for v in graph.nodes:
+        if v not in independent and not any(
+            u in independent for u in graph.neighbors(v)
+        ):
+            raise AssertionError("Luby output not maximal")
+    return independent, net.metrics
+
+
+class ProposalMatchingAlgorithm(NodeAlgorithm):
+    """Randomized maximal matching: unmatched vertices propose to a random
+    unmatched neighbour; a proposal pair (mutual or accepted) matches.
+
+    Phase (2 rounds): propose, then accept the lowest-id proposer among
+    received proposals if we also proposed or are free; matched vertices
+    notify and retire.
+    """
+
+    _PROPOSE, _ACCEPT = 0, 1
+
+    def __init__(self, horizon: int) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.rng: random.Random | None = None
+        self.free = True
+        self.partner: Hashable | None = None
+        self.phase = self._PROPOSE
+        self.free_neighbors: set = set()
+        self.proposed_to: Hashable | None = None
+
+    def spawn(self) -> "ProposalMatchingAlgorithm":
+        return ProposalMatchingAlgorithm(self.horizon)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self.rng = random.Random(self.input)
+        self.free_neighbors = set(ctx.neighbors)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
+        if not self.free:
+            self.halt()
+            return {}
+        if ctx.round_number > self.horizon:
+            raise RuntimeError("matching exceeded horizon")
+        if self.phase == self._PROPOSE:
+            for sender, message in inbox.items():
+                kind = message.payload
+                if kind == 2:  # neighbour matched elsewhere
+                    self.free_neighbors.discard(sender)
+            if not self.free_neighbors:
+                self.free = False  # isolated among free vertices: done
+                self.halt()
+                return {}
+            self.proposed_to = self.rng.choice(
+                sorted(self.free_neighbors, key=repr)
+            )
+            self.phase = self._ACCEPT
+            return {self.proposed_to: Message(0)}  # 0 = proposal
+        # ACCEPT phase: pick the smallest-id proposer; mutual agreement
+        # requires that we proposed to them or they proposed to us and we
+        # accept deterministically — to avoid three-way conflicts, a match
+        # forms only when the proposal was *mutual*.
+        proposers = [
+            sender for sender, message in inbox.items() if message.payload == 0
+        ]
+        self.phase = self._PROPOSE
+        if self.proposed_to in proposers:
+            self.partner = self.proposed_to
+            self.free = False
+            out = {
+                u: Message(2)
+                for u in self.free_neighbors
+                if u != self.partner
+            }
+            self.halt()
+            return out
+        return {}
+
+    def output(self):
+        return self.partner
+
+
+def distributed_greedy_matching(
+    graph: nx.Graph, seed: int = 0, model: str = "congest"
+) -> tuple[set, NetworkMetrics]:
+    """Randomized maximal matching via mutual proposals.
+
+    Returns (matching as frozenset pairs, metrics); verified maximal.
+    """
+    n = graph.number_of_nodes()
+    horizon = 40 * max(4, n.bit_length() ** 2)
+    rng = random.Random(seed)
+    inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
+    net = Network(graph, model=model)
+    outputs = net.run(ProposalMatchingAlgorithm(horizon),
+                      max_rounds=horizon + 2, inputs=inputs)
+    matching = set()
+    for v, partner in outputs.items():
+        if partner is not None:
+            if outputs.get(partner) != v:
+                raise AssertionError("asymmetric match")
+            matching.add(frozenset((v, partner)))
+    matched = {v for edge in matching for v in edge}
+    for u, v in graph.edges:
+        if u not in matched and v not in matched:
+            raise AssertionError("matching not maximal")
+    return matching, net.metrics
+
+
+class TrialColoringAlgorithm(NodeAlgorithm):
+    """Randomized (Δ+1)-colouring: uncoloured vertices try a random colour
+    not used by coloured neighbours; keep it if no uncoloured neighbour
+    tried the same colour this phase."""
+
+    def __init__(self, palette_size: int, horizon: int) -> None:
+        super().__init__()
+        self.palette_size = palette_size
+        self.horizon = horizon
+        self.rng: random.Random | None = None
+        self.color: int | None = None
+        self.trial: int | None = None
+        self.neighbor_colors: dict = {}
+
+    def spawn(self) -> "TrialColoringAlgorithm":
+        return TrialColoringAlgorithm(self.palette_size, self.horizon)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self.rng = random.Random(self.input)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
+        if ctx.round_number > self.horizon:
+            raise RuntimeError("coloring exceeded horizon")
+        conflict = False
+        for sender, message in inbox.items():
+            kind, value = message.payload
+            if kind == 1:
+                self.neighbor_colors[sender] = value
+            elif kind == 0 and self.color is None and value == self.trial:
+                conflict = True
+        # A neighbour may have *finalized* our trial colour this phase.
+        if self.trial is not None and self.trial in set(
+            self.neighbor_colors.values()
+        ):
+            conflict = True
+        if self.color is None and self.trial is not None and not conflict:
+            self.color = self.trial
+            out = {u: Message((1, self.color)) for u in ctx.neighbors}
+            self.halt()
+            return out
+        if self.color is not None:
+            self.halt()
+            return {}
+        taken = set(self.neighbor_colors.values())
+        available = [c for c in range(self.palette_size) if c not in taken]
+        self.trial = self.rng.choice(available)
+        return {u: Message((0, self.trial)) for u in ctx.neighbors}
+
+    def output(self):
+        return self.color
+
+
+def delta_plus_one_coloring(
+    graph: nx.Graph, seed: int = 0, model: str = "congest"
+) -> tuple[dict, NetworkMetrics]:
+    """Randomized (Δ+1)-colouring; returns ({v: colour}, metrics).
+
+    Verified proper before returning.
+    """
+    delta = max((d for _, d in graph.degree), default=0)
+    n = graph.number_of_nodes()
+    horizon = 40 * max(4, n.bit_length() ** 2)
+    rng = random.Random(seed)
+    inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
+    net = Network(graph, model=model)
+    outputs = net.run(
+        TrialColoringAlgorithm(delta + 1, horizon),
+        max_rounds=horizon + 2,
+        inputs=inputs,
+    )
+    for u, v in graph.edges:
+        if outputs[u] == outputs[v]:
+            raise AssertionError("coloring not proper")
+    if any(color is None for color in outputs.values()):
+        raise AssertionError("some vertex uncoloured")
+    return outputs, net.metrics

@@ -1,0 +1,93 @@
+"""Round, message, and bit metrics; cost ledger for composite algorithms.
+
+Two levels of accounting are used in this repository (see DESIGN.md §3):
+
+* :class:`NetworkMetrics` — raw counters maintained by the simulator while a
+  node algorithm executes: rounds, messages, bits, and the worst per-edge
+  per-round load (which must never exceed the CONGEST bandwidth).
+
+* :class:`RoundLedger` — accounting for composite *cluster-level* algorithms
+  (the decomposition algorithms of Sections 4–5).  The paper analyses those
+  algorithms as a sequence of primitives, each with a proven CONGEST round
+  cost parameterized by measured quantities (cluster diameter D, overlap c,
+  routing time T, number of load-balancing steps, …).  The ledger charges
+  each primitive its measured cost and keeps a labelled breakdown so
+  benchmarks can report which phase dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkMetrics:
+    """Raw counters for one simulated execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_edge_bits_in_round: int = 0
+
+    def record_round(self) -> None:
+        self.rounds += 1
+
+    def record_message(self, bit_size: int) -> None:
+        self.messages += 1
+        self.total_bits += bit_size
+
+    def record_edge_load(self, bits: int) -> None:
+        if bits > self.max_edge_bits_in_round:
+            self.max_edge_bits_in_round = bits
+
+    def merge(self, other: "NetworkMetrics") -> None:
+        """Accumulate another execution's counters into this one (sequential
+        composition: rounds add, edge peak takes the max)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.total_bits += other.total_bits
+        self.max_edge_bits_in_round = max(
+            self.max_edge_bits_in_round, other.max_edge_bits_in_round
+        )
+
+
+@dataclass
+class RoundLedger:
+    """Labelled CONGEST round cost accumulator for composite algorithms.
+
+    Each ``charge(label, rounds)`` call adds a cost measured for one
+    primitive (e.g. one BFS aggregation over a cluster of measured diameter
+    D, or one execution of the routing algorithm with measured T).  The
+    total is the round complexity of the sequential composition.
+
+    Parallel phases over disjoint clusters are charged once with the
+    *maximum* cluster cost via :meth:`charge_parallel`, matching the paper's
+    "in parallel for all clusters" statements (congestion between
+    overlapping clusters must be folded into the per-cluster cost by the
+    caller, as the paper does with its factor-``c`` overhead).
+    """
+
+    breakdown: dict[str, int] = field(default_factory=dict)
+
+    def charge(self, label: str, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError(f"negative round charge for {label!r}: {rounds}")
+        self.breakdown[label] = self.breakdown.get(label, 0) + rounds
+
+    def charge_parallel(self, label: str, per_cluster_rounds: list[int]) -> None:
+        """Charge one parallel phase: cost is the max over clusters."""
+        self.charge(label, max(per_cluster_rounds, default=0))
+
+    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        for label, rounds in other.breakdown.items():
+            self.charge(prefix + label, rounds)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.breakdown.values())
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        lines = [f"total rounds: {self.total_rounds}"]
+        for label in sorted(self.breakdown, key=self.breakdown.get, reverse=True):
+            lines.append(f"  {label}: {self.breakdown[label]}")
+        return "\n".join(lines)

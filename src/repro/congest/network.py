@@ -1,0 +1,248 @@
+"""The synchronous network executor for the LOCAL and CONGEST models.
+
+Usage sketch::
+
+    net = Network(graph, model="congest")
+    outputs = net.run(MyAlgorithm(), max_rounds=100)
+
+``MyAlgorithm`` subclasses :class:`NodeAlgorithm`; one independent instance
+is created per vertex.  The executor delivers all messages sent in round r
+at the beginning of round r + 1 and stops when every node has halted (or
+``max_rounds`` is hit, which raises).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.metrics import NetworkMetrics
+
+
+class BandwidthExceededError(RuntimeError):
+    """A message exceeded the CONGEST per-edge per-round bandwidth."""
+
+
+@dataclass
+class NodeContext:
+    """The per-vertex view of the network handed to a node algorithm.
+
+    Attributes
+    ----------
+    node:
+        This vertex's identifier (also its unique ID in the model's sense).
+    neighbors:
+        Tuple of adjacent vertex identifiers, in a fixed deterministic order.
+    n:
+        Number of vertices in the network (known to all nodes, as is standard
+        for CONGEST algorithms that depend on ``log n``).
+    round_number:
+        Current round, starting at 0 for the initialization step.
+    """
+
+    node: Any
+    neighbors: tuple
+    n: int
+    round_number: int = 0
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+
+class NodeAlgorithm:
+    """Base class for per-vertex synchronous algorithms.
+
+    Lifecycle: the executor calls :meth:`initialize` once, then repeatedly
+    calls :meth:`on_round` with the inbox of messages received that round
+    (empty in the first communication round).  The algorithm returns a dict
+    mapping a subset of neighbours to :class:`Message` objects.  Calling
+    :meth:`halt` stops the node; the run ends when all nodes have halted.
+
+    One instance of the subclass is created per vertex via ``spawn``;
+    subclasses store per-vertex state on ``self``.
+    """
+
+    def __init__(self) -> None:
+        self._halted = False
+
+    # -- factory -----------------------------------------------------------
+    def spawn(self) -> "NodeAlgorithm":
+        """Create a fresh per-vertex instance (default: same class, no args).
+
+        Subclasses whose ``__init__`` takes configuration should override
+        this to propagate it.
+        """
+        return type(self)()
+
+    # -- lifecycle hooks ----------------------------------------------------
+    def initialize(self, ctx: NodeContext) -> None:
+        """Set up per-vertex state.  Called once before round 1."""
+
+    def on_round(
+        self, ctx: NodeContext, inbox: Mapping[Any, Message]
+    ) -> dict[Any, Message]:
+        """Process the inbox, update state, return outgoing messages."""
+        raise NotImplementedError
+
+    def output(self) -> Any:
+        """The node's final output, collected after the run."""
+        return None
+
+    # -- control ------------------------------------------------------------
+    def halt(self) -> None:
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+
+class Network:
+    """Synchronous executor over a ``networkx.Graph``.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.  Vertex ids must be hashable; they play
+        the role of the ``O(log n)``-bit unique identifiers of the model.
+    model:
+        ``"congest"`` (bandwidth-limited) or ``"local"`` (unlimited).
+    bandwidth_factor:
+        In CONGEST mode, each message may carry at most
+        ``bandwidth_factor * ceil(log2 n)`` bits (the constant in the
+        model's ``O(log n)``).  Default 32, generous enough for the tuples
+        our algorithms send while still scaling as Θ(log n).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        model: str = "congest",
+        bandwidth_factor: int = 32,
+    ) -> None:
+        if model not in ("congest", "local"):
+            raise ValueError(f"unknown model {model!r}")
+        if graph.number_of_nodes() == 0:
+            raise ValueError("network must have at least one vertex")
+        self.graph = graph
+        self.model = model
+        n = graph.number_of_nodes()
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+        self.bandwidth_bits = bandwidth_factor * log_n
+        self.metrics = NetworkMetrics()
+        self._neighbors = {
+            v: tuple(sorted(graph.neighbors(v), key=repr)) for v in graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithm: NodeAlgorithm,
+        max_rounds: int = 10_000,
+        inputs: Mapping[Any, Any] | None = None,
+    ) -> dict[Any, Any]:
+        """Execute ``algorithm`` at every vertex until all halt.
+
+        ``inputs`` optionally provides a per-vertex input value, exposed to
+        the node as ``self.input`` before :meth:`NodeAlgorithm.initialize`.
+
+        Returns the dict of per-vertex outputs.
+        """
+        n = self.graph.number_of_nodes()
+        nodes: dict[Any, NodeAlgorithm] = {}
+        contexts: dict[Any, NodeContext] = {}
+        for v in self.graph.nodes:
+            instance = algorithm.spawn()
+            instance.input = None if inputs is None else inputs.get(v)
+            ctx = NodeContext(node=v, neighbors=self._neighbors[v], n=n)
+            instance.initialize(ctx)
+            nodes[v] = instance
+            contexts[v] = ctx
+
+        inboxes: dict[Any, dict[Any, Message]] = {v: {} for v in self.graph.nodes}
+        for round_number in range(1, max_rounds + 1):
+            if all(node.halted for node in nodes.values()):
+                break
+            self.metrics.record_round()
+            outboxes: dict[Any, dict[Any, Message]] = {}
+            for v, node in nodes.items():
+                if node.halted:
+                    continue
+                ctx = contexts[v]
+                ctx.round_number = round_number
+                sent = node.on_round(ctx, inboxes[v])
+                if sent:
+                    self._validate_and_count(v, sent)
+                    outboxes[v] = sent
+            inboxes = {v: {} for v in self.graph.nodes}
+            for sender, sent in outboxes.items():
+                for receiver, message in sent.items():
+                    inboxes[receiver][sender] = message
+        else:
+            if not all(node.halted for node in nodes.values()):
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+        return {v: node.output() for v, node in nodes.items()}
+
+    # ------------------------------------------------------------------
+    def _validate_and_count(self, sender: Any, sent: Mapping[Any, Message]) -> None:
+        neighbor_set = self._neighbors[sender]
+        for receiver, message in sent.items():
+            if receiver not in neighbor_set:
+                raise ValueError(
+                    f"node {sender!r} sent to non-neighbor {receiver!r}"
+                )
+            if not isinstance(message, Message):
+                raise TypeError(
+                    f"node {sender!r} sent a non-Message object: {message!r}"
+                )
+            if self.model == "congest" and message.bit_size > self.bandwidth_bits:
+                raise BandwidthExceededError(
+                    f"message of {message.bit_size} bits from {sender!r} to "
+                    f"{receiver!r} exceeds CONGEST bandwidth "
+                    f"{self.bandwidth_bits} bits"
+                )
+            self.metrics.record_message(message.bit_size)
+            self.metrics.record_edge_load(message.bit_size)
+
+
+class FunctionAlgorithm(NodeAlgorithm):
+    """Adapter turning a plain function into a node algorithm.
+
+    The function receives ``(state, ctx, inbox)`` and returns
+    ``(new_state, outgoing, done, output)``.  Useful for small tests.
+    """
+
+    def __init__(
+        self,
+        step: Callable[[Any, NodeContext, Mapping[Any, Message]], tuple],
+        initial_state: Callable[[NodeContext], Any] = lambda ctx: None,
+    ) -> None:
+        super().__init__()
+        self._step = step
+        self._initial_state = initial_state
+        self._state: Any = None
+        self._output: Any = None
+
+    def spawn(self) -> "FunctionAlgorithm":
+        return FunctionAlgorithm(self._step, self._initial_state)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self._state = self._initial_state(ctx)
+
+    def on_round(self, ctx, inbox):
+        self._state, outgoing, done, self._output = self._step(
+            self._state, ctx, inbox
+        )
+        if done:
+            self.halt()
+        return outgoing
+
+    def output(self) -> Any:
+        return self._output

@@ -1,0 +1,75 @@
+"""Decomposition algorithms (Sections 3–5 of the paper).
+
+* :mod:`types` — clustering / decomposition data structures.
+* :mod:`kpr` — the KPR-style (ε, O(1/ε)) low-diameter decomposition of
+  H-minor-free graphs (Lemma 3.1).
+* :mod:`existential` — the recursive sparse-cut expander decomposition
+  (Fact 3.1) and the three-step Observation 3.1 pipeline.
+* :mod:`heavy_stars` — the CHW08 heavy-stars algorithm (Section 4.1).
+* :mod:`ldd` — the CHW08 LOCAL low-diameter decomposition built on
+  heavy-stars, plus the MPX-style randomized baseline.
+* :mod:`overlap_expander` — expander decompositions with overlaps
+  (Section 4.2, Lemmas 4.1–4.7).
+* :mod:`edt` — (ε, D, T)-decompositions (Section 5, Theorem 1.1).
+* :mod:`validation` — machine checks of every decomposition invariant.
+"""
+
+from repro.decomposition.types import (
+    Clustering,
+    EDTDecomposition,
+    OverlapCluster,
+    OverlapDecomposition,
+    RoutingGroup,
+)
+from repro.decomposition.kpr import kpr_low_diameter_decomposition
+from repro.decomposition.existential import (
+    expander_decomposition_fact31,
+    expander_decomposition_obs31,
+)
+from repro.decomposition.heavy_stars import HeavyStarsResult, heavy_stars
+from repro.decomposition.ldd import chw_low_diameter_decomposition, mpx_low_diameter_decomposition
+from repro.decomposition.overlap_expander import overlap_expander_decomposition
+from repro.decomposition.edt import (
+    edt_decomposition,
+    local_edt_lemma51,
+    local_edt_lemma52,
+    refine_merge,
+    refine_local,
+    trivial_decomposition,
+)
+from repro.decomposition.validation import (
+    check_clustering_partition,
+    check_edt_decomposition,
+    check_expander_decomposition,
+    check_low_diameter_decomposition,
+    check_overlap_decomposition,
+    cluster_diameters,
+)
+
+__all__ = [
+    "Clustering",
+    "EDTDecomposition",
+    "OverlapCluster",
+    "OverlapDecomposition",
+    "RoutingGroup",
+    "kpr_low_diameter_decomposition",
+    "expander_decomposition_fact31",
+    "expander_decomposition_obs31",
+    "HeavyStarsResult",
+    "heavy_stars",
+    "chw_low_diameter_decomposition",
+    "mpx_low_diameter_decomposition",
+    "overlap_expander_decomposition",
+    "edt_decomposition",
+    "local_edt_lemma51",
+    "local_edt_lemma52",
+    "refine_merge",
+    "refine_local",
+    "trivial_decomposition",
+    "check_clustering_partition",
+    "check_edt_decomposition",
+    "check_expander_decomposition",
+    "check_low_diameter_decomposition",
+    "check_overlap_decomposition",
+    "cluster_diameters",
+]

@@ -1,0 +1,46 @@
+"""Distributed information gathering in high-conductance graphs (Section 2).
+
+Two routing backends, exactly as in the paper:
+
+* :mod:`load_balancing` — the Ghosh et al. [GLM+99] local load-balancing
+  algorithm run on the expander split, with the token-splitting refinement
+  of Lemma 2.2.
+* :mod:`random_walks` — lazy random walks with limited independence
+  (Lemmas 2.3–2.6), derandomized by searching the explicit k-wise
+  independent hash family of :mod:`kwise` for a seed whose existence the
+  paper proves.
+
+Both solve the same task: every vertex v of a φ-expander sends deg(v)
+messages to the maximum-degree vertex v⋆, delivering at least a (1 − f)
+fraction.
+"""
+
+from repro.gathering.kwise import KWiseHash
+from repro.gathering.load_balancing import (
+    GatherResult,
+    gather_with_load_balancing,
+    glm_load_balance,
+    total_imbalance,
+)
+from repro.gathering.random_walks import (
+    WalkSchedule,
+    build_regularized_split,
+    find_walk_schedule,
+    find_shared_walk_schedule,
+    gather_with_random_walks,
+    simulate_walks,
+)
+
+__all__ = [
+    "KWiseHash",
+    "GatherResult",
+    "gather_with_load_balancing",
+    "glm_load_balance",
+    "total_imbalance",
+    "WalkSchedule",
+    "build_regularized_split",
+    "find_walk_schedule",
+    "find_shared_walk_schedule",
+    "gather_with_random_walks",
+    "simulate_walks",
+]

@@ -1,0 +1,166 @@
+"""k-wise independent hash families over a prime field (Section 2.2).
+
+The paper implements the coin flips of the lazy random walks with a k-wise
+independent family: a random degree-(k−1) polynomial over GF(p) evaluated
+at the (step, walk, sender-id) triple, reduced to the walk's decision range
+{1, …, 2d}.  Any k evaluations of a random degree-(k−1) polynomial are
+mutually independent and uniform over GF(p) — the textbook construction
+the paper cites [AS15].
+
+The family is *explicit*: a member is identified by an integer ``seed``
+that encodes the k coefficients in base p, so a seed costs k·log2(p) =
+O(k log n) bits — matching the paper's "O(k log n) mutually independent
+coin flips" accounting.  Derandomization (Lemma 2.5) enumerates seeds in
+increasing order and keeps the first one that routes well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+_DEFAULT_PRIME = (1 << 61) - 1  # Mersenne prime: fast reduction, huge field.
+VECTOR_PRIME = (1 << 31) - 1  # Mersenne prime small enough for uint64 Horner.
+
+
+def _splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: a 64-bit bijective mixing function."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def _is_probable_prime(n: int) -> bool:
+    """Deterministic Miller–Rabin for 64-bit inputs."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime ≥ n (for custom field sizes in tests)."""
+    candidate = max(2, n)
+    while not _is_probable_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class KWiseHash:
+    """One member of a k-wise independent family: h_seed : Z → {0, …, R−1}.
+
+    Parameters
+    ----------
+    k:
+        Independence parameter (polynomial degree k − 1).
+    range_size:
+        Output range R.
+    seed:
+        Index into the family; coefficient i is digit i of ``seed`` in
+        base p.  Seed 0 is the zero polynomial (still a family member).
+    prime:
+        Field size; must exceed every hashed key and ``range_size``.
+    """
+
+    k: int
+    range_size: int
+    seed: int = 0
+    prime: int = _DEFAULT_PRIME
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not 1 <= self.range_size < self.prime:
+            raise ValueError("range_size must be in [1, prime)")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        object.__setattr__(self, "_coefficients", self._expand_coefficients())
+
+    def _expand_coefficients(self) -> tuple[int, ...]:
+        """Coefficient vector of family member ``seed``.
+
+        Seeds index the family through a splitmix64 expansion rather than
+        plain base-p digits: digit-order enumeration would list all the
+        (useless) constant polynomials first, making the deterministic
+        first-good-seed search needlessly slow.  The expansion is a
+        bijection per coefficient slot for seeds < 2^64, so enumerating
+        seeds walks through distinct, "generic" family members; the
+        existence bound of Lemmas 2.3/2.4 (a ≥ (1−f) fraction of members
+        are good) then gives an O(1) expected search length.
+        """
+        return tuple(
+            _splitmix64(self.seed * 0x9E3779B97F4A7C15 + i) % self.prime
+            for i in range(self.k)
+        )
+
+    @property
+    def coefficients(self) -> tuple[int, ...]:
+        return self._coefficients
+
+    @property
+    def seed_bits(self) -> int:
+        """Description length of this family member: k · log2(p) bits."""
+        return self.k * self.prime.bit_length()
+
+    def __call__(self, key: int) -> int:
+        x = key % self.prime
+        acc = 0
+        # Horner evaluation of Σ a_i x^i with a_i = digits of seed.
+        for a in reversed(self.coefficients):
+            acc = (acc * x + a) % self.prime
+        return acc % self.range_size
+
+    def hash_triple(self, step: int, walk: int, sender: int) -> int:
+        """The paper's h(α, β, γ): decision for step α of walk β from γ.
+
+        The triple is packed injectively (fields bounded by 2^20 each,
+        far above any instance size we simulate).
+        """
+        key = ((step << 40) | (walk << 20) | sender) + 1
+        return self(key)
+
+    def hash_triples_vectorized(self, step: int, walks, senders):
+        """Vectorized ``hash_triple`` over numpy arrays of walk/sender ids.
+
+        Requires ``prime < 2^31`` so that Horner products fit in uint64
+        without overflow.  Returns a uint64 array of values in
+        ``[0, range_size)``.
+        """
+        import numpy as np
+
+        if self.prime >= (1 << 31):
+            raise ValueError(
+                "vectorized evaluation needs prime < 2^31; construct the "
+                "hash with prime=VECTOR_PRIME"
+            )
+        walks = np.asarray(walks, dtype=np.uint64)
+        senders = np.asarray(senders, dtype=np.uint64)
+        keys = (
+            (np.uint64(step) << np.uint64(40))
+            | (walks << np.uint64(20))
+            | senders
+        ) + np.uint64(1)
+        p = np.uint64(self.prime)
+        x = keys % p
+        acc = np.zeros_like(x)
+        for a in reversed(self._coefficients):
+            acc = (acc * x + np.uint64(a)) % p
+        return acc % np.uint64(self.range_size)

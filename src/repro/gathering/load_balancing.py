@@ -1,0 +1,251 @@
+"""Information gathering via local load balancing (Section 2.1, Lemma 2.2).
+
+The primitive is the Ghosh et al. [GLM+99] algorithm: in each step, every
+vertex v sends one token to each neighbour u whose load at the beginning of
+the step is at least 2Δ + 1 smaller than v's (the threshold guarantees v
+still holds more than u afterwards).  Lemma 2.1: on a graph of sparsity ψ
+and max degree Δ, O(M/ψ) steps reduce total imbalance from M to
+O(Δ² ψ⁻¹ log |V|).
+
+Lemma 2.2 turns this into information gathering on a φ-expander G: run the
+balancing on the expander split G⋄ (constant degree, sparsity Θ(φ),
+simulable within G at no cost).  Each undelivered message creates
+Θ(φ⁻¹ log |E|) tokens; after balancing, every gadget vertex of the
+max-degree target v⋆ holds ≈ the average load, so a Δ/(8|E|) fraction of
+messages is delivered per iteration; *token splitting* keeps the imbalance
+— and hence the step count — bounded as the number of undelivered messages
+shrinks.  Repeating Θ((|E|/Δ) log(1/f)) times delivers a (1 − f) fraction.
+
+The implementation below is a direct, measurable simulation of that loop:
+token positions are tracked exactly; a message is *delivered* when one of
+its tokens sits inside X_{v⋆} at the end of an iteration; and the CONGEST
+round cost is the measured number of balancing steps (each step of G⋄ is
+one round of G, because gadget-internal moves are free local computation
+and each split edge maps to a distinct G-edge).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.expander_split import ExpanderSplit
+
+
+def total_imbalance(loads: dict, average: float | None = None) -> float:
+    """Max over vertices of |load(v) − average load| (the GLM potential)."""
+    if not loads:
+        return 0.0
+    if average is None:
+        average = sum(loads.values()) / len(loads)
+    return max(abs(value - average) for value in loads.values())
+
+
+def glm_load_balance(
+    graph: nx.Graph,
+    tokens: dict[Hashable, list],
+    max_steps: int,
+    target_imbalance: float = 0.0,
+) -> int:
+    """Run the [GLM+99] algorithm in place; returns the number of steps used.
+
+    ``tokens`` maps each vertex to the list of tokens it holds (token
+    identity is preserved — tokens carry message ids).  Stops early once
+    the total imbalance is ≤ ``target_imbalance``.
+
+    The step rule is exactly the paper's: v sends one token to each
+    neighbour whose start-of-step load is ≥ 2Δ + 1 below v's load.
+    """
+    delta = max((d for _, d in graph.degree), default=0)
+    gap = 2 * delta + 1
+    average = sum(len(t) for t in tokens.values()) / max(1, len(tokens))
+    for step in range(1, max_steps + 1):
+        loads = {v: len(tokens[v]) for v in graph.nodes}
+        if total_imbalance(loads, average) <= target_imbalance:
+            return step - 1
+        moved = False
+        transfers: list[tuple[Hashable, Hashable]] = []
+        for v in graph.nodes:
+            lv = loads[v]
+            for u in graph.neighbors(v):
+                if lv - loads[u] >= gap:
+                    transfers.append((v, u))
+        for v, u in transfers:
+            if tokens[v]:
+                tokens[u].append(tokens[v].pop())
+                moved = True
+        if not moved:
+            return step
+    return max_steps
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one information-gathering run.
+
+    Attributes
+    ----------
+    delivered:
+        Set of delivered message ids.  A message id is ``(v, i)``: the
+        i-th of deg(v) messages originated by vertex v.
+    total_messages:
+        2|E| in the paper's accounting (deg(v) messages per vertex).
+    rounds:
+        Measured CONGEST rounds (balancing steps + reverse notification).
+    iterations:
+        Outer repetitions of the create/balance/collect loop.
+    detail:
+        Free-form per-iteration diagnostics.
+    """
+
+    delivered: set = field(default_factory=set)
+    total_messages: int = 0
+    rounds: int = 0
+    iterations: int = 0
+    detail: list = field(default_factory=list)
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.total_messages == 0:
+            return 1.0
+        return len(self.delivered) / self.total_messages
+
+
+def gather_with_load_balancing(
+    graph: nx.Graph,
+    v_star: Hashable,
+    f: float = 0.25,
+    tokens_per_message: int | None = None,
+    max_iterations: int | None = None,
+    step_budget_per_iteration: int | None = None,
+) -> GatherResult:
+    """Lemma 2.2: deliver ≥ (1 − f) of everyone's deg(v) messages to v⋆.
+
+    Parameters
+    ----------
+    graph:
+        The (sub)graph to gather in; should be a φ-expander for the round
+        bounds to hold (correctness of the simulation never depends on it).
+    v_star:
+        The sink; the paper picks a maximum-degree vertex.
+    f:
+        Allowed undelivered fraction, 0 < f < 1/2.
+    tokens_per_message:
+        Initial tokens created per undelivered message per iteration
+        (paper: 4C φ⁻¹ log |E|).  Defaults to Θ(log |E|) with the measured
+        split structure absorbing the φ⁻¹ factor via token splitting.
+    max_iterations / step_budget_per_iteration:
+        Safety caps; defaults follow the paper's Θ((|E|/Δ)·log(1/f)) and
+        Θ(φ⁻² log |E|) shapes with concrete constants.
+
+    Messages are ``(v, i)`` for i < deg(v).  The deg(v⋆) messages of v⋆
+    itself are delivered for free (they are at the destination), matching
+    the paper's accounting.
+    """
+    if not 0 < f < 0.5:
+        raise ValueError("f must lie in (0, 1/2)")
+    if v_star not in graph:
+        raise ValueError("v_star not in graph")
+    m = graph.number_of_edges()
+    if m == 0:
+        return GatherResult(total_messages=0)
+
+    split = ExpanderSplit(graph)
+    split_graph = split.split
+    n_split = split_graph.number_of_nodes()
+    log_m = max(1.0, math.log2(2 * m))
+
+    if tokens_per_message is None:
+        tokens_per_message = max(2, math.ceil(4 * log_m))
+    if max_iterations is None:
+        degree_star = max(graph.degree[v_star], 1)
+        max_iterations = max(
+            4, math.ceil(16 * (2 * m / degree_star) * math.log(2.0 / f))
+        )
+    if step_budget_per_iteration is None:
+        step_budget_per_iteration = max(64, 8 * n_split * math.ceil(log_m))
+
+    sink_gadget = set(split.gadget_vertices(v_star))
+    result = GatherResult(total_messages=2 * m)
+    # Messages owned by v⋆ are already home.
+    for i in range(graph.degree[v_star]):
+        result.delivered.add((v_star, i))
+
+    undelivered: set = set()
+    home: dict = {}
+    for v in graph.nodes:
+        if v == v_star:
+            continue
+        for i in range(graph.degree[v]):
+            message = (v, i)
+            undelivered.add(message)
+            home[message] = (v, i)  # message (v, i) starts at split vertex (v, i)
+
+    target_fraction = 1.0 - f
+    average_cap = 2.0 * tokens_per_message  # the lemma's 2Cφ⁻¹ log|E| analogue
+
+    while (
+        result.delivered_fraction < target_fraction
+        and undelivered
+        and result.iterations < max_iterations
+    ):
+        result.iterations += 1
+        tokens: dict[Hashable, list] = {v: [] for v in split_graph.nodes}
+        for message in undelivered:
+            tokens[home[message]].extend([message] * tokens_per_message)
+
+        steps = glm_load_balance(
+            split_graph,
+            tokens,
+            max_steps=step_budget_per_iteration,
+            target_imbalance=tokens_per_message / 2,
+        )
+        result.rounds += steps
+
+        # Token splitting: double tokens and re-balance until the average
+        # load reaches the cap (Lemma 2.2's splitting loop).
+        while sum(len(t) for t in tokens.values()) / n_split < average_cap and (
+            2 * sum(len(t) for t in tokens.values()) / n_split <= 2 * average_cap
+        ):
+            for v in tokens:
+                tokens[v] = tokens[v] + list(tokens[v])
+            steps = glm_load_balance(
+                split_graph,
+                tokens,
+                max_steps=step_budget_per_iteration,
+                target_imbalance=tokens_per_message / 2,
+            )
+            result.rounds += steps
+            if sum(len(t) for t in tokens.values()) / n_split >= average_cap:
+                break
+
+        arrived = {
+            message
+            for u in sink_gadget
+            for message in tokens[u]
+            if message in undelivered
+        }
+        # Reverse run (acknowledgements) costs the same number of rounds;
+        # charge a symmetric copy, as in the lemma ("running in reverse").
+        result.rounds += steps
+        result.detail.append(
+            {
+                "iteration": result.iterations,
+                "balancing_steps": steps,
+                "arrived": len(arrived),
+                "undelivered_before": len(undelivered),
+            }
+        )
+        if not arrived:
+            # Imbalance already near-flat yet nothing landed — only possible
+            # with pathological parameters; fall back to direct accounting
+            # by doubling token budget next round.
+            tokens_per_message *= 2
+            continue
+        result.delivered |= arrived
+        undelivered -= arrived
+
+    return result

@@ -1,0 +1,397 @@
+"""Routing schedules from derandomized lazy random walks (Section 2.2).
+
+Pipeline, following Lemmas 2.3–2.6:
+
+1. Build the *regularized* expander split  fG⋄: the expander split G⋄ with
+   self-loops added so every vertex has the same even degree d = O(1).
+2. Associate each message (the i-th of deg(v) messages of vertex v) with
+   the split vertex (v, i); start r lazy random walks per message, where
+   r = Θ((|E|/Δ)·log(1/f) + log τ).
+3. Drive every walk for τ = τ_mix(fG⋄) steps using decisions drawn from a
+   k-wise independent hash h(step, walk, origin) ∈ {1, …, 2d}: values
+   1..d move along the corresponding incident edge (self-loops stay);
+   values d+1..2d stay put — exactly the paper's implementation of the
+   lazy walk with (1 + log d) fair coins per step.
+4. *Goodness* (paper definition): a message is good if ≥ 1 of its walks
+   ends inside X_{v⋆} and no visited (vertex, time) pair ever holds more
+   than 3r walks; overloaded (vertex, time) pairs discard all their walks.
+5. Derandomize: Lemmas 2.3/2.4 show a random member of the hash family
+   makes every message good with probability ≥ 1 − f, so members for which
+   ≥ (1 − f) of messages are good exist in abundance; enumerate seeds
+   deterministically and keep the first witness.  The schedule is the seed
+   — O(k log n) bits — which a leader can broadcast (Lemma 2.5), or share
+   across many disjoint subgraphs (Lemma 2.6).
+
+The CONGEST cost of *executing* a schedule is 3r·τ rounds (3r rounds per
+walk step); the simulation returns measured congestion so tests can check
+the 3r bound actually bites where the paper says it does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from repro.gathering.kwise import KWiseHash, VECTOR_PRIME
+from repro.graphs.expander_split import ExpanderSplit
+
+
+@dataclass(frozen=True)
+class RegularizedSplit:
+    """fG⋄: expander split vertices with per-vertex edge slots of width d.
+
+    ``slots[u]`` is a length-d tuple: entry j is the neighbour reached by
+    decision j (entries equal to ``u`` are self-loops).  All vertices have
+    exactly d slots; d is even.
+    """
+
+    split: ExpanderSplit
+    degree: int
+    slots: dict
+    index: dict
+
+    @property
+    def vertices(self) -> list:
+        return list(self.slots)
+
+
+def build_regularized_split(graph: nx.Graph) -> RegularizedSplit:
+    """Build fG⋄ = expander split + self-loops up to a uniform even degree."""
+    split = ExpanderSplit(graph)
+    sg = split.split
+    max_degree = max((d for _, d in sg.degree), default=0)
+    d = max_degree if max_degree % 2 == 0 else max_degree + 1
+    d = max(d, 2)
+    slots = {}
+    for u in sg.nodes:
+        neighbors = sorted(sg.neighbors(u), key=repr)
+        loops = d - len(neighbors)
+        slots[u] = tuple(neighbors + [u] * loops)
+    index = {u: i for i, u in enumerate(sorted(sg.nodes, key=repr))}
+    return RegularizedSplit(split=split, degree=d, slots=slots, index=index)
+
+
+@dataclass(frozen=True)
+class WalkSchedule:
+    """A derandomized routing schedule (the broadcastable bit string).
+
+    ``seed`` identifies the hash family member; ``walks_per_message`` = r;
+    ``steps`` = τ; ``degree`` = d of fG⋄.  ``schedule_bits`` is the
+    paper's O(k log n) description length.
+    """
+
+    seed: int
+    walks_per_message: int
+    steps: int
+    degree: int
+    k: int
+    good_fraction: float
+
+    @property
+    def schedule_bits(self) -> int:
+        prime_bits = VECTOR_PRIME.bit_length()
+        return self.k * prime_bits
+
+    def execution_rounds(self) -> int:
+        """CONGEST rounds to run the schedule: 3r per step (paper)."""
+        return 3 * self.walks_per_message * self.steps
+
+
+def _walk_parameters(
+    graph: nx.Graph,
+    v_star: Hashable,
+    f: float,
+    mixing_steps: int,
+    constant_c: float,
+) -> tuple[int, int]:
+    """r and k per Section 2.2 (with tunable hidden constant)."""
+    m = graph.number_of_edges()
+    degree_star = max(graph.degree[v_star], 1)
+    ratio = (2 * m) / degree_star  # |V⋄| / |X_{v⋆}|
+    r = max(
+        2,
+        math.ceil(constant_c * (ratio * math.log(2.0 / f) + math.log(max(2, mixing_steps)))),
+    )
+    d = 2  # refined by caller; k only needs the right order
+    k = max(4, (1 + math.ceil(math.log2(2 * d))) * 2 * r * mixing_steps)
+    return r, k
+
+
+def simulate_walks(
+    regular: RegularizedSplit,
+    origins: Sequence[tuple],
+    hash_function: KWiseHash,
+    walks_per_message: int,
+    steps: int,
+    congestion_cap: int | None = None,
+) -> dict:
+    """Simulate all walks (vectorized); returns positions and congestion.
+
+    ``origins`` lists (message_id, start_split_vertex).  Walks β = 0..r−1
+    of message index i start at that message's split vertex; decisions come
+    from ``hash_function.hash_triple(step, global_walk_index,
+    origin_index)``; decision values < d move along the corresponding edge
+    slot (self-loop slots stay), values ≥ d stay put — the lazy walk.
+
+    Returns a dict with:
+
+    ``final``      — {message_id: list of final split vertex indices of its
+                      surviving walks (as split vertices)};
+    ``discarded``  — number of walks dropped by the 3r congestion rule;
+    ``max_load``   — max surviving walks co-located at any (vertex, step).
+    """
+    import numpy as np
+
+    d = regular.degree
+    cap = congestion_cap if congestion_cap is not None else 3 * walks_per_message
+    vertex_list = sorted(regular.slots, key=repr)
+    vertex_index = {u: i for i, u in enumerate(vertex_list)}
+    n = len(vertex_list)
+    slot_table = np.empty((n, d), dtype=np.int64)
+    for u, slots in regular.slots.items():
+        slot_table[vertex_index[u]] = [vertex_index[s] for s in slots]
+
+    r = walks_per_message
+    message_ids = [message_id for message_id, _ in origins]
+    n_walks = len(origins) * r
+    positions = np.empty(n_walks, dtype=np.int64)
+    origin_idx = np.empty(n_walks, dtype=np.uint64)
+    for i, (_, start) in enumerate(origins):
+        positions[i * r : (i + 1) * r] = vertex_index[start]
+        origin_idx[i * r : (i + 1) * r] = regular.index[start]
+    walk_idx = np.arange(n_walks, dtype=np.uint64)
+    alive = np.ones(n_walks, dtype=bool)
+    discarded = 0
+    max_load = 0
+    for step in range(1, steps + 1):
+        decisions = hash_function.hash_triples_vectorized(step, walk_idx, origin_idx)
+        move = (decisions < d) & alive
+        positions[move] = slot_table[positions[move], decisions[move].astype(np.int64)]
+        counts = np.bincount(positions[alive], minlength=n)
+        step_max = int(counts.max()) if counts.size else 0
+        max_load = max(max_load, step_max)
+        if step_max > cap:
+            overloaded = counts > cap
+            victims = alive & overloaded[positions]
+            discarded += int(victims.sum())
+            alive &= ~victims
+    final: dict = {}
+    for i, message_id in enumerate(message_ids):
+        survivors = [
+            vertex_list[int(positions[j])]
+            for j in range(i * r, (i + 1) * r)
+            if alive[j]
+        ]
+        if survivors:
+            final[message_id] = survivors
+    return {"final": final, "discarded": discarded, "max_load": max_load}
+
+
+def _good_fraction(
+    graph: nx.Graph,
+    regular: RegularizedSplit,
+    v_star: Hashable,
+    outcome: dict,
+    total_messages: int,
+) -> tuple[float, set]:
+    sink = set(regular.split.gadget_vertices(v_star))
+    delivered = {
+        message_id
+        for message_id, finals in outcome["final"].items()
+        if any(p in sink for p in finals)
+    }
+    return len(delivered) / max(1, total_messages), delivered
+
+
+def find_walk_schedule(
+    graph: nx.Graph,
+    v_star: Hashable,
+    f: float = 0.25,
+    phi_hint: float | None = None,
+    constant_c: float = 1.0,
+    mixing_constant: float = 2.0,
+    independence: int | None = None,
+    max_seeds: int = 64,
+) -> tuple[WalkSchedule, set]:
+    """Lemma 2.5: deterministically find a routing schedule for ``graph``.
+
+    The vertex that knows the topology (a cluster leader) runs this
+    locally: enumerate hash seeds 0, 1, 2, … and return the first whose
+    simulated walks deliver ≥ (1 − f) of the messages.  Existence of a
+    witness follows from Lemmas 2.3/2.4; ``max_seeds`` guards against
+    misparameterization (raise rather than loop forever).
+
+    ``independence`` overrides the k used for the hash family; the
+    paper-accurate k = (1 + log d)·2r·τ is the default shape but any
+    k ≥ 4 reproduces the routing behaviour (only the proof needs full k);
+    see DESIGN.md.  Returns (schedule, delivered message ids).
+    """
+    if not 0 < f < 0.5:
+        raise ValueError("f must lie in (0, 1/2)")
+    m = graph.number_of_edges()
+    if m == 0:
+        schedule = WalkSchedule(0, 0, 0, 2, 4, 1.0)
+        return schedule, set()
+    regular = build_regularized_split(graph)
+    n_split = len(regular.vertices)
+    if phi_hint is None:
+        phi_hint = 0.2  # caller normally passes the decomposition's φ
+    tau = max(
+        2,
+        math.ceil(mixing_constant * (phi_hint ** -2) * math.log(max(2, n_split))),
+    )
+    r, k_paper = _walk_parameters(graph, v_star, f, tau, constant_c)
+    k = independence if independence is not None else min(k_paper, 16)
+
+    origins = []
+    total_messages = 0
+    for v in graph.nodes:
+        if v == v_star:
+            continue
+        for i in range(graph.degree[v]):
+            origins.append(((v, i), (v, i)))
+            total_messages += 1
+
+    target = 1.0 - f
+    best: tuple[float, int, set] | None = None
+    for seed in range(max_seeds):
+        h = KWiseHash(
+            k=k, range_size=2 * regular.degree, seed=seed, prime=VECTOR_PRIME
+        )
+        outcome = simulate_walks(regular, origins, h, r, tau)
+        fraction, delivered = _good_fraction(
+            graph, regular, v_star, outcome, total_messages
+        )
+        if best is None or fraction > best[0]:
+            best = (fraction, seed, delivered)
+        if fraction >= target:
+            schedule = WalkSchedule(
+                seed=seed,
+                walks_per_message=r,
+                steps=tau,
+                degree=regular.degree,
+                k=k,
+                good_fraction=fraction,
+            )
+            # v⋆'s own deg(v⋆) messages are home already.
+            for i in range(graph.degree[v_star]):
+                delivered.add((v_star, i))
+            return schedule, delivered
+    raise RuntimeError(
+        f"no seed among {max_seeds} reached delivery {target:.3f}; best was "
+        f"{best[0]:.3f} (seed {best[1]}) — increase r via constant_c"
+    )
+
+
+def find_shared_walk_schedule(
+    subgraphs: Sequence[nx.Graph],
+    sinks: Sequence[Hashable],
+    f: float = 0.25,
+    phi_hint: float | None = None,
+    constant_c: float = 1.0,
+    mixing_constant: float = 2.0,
+    independence: int | None = None,
+    max_seeds: int = 64,
+) -> tuple[WalkSchedule, list[set]]:
+    """Lemma 2.6: one schedule shared by many disjoint subgraphs.
+
+    Uses a single hash seed for all subgraphs; r and τ are maxima over the
+    subgraphs (the paper's η and ζ).  The delivery guarantee is aggregate:
+    ≥ (1 − f) of the union of all messages.  Returns the schedule and the
+    per-subgraph delivered sets.
+    """
+    if len(subgraphs) != len(sinks):
+        raise ValueError("need one sink per subgraph")
+    live = [
+        (g, sink) for g, sink in zip(subgraphs, sinks) if g.number_of_edges() > 0
+    ]
+    if not live:
+        return WalkSchedule(0, 0, 0, 2, 4, 1.0), [set() for _ in subgraphs]
+    regulars = [build_regularized_split(g) for g, _ in live]
+    if phi_hint is None:
+        phi_hint = 0.2
+    zeta = max(len(r.vertices) for r in regulars)
+    tau = max(
+        2, math.ceil(mixing_constant * (phi_hint ** -2) * math.log(max(2, zeta)))
+    )
+    r_value = 2
+    for (g, sink) in live:
+        r_i, _ = _walk_parameters(g, sink, f, tau, constant_c)
+        r_value = max(r_value, r_i)
+    degree = max(r.degree for r in regulars)
+    k = independence if independence is not None else 16
+
+    payloads = []
+    total_messages = 0
+    for (g, sink), regular in zip(live, regulars):
+        origins = []
+        for v in g.nodes:
+            if v == sink:
+                continue
+            for i in range(g.degree[v]):
+                origins.append(((v, i), (v, i)))
+                total_messages += 1
+        payloads.append((g, sink, regular, origins))
+
+    target = 1.0 - f
+    best_fraction = -1.0
+    for seed in range(max_seeds):
+        h = KWiseHash(k=k, range_size=2 * degree, seed=seed, prime=VECTOR_PRIME)
+        all_delivered: list[set] = []
+        delivered_count = 0
+        for g, sink, regular, origins in payloads:
+            # Each subgraph uses its own slot tables but the shared hash;
+            # decisions ≥ 2·d_i fall back to "stay" (a lazy step), which
+            # preserves the walk distribution shape.
+            outcome = simulate_walks(regular, origins, h, r_value, tau)
+            _, delivered = _good_fraction(g, regular, sink, outcome, 1)
+            all_delivered.append(delivered)
+            delivered_count += len(delivered)
+        fraction = delivered_count / max(1, total_messages)
+        best_fraction = max(best_fraction, fraction)
+        if fraction >= target:
+            schedule = WalkSchedule(
+                seed=seed,
+                walks_per_message=r_value,
+                steps=tau,
+                degree=degree,
+                k=k,
+                good_fraction=fraction,
+            )
+            # Re-inflate to the original subgraph list (empty graphs → ∅),
+            # and credit each sink its own messages.
+            out: list[set] = []
+            live_iter = iter(zip(live, all_delivered))
+            for g, sink in zip(subgraphs, sinks):
+                if g.number_of_edges() == 0:
+                    out.append(set())
+                    continue
+                (_, _), delivered = next(live_iter)
+                for i in range(g.degree[sink]):
+                    delivered.add((sink, i))
+                out.append(delivered)
+            return schedule, out
+    raise RuntimeError(
+        f"no shared seed among {max_seeds} reached delivery {target:.3f}; "
+        f"best was {best_fraction:.3f}"
+    )
+
+
+def gather_with_random_walks(
+    graph: nx.Graph,
+    v_star: Hashable,
+    f: float = 0.25,
+    **kwargs,
+) -> tuple[set, int, WalkSchedule]:
+    """Convenience wrapper: find a schedule and report (delivered, rounds).
+
+    Rounds = schedule broadcast cost (schedule_bits / bandwidth, charged
+    as ⌈bits / log n⌉·D̂ with D̂ folded into execution rounds by the
+    caller) + 3rτ execution; we return the execution rounds, the paper's
+    dominant term.
+    """
+    schedule, delivered = find_walk_schedule(graph, v_star, f=f, **kwargs)
+    return delivered, schedule.execution_rounds(), schedule

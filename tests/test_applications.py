@@ -1,0 +1,146 @@
+"""Tests for the Section 6.1 approximation algorithms.
+
+Quality is checked against exact optima on small instances (where the
+paper's (1 ± ε) guarantees are concrete numbers) and against structural
+validity everywhere.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    approximate_max_cut,
+    approximate_maximum_independent_set,
+    approximate_maximum_matching,
+    approximate_minimum_vertex_cover,
+    max_cut_exact,
+    maximum_independent_set_exact,
+    maximum_matching_exact,
+    minimum_vertex_cover_exact,
+)
+from repro.applications._template import kpr_decomposer
+from repro.graphs import (
+    grid_graph,
+    random_outerplanar,
+    random_planar_triangulation,
+    triangulated_grid,
+)
+
+
+DECOMPOSER = kpr_decomposer  # fast decomposer: identical guarantees shape
+
+
+class TestMaxCut:
+    def test_cut_is_valid(self):
+        g = triangulated_grid(6, 6)
+        result = approximate_max_cut(g, 0.3, decomposer=DECOMPOSER)
+        assert result.solution <= set(g.nodes)
+        recomputed = sum(
+            1 for u, v in g.edges
+            if (u in result.solution) != (v in result.solution)
+        )
+        assert recomputed == result.value
+
+    def test_quality_against_exact_small(self):
+        g = random_planar_triangulation(14, seed=1)
+        _, optimum = max_cut_exact(g)
+        result = approximate_max_cut(g, 0.3, decomposer=DECOMPOSER)
+        assert result.value >= (1 - 0.3) * optimum
+
+    def test_at_least_half_edges(self):
+        g = random_planar_triangulation(100, seed=2)
+        result = approximate_max_cut(g, 0.25, decomposer=DECOMPOSER)
+        assert result.value >= g.number_of_edges() / 2
+
+    def test_bipartite_near_perfect(self):
+        g = grid_graph(8, 8)
+        result = approximate_max_cut(g, 0.25, decomposer=DECOMPOSER)
+        assert result.value >= (1 - 0.25) * g.number_of_edges()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            approximate_max_cut(nx.path_graph(3), 0)
+
+    def test_rounds_recorded(self):
+        g = triangulated_grid(5, 5)
+        result = approximate_max_cut(g, 0.3, decomposer=DECOMPOSER)
+        assert result.construction_rounds >= 0
+        assert result.total_clusters >= 1
+
+
+class TestMatching:
+    def test_solution_is_matching(self):
+        g = random_planar_triangulation(90, seed=3)
+        result = approximate_maximum_matching(g, 0.25, decomposer=DECOMPOSER)
+        used = set()
+        for edge in result.solution:
+            assert not (edge & used)
+            used |= edge
+
+    def test_quality_against_exact(self):
+        g = random_planar_triangulation(60, seed=4)
+        optimum = len(maximum_matching_exact(g))
+        result = approximate_maximum_matching(g, 0.25, decomposer=DECOMPOSER)
+        assert result.value >= (1 - 0.25) * optimum
+
+    def test_without_sparsifier(self):
+        g = triangulated_grid(5, 5)
+        optimum = len(maximum_matching_exact(g))
+        result = approximate_maximum_matching(
+            g, 0.25, decomposer=DECOMPOSER, use_sparsifier=False
+        )
+        assert result.value >= (1 - 0.25) * optimum
+
+    def test_all_clusters_exact(self):
+        g = random_planar_triangulation(70, seed=5)
+        result = approximate_maximum_matching(g, 0.3, decomposer=DECOMPOSER)
+        assert result.all_exact  # Blossom never falls back
+
+
+class TestVertexCover:
+    def test_solution_covers(self):
+        g = random_planar_triangulation(80, seed=6)
+        result = approximate_minimum_vertex_cover(g, 0.3, decomposer=DECOMPOSER)
+        for u, v in g.edges:
+            assert u in result.solution or v in result.solution
+
+    def test_quality_against_exact(self):
+        g = random_planar_triangulation(40, seed=7)
+        optimum = len(minimum_vertex_cover_exact(g))
+        result = approximate_minimum_vertex_cover(g, 0.3, decomposer=DECOMPOSER)
+        assert result.value <= (1 + 0.6) * optimum  # measured incl. fallbacks
+
+    def test_outerplanar_instance(self):
+        g = random_outerplanar(40, seed=8)
+        result = approximate_minimum_vertex_cover(g, 0.3, decomposer=DECOMPOSER)
+        optimum = len(minimum_vertex_cover_exact(g))
+        assert result.value >= optimum  # sanity: can't beat optimum
+
+
+class TestIndependentSet:
+    def test_solution_independent(self):
+        g = random_planar_triangulation(90, seed=9)
+        result = approximate_maximum_independent_set(g, 0.3, decomposer=DECOMPOSER)
+        for u, v in g.edges:
+            assert not (u in result.solution and v in result.solution)
+
+    def test_quality_against_exact(self):
+        g = random_planar_triangulation(45, seed=10)
+        optimum = len(maximum_independent_set_exact(g))
+        result = approximate_maximum_independent_set(
+            g, 0.3, decomposer=DECOMPOSER
+        )
+        assert result.value >= (1 - 0.3) * optimum
+
+    def test_grid_instance(self):
+        g = grid_graph(7, 7)
+        optimum = len(maximum_independent_set_exact(g))
+        result = approximate_maximum_independent_set(
+            g, 0.25, decomposer=DECOMPOSER
+        )
+        assert result.value >= (1 - 0.25) * optimum
+
+    def test_extras_report_epsilon_star(self):
+        g = triangulated_grid(5, 5)
+        result = approximate_maximum_independent_set(g, 0.3, decomposer=DECOMPOSER)
+        assert 0 < result.extras["epsilon_star"] < 0.3

@@ -1,0 +1,143 @@
+"""Tests for degeneracy, forest decompositions, and Barenboim–Elkin."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    acyclic_low_outdegree_orientation,
+    barenboim_elkin_partition,
+    degeneracy,
+    degeneracy_ordering,
+    forest_decomposition,
+    grid_graph,
+    random_planar_triangulation,
+    triangulated_grid,
+)
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        assert degeneracy(nx.random_labeled_tree(30, seed=0)) == 1
+
+    def test_cycle_degeneracy_two(self):
+        assert degeneracy(nx.cycle_graph(10)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(nx.complete_graph(7)) == 6
+
+    def test_planar_at_most_five(self):
+        assert degeneracy(random_planar_triangulation(120, seed=1)) <= 5
+
+    def test_ordering_certifies_value(self):
+        graph = triangulated_grid(6, 6)
+        order, d = degeneracy_ordering(graph)
+        position = {v: i for i, v in enumerate(order)}
+        worst = max(
+            sum(1 for u in graph.neighbors(v) if position[u] > position[v])
+            for v in graph.nodes
+        )
+        assert worst <= d
+
+    def test_empty_graph(self):
+        g = nx.empty_graph(5)
+        assert degeneracy(g) == 0
+
+
+class TestOrientation:
+    def test_outdegree_bounded(self):
+        graph = triangulated_grid(5, 7)
+        orientation, d = acyclic_low_outdegree_orientation(graph)
+        out = {}
+        for tail, head in orientation.values():
+            out[tail] = out.get(tail, 0) + 1
+        assert max(out.values()) <= d
+
+    def test_acyclic(self):
+        graph = random_planar_triangulation(50, seed=2)
+        orientation, _ = acyclic_low_outdegree_orientation(graph)
+        digraph = nx.DiGraph(orientation.values())
+        assert nx.is_directed_acyclic_graph(digraph)
+
+    def test_every_edge_oriented(self):
+        graph = grid_graph(4, 4)
+        orientation, _ = acyclic_low_outdegree_orientation(graph)
+        assert len(orientation) == graph.number_of_edges()
+
+
+class TestForestDecomposition:
+    @pytest.mark.parametrize("builder,seed", [
+        (lambda: nx.cycle_graph(9), None),
+        (lambda: triangulated_grid(5, 5), None),
+        (lambda: random_planar_triangulation(60, seed=3), None),
+        (lambda: nx.complete_graph(8), None),
+    ])
+    def test_partition_into_forests(self, builder, seed):
+        graph = builder()
+        forests = forest_decomposition(graph)
+        assert all(nx.is_forest(f) for f in forests)
+        total = sum(f.number_of_edges() for f in forests)
+        assert total == graph.number_of_edges()
+        seen = set()
+        for forest in forests:
+            for edge in forest.edges:
+                key = frozenset(edge)
+                assert key not in seen
+                seen.add(key)
+
+    def test_forest_count_at_most_degeneracy(self):
+        graph = random_planar_triangulation(80, seed=4)
+        assert len(forest_decomposition(graph)) <= degeneracy(graph)
+
+    def test_edgeless_graph(self):
+        forests = forest_decomposition(nx.empty_graph(4))
+        assert len(forests) == 1
+
+
+class TestBarenboimElkin:
+    def test_planar_accepted_with_alpha0_three(self):
+        graph = random_planar_triangulation(150, seed=5)
+        result = barenboim_elkin_partition(graph, alpha0=3)
+        assert not result["rejecting"]
+        assert not result["unoriented"]
+
+    def test_all_vertices_leveled_on_acceptance(self):
+        graph = triangulated_grid(8, 8)
+        result = barenboim_elkin_partition(graph, alpha0=3)
+        assert set(result["level"]) == set(graph.nodes)
+
+    def test_orientation_outdegree_bound(self):
+        graph = random_planar_triangulation(100, seed=6)
+        result = barenboim_elkin_partition(graph, alpha0=3)
+        out = {}
+        for tail, head in result["orientation"].values():
+            out[tail] = out.get(tail, 0) + 1
+        assert max(out.values()) <= 9  # 3 * alpha0
+
+    def test_orientation_acyclic(self):
+        graph = random_planar_triangulation(70, seed=7)
+        result = barenboim_elkin_partition(graph, alpha0=3)
+        digraph = nx.DiGraph(result["orientation"].values())
+        assert nx.is_directed_acyclic_graph(digraph)
+
+    def test_dense_graph_rejected(self):
+        graph = nx.complete_graph(40)  # arboricity 20 > 3
+        result = barenboim_elkin_partition(graph, alpha0=1)
+        assert result["rejecting"]
+        assert result["unoriented"]
+
+    def test_rounds_logarithmic(self):
+        graph = random_planar_triangulation(500, seed=8)
+        result = barenboim_elkin_partition(graph, alpha0=3)
+        assert result["rounds"] <= 20
+
+    def test_tree_accepted_with_alpha0_one(self):
+        graph = nx.random_labeled_tree(100, seed=9)
+        result = barenboim_elkin_partition(graph, alpha0=1)
+        assert not result["rejecting"]
+
+    def test_rejecting_vertices_touch_unoriented_edges(self):
+        graph = nx.complete_graph(30)
+        result = barenboim_elkin_partition(graph, alpha0=1)
+        for u, v in result["unoriented"]:
+            assert u in result["rejecting"]
+            assert v in result["rejecting"]

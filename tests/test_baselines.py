@@ -1,0 +1,75 @@
+"""Tests for the sequential baselines."""
+
+import networkx as nx
+
+from repro.applications import (
+    greedy_matching,
+    greedy_maximal_independent_set,
+    greedy_vertex_cover,
+    local_search_max_cut,
+    maximum_matching_exact,
+)
+from repro.graphs import random_planar_triangulation
+
+
+class TestGreedyMIS:
+    def test_independent(self):
+        g = random_planar_triangulation(80, seed=1)
+        independent = greedy_maximal_independent_set(g)
+        for u, v in g.edges:
+            assert not (u in independent and v in independent)
+
+    def test_maximal(self):
+        g = random_planar_triangulation(80, seed=2)
+        independent = greedy_maximal_independent_set(g)
+        for v in set(g.nodes) - independent:
+            assert any(u in independent for u in g.neighbors(v))
+
+    def test_empty_graph(self):
+        assert greedy_maximal_independent_set(nx.empty_graph(3)) == {0, 1, 2}
+
+
+class TestGreedyMatching:
+    def test_is_matching(self):
+        g = random_planar_triangulation(80, seed=3)
+        matching = greedy_matching(g)
+        used = set()
+        for edge in matching:
+            assert not (edge & used)
+            used |= edge
+
+    def test_maximal(self):
+        g = random_planar_triangulation(80, seed=4)
+        matching = greedy_matching(g)
+        used = {v for edge in matching for v in edge}
+        for u, v in g.edges:
+            assert u in used or v in used
+
+    def test_half_approximation(self):
+        g = random_planar_triangulation(60, seed=5)
+        assert len(greedy_matching(g)) >= len(maximum_matching_exact(g)) / 2
+
+
+class TestGreedyVC:
+    def test_covers(self):
+        g = random_planar_triangulation(80, seed=6)
+        cover = greedy_vertex_cover(g)
+        for u, v in g.edges:
+            assert u in cover or v in cover
+
+    def test_two_approximation_structure(self):
+        g = nx.star_graph(10)
+        cover = greedy_vertex_cover(g)
+        assert len(cover) == 2  # one matched edge → both endpoints
+
+
+class TestLocalSearchMaxCut:
+    def test_at_least_half(self):
+        g = random_planar_triangulation(80, seed=7)
+        _, value = local_search_max_cut(g)
+        assert value >= g.number_of_edges() / 2
+
+    def test_bipartite_optimal(self):
+        g = nx.complete_bipartite_graph(4, 5)
+        _, value = local_search_max_cut(g)
+        assert value == 20

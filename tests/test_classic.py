@@ -1,0 +1,100 @@
+"""Tests for the classic distributed baselines (Luby MIS, proposal
+matching, (Δ+1)-colouring) run through the real simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import (
+    delta_plus_one_coloring,
+    distributed_greedy_matching,
+    luby_mis,
+)
+from repro.graphs import grid_graph, random_planar_triangulation, random_tree
+
+
+class TestLubyMIS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_independent_and_maximal(self, seed):
+        graph = random_planar_triangulation(100, seed=seed)
+        independent, _ = luby_mis(graph, seed=seed)
+        for u, v in graph.edges:
+            assert not (u in independent and v in independent)
+        for v in graph.nodes:
+            assert v in independent or any(
+                u in independent for u in graph.neighbors(v)
+            )
+
+    def test_rounds_logarithmic(self):
+        graph = random_planar_triangulation(400, seed=1)
+        _, metrics = luby_mis(graph, seed=1)
+        assert metrics.rounds <= 40  # O(log n) w.h.p.
+
+    def test_seed_reproducible(self):
+        graph = grid_graph(8, 8)
+        a, _ = luby_mis(graph, seed=5)
+        b, _ = luby_mis(graph, seed=5)
+        assert a == b
+
+    def test_edgeless_graph_takes_everything(self):
+        graph = nx.empty_graph(5)
+        independent, _ = luby_mis(graph)
+        assert independent == set(graph.nodes)
+
+    def test_complete_graph_takes_one(self):
+        independent, _ = luby_mis(nx.complete_graph(9), seed=2)
+        assert len(independent) == 1
+
+
+class TestProposalMatching:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matching_and_maximal(self, seed):
+        graph = random_planar_triangulation(80, seed=seed)
+        matching, _ = distributed_greedy_matching(graph, seed=seed)
+        used = set()
+        for edge in matching:
+            assert not (edge & used)
+            used |= edge
+        for u, v in graph.edges:
+            assert u in used or v in used
+
+    def test_half_approximation(self):
+        from repro.applications import maximum_matching_exact
+
+        graph = random_planar_triangulation(60, seed=7)
+        matching, _ = distributed_greedy_matching(graph, seed=7)
+        assert len(matching) >= len(maximum_matching_exact(graph)) / 2
+
+    def test_path_graph(self):
+        matching, _ = distributed_greedy_matching(nx.path_graph(10), seed=1)
+        assert len(matching) >= 3
+
+    def test_rounds_logarithmic(self):
+        graph = random_planar_triangulation(400, seed=2)
+        _, metrics = distributed_greedy_matching(graph, seed=2)
+        assert metrics.rounds <= 80
+
+
+class TestTrialColoring:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proper_and_within_palette(self, seed):
+        graph = random_planar_triangulation(80, seed=seed)
+        colors, _ = delta_plus_one_coloring(graph, seed=seed)
+        delta = max(d for _, d in graph.degree)
+        for u, v in graph.edges:
+            assert colors[u] != colors[v]
+        assert all(0 <= c <= delta for c in colors.values())
+
+    def test_tree_uses_few_colors(self):
+        graph = random_tree(60, seed=3)
+        colors, _ = delta_plus_one_coloring(graph, seed=3)
+        for u, v in graph.edges:
+            assert colors[u] != colors[v]
+
+    def test_complete_graph_uses_all_colors(self):
+        colors, _ = delta_plus_one_coloring(nx.complete_graph(6), seed=4)
+        assert len(set(colors.values())) == 6
+
+    def test_rounds_logarithmic(self):
+        graph = grid_graph(20, 20)
+        _, metrics = delta_plus_one_coloring(graph, seed=5)
+        assert metrics.rounds <= 40

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_instance, main
+
+
+class TestBuildInstance:
+    def test_planar(self):
+        graph = build_instance("planar:50:3")
+        assert graph.number_of_nodes() == 50
+
+    def test_default_seed(self):
+        assert build_instance("tree:30").number_of_nodes() == 30
+
+    def test_grid_rounds_to_square(self):
+        graph = build_instance("grid:100")
+        assert graph.number_of_nodes() == 100
+
+    def test_expander_evens_size(self):
+        graph = build_instance("expander:31:1")
+        assert graph.number_of_nodes() % 2 == 0
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            build_instance("hypercube:8")
+
+    def test_missing_size(self):
+        with pytest.raises(ValueError):
+            build_instance("planar")
+
+
+class TestCommands:
+    def test_decompose(self, capsys):
+        assert main(["decompose", "grid:49", "--epsilon", "0.35"]) == 0
+        out = capsys.readouterr().out
+        assert "cut fraction" in out
+        assert "clusters" in out
+
+    def test_decompose_with_routing(self, capsys):
+        assert main([
+            "decompose", "tree:40", "--epsilon", "0.3", "--measure-routing",
+        ]) == 0
+        assert "measured routing T" in capsys.readouterr().out
+
+    def test_approximate_fast(self, capsys):
+        assert main([
+            "approximate", "independent-set", "planar:40:2",
+            "--epsilon", "0.3", "--fast",
+        ]) == 0
+        assert "objective value" in capsys.readouterr().out
+
+    def test_approximate_matching(self, capsys):
+        assert main([
+            "approximate", "matching", "planar:40:2", "--epsilon", "0.3",
+            "--fast",
+        ]) == 0
+        assert "objective value" in capsys.readouterr().out
+
+    def test_property_accept(self, capsys):
+        assert main(["test-property", "planar", "planar:80:1"]) == 0
+        assert "ACCEPT" in capsys.readouterr().out
+
+    def test_property_reject_exit_code(self, capsys):
+        assert main(["test-property", "forest", "tri-grid:64"]) == 1
+        assert "REJECT" in capsys.readouterr().out
+
+    def test_gather(self, capsys):
+        assert main(["gather", "expander:24:1", "--backend", "load-balancing"])\
+            == 0
+        assert "load balancing" in capsys.readouterr().out

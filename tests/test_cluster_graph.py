@@ -1,0 +1,57 @@
+"""Tests for cluster-graph construction."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import build_cluster_graph, grid_graph
+from repro.graphs.cluster_graph import inter_cluster_edge_count
+
+
+class TestClusterGraph:
+    def test_weights_count_crossing_edges(self):
+        g = grid_graph(4, 4)
+        assignment = {v: v // 4 for v in g.nodes}  # four rows
+        cg = build_cluster_graph(g, assignment)
+        assert cg.number_of_nodes() == 4
+        for u, v in cg.edges:
+            assert cg[u][v]["weight"] == 4
+
+    def test_members_attribute(self):
+        g = nx.path_graph(6)
+        assignment = {v: v // 3 for v in g.nodes}
+        cg = build_cluster_graph(g, assignment)
+        assert cg.nodes[0]["members"] == frozenset({0, 1, 2})
+
+    def test_no_self_loops(self):
+        g = nx.complete_graph(5)
+        assignment = {v: v % 2 for v in g.nodes}
+        cg = build_cluster_graph(g, assignment)
+        assert not any(u == v for u, v in cg.edges)
+
+    def test_unassigned_vertex_rejected(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ValueError, match="unassigned"):
+            build_cluster_graph(g, {0: 0, 1: 0})
+
+    def test_singleton_partition_recovers_graph(self):
+        g = nx.petersen_graph()
+        cg = build_cluster_graph(g, {v: v for v in g.nodes})
+        assert set(map(frozenset, cg.edges)) == set(map(frozenset, g.edges))
+        assert all(cg[u][v]["weight"] == 1 for u, v in cg.edges)
+
+    def test_single_cluster_has_no_edges(self):
+        g = nx.complete_graph(6)
+        cg = build_cluster_graph(g, {v: 0 for v in g.nodes})
+        assert cg.number_of_edges() == 0
+
+    def test_inter_cluster_edge_count(self):
+        g = nx.cycle_graph(8)
+        assignment = {v: v // 4 for v in g.nodes}
+        assert inter_cluster_edge_count(g, assignment) == 2
+
+    def test_total_weight_equals_crossing_edges(self):
+        g = grid_graph(5, 5)
+        assignment = {v: v % 3 for v in g.nodes}
+        cg = build_cluster_graph(g, assignment)
+        total = sum(cg[u][v]["weight"] for u, v in cg.edges)
+        assert total == inter_cluster_edge_count(g, assignment)

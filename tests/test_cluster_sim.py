@@ -1,0 +1,93 @@
+"""Tests for the cluster-graph Step 1 simulation and its CONGEST
+obstruction (Section 4.1's message-size discussion)."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import measure_step1_message_bits
+from repro.congest.network import BandwidthExceededError
+from repro.graphs import build_cluster_graph, grid_graph, triangulated_grid
+
+
+def _row_clustering(graph: nx.Graph, rows: int, cols: int) -> dict:
+    """Cluster a grid-labelled graph by row: many thin adjacent clusters."""
+    return {v: v // cols for v in graph.nodes}
+
+
+class TestAnswersCorrect:
+    def test_matches_cluster_graph_argmax(self):
+        graph = triangulated_grid(6, 8)
+        assignment = _row_clustering(graph, 6, 8)
+        result = measure_step1_message_bits(graph, assignment, model="local")
+        cluster_graph = build_cluster_graph(graph, assignment)
+        for cluster, answer in result["answers"].items():
+            if cluster_graph.degree(cluster) == 0:
+                assert answer is None
+                continue
+            best = max(
+                cluster_graph.neighbors(cluster),
+                key=lambda c: (cluster_graph[cluster][c]["weight"], repr(c)),
+            )
+            assert answer[0] == best
+            assert answer[1] == cluster_graph[cluster][best]["weight"]
+
+    def test_single_cluster_has_no_neighbor(self):
+        graph = grid_graph(4, 4)
+        result = measure_step1_message_bits(
+            graph, {v: 0 for v in graph.nodes}, model="local"
+        )
+        assert result["answers"][0] is None
+
+    def test_singleton_clusters(self):
+        graph = nx.path_graph(5)
+        result = measure_step1_message_bits(
+            graph, {v: v for v in graph.nodes}, model="local"
+        )
+        # Each vertex's heaviest neighbour cluster is one of its neighbours.
+        for cluster, answer in result["answers"].items():
+            assert answer is not None
+            assert graph.has_edge(cluster, answer[0])
+
+    def test_every_vertex_learns_the_answer(self):
+        graph = triangulated_grid(5, 5)
+        assignment = _row_clustering(graph, 5, 5)
+        result = measure_step1_message_bits(graph, assignment, model="local")
+        assert set(result["answers"]) == set(assignment.values())
+
+
+class TestObstruction:
+    def test_local_mode_reports_message_growth(self):
+        # A long row-clustered strip: the row root's table accumulates
+        # counts for two neighbouring clusters over a long path; the
+        # interesting growth needs many *distinct* neighbours, see below.
+        graph = triangulated_grid(4, 40)
+        assignment = _row_clustering(graph, 4, 40)
+        result = measure_step1_message_bits(graph, assignment, model="local")
+        assert result["max_message_bits"] > 0
+        assert result["rounds"] > 1
+
+    def test_many_neighbor_clusters_violate_congest(self):
+        # A star of clusters: the centre cluster is a path whose vertices
+        # each touch a distinct pendant cluster — its aggregated table
+        # has Θ(n) entries, overflowing the O(log n) budget.
+        n = 300
+        graph = nx.Graph()
+        assignment = {}
+        for i in range(n):
+            graph.add_node(("c", i))
+            assignment[("c", i)] = "center"
+            if i:
+                graph.add_edge(("c", i - 1), ("c", i))
+            graph.add_node(("p", i))
+            assignment[("p", i)] = f"pendant{i}"
+            graph.add_edge(("c", i), ("p", i))
+        result = measure_step1_message_bits(graph, assignment, model="local")
+        assert result["violates_congest"], result
+        with pytest.raises(BandwidthExceededError):
+            measure_step1_message_bits(graph, assignment, model="congest")
+
+    def test_coarse_clustering_fits_congest(self):
+        graph = grid_graph(6, 6)
+        assignment = {v: 0 if v < 18 else 1 for v in graph.nodes}
+        result = measure_step1_message_bits(graph, assignment, model="congest")
+        assert not result["violates_congest"]

@@ -1,0 +1,164 @@
+"""Tests for the distributed primitives: BFS, broadcast, convergecast,
+leader election, and Cole–Vishkin colouring."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.congest import (
+    bfs_tree,
+    broadcast,
+    cole_vishkin_forest_coloring,
+    cole_vishkin_schedule_length,
+    convergecast_sum,
+    elect_leaders,
+)
+from repro.graphs import random_tree
+
+
+class TestBFS:
+    def test_depths_match_shortest_paths(self):
+        graph = nx.petersen_graph()
+        tree, _ = bfs_tree(graph, 0)
+        expected = nx.single_source_shortest_path_length(graph, 0)
+        assert {v: d for v, (p, d) in tree.items()} == expected
+
+    def test_parents_are_neighbors_one_level_up(self):
+        graph = nx.random_labeled_tree(60, seed=2)
+        tree, _ = bfs_tree(graph, 0)
+        for v, (parent, depth) in tree.items():
+            if v == 0:
+                continue
+            assert graph.has_edge(v, parent)
+            assert tree[parent][1] == depth - 1
+
+    def test_unreached_component_absent(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        tree, _ = bfs_tree(graph, 0)
+        assert set(tree) == {0, 1}
+
+    def test_rounds_near_diameter(self):
+        graph = nx.path_graph(30)
+        _, metrics = bfs_tree(graph, 0)
+        assert metrics.rounds <= 35
+
+
+class TestBroadcastAndConvergecast:
+    def test_broadcast_reaches_all(self):
+        graph = nx.cycle_graph(17)
+        outputs, _ = broadcast(graph, 3, "payload")
+        assert all(value == "payload" for value in outputs.values())
+
+    def test_convergecast_sums_values(self):
+        graph = nx.random_labeled_tree(40, seed=3)
+        tree, _ = bfs_tree(graph, 0)
+        values = {v: v for v in graph.nodes}
+        total, _ = convergecast_sum(graph, tree, values, 0)
+        assert total == sum(range(40))
+
+    def test_convergecast_counts_vertices(self):
+        graph = nx.petersen_graph()
+        tree, _ = bfs_tree(graph, 0)
+        total, _ = convergecast_sum(graph, tree, {v: 1 for v in graph.nodes}, 0)
+        assert total == 10
+
+    def test_convergecast_missing_values_default_zero(self):
+        graph = nx.path_graph(5)
+        tree, _ = bfs_tree(graph, 0)
+        total, _ = convergecast_sum(graph, tree, {0: 7}, 0)
+        assert total == 7
+
+
+class TestLeaderElection:
+    def test_single_leader_per_component(self):
+        graph = nx.Graph([(0, 1), (1, 2), (5, 6)])
+        leaders, _ = elect_leaders(graph)
+        assert leaders[0] == leaders[1] == leaders[2]
+        assert leaders[5] == leaders[6]
+        assert leaders[0] != leaders[5]
+
+    def test_keys_override_id_order(self):
+        graph = nx.path_graph(4)
+        leaders, _ = elect_leaders(graph, keys={1: 100})
+        assert all(leader == 1 for leader in leaders.values())
+
+    def test_tie_broken_by_id(self):
+        graph = nx.path_graph(4)
+        leaders, _ = elect_leaders(graph)
+        assert all(leader == 3 for leader in leaders.values())
+
+
+def _path_parents(n):
+    return {0: None, **{i: i - 1 for i in range(1, n)}}
+
+
+class TestColeVishkin:
+    def test_schedule_length_grows_very_slowly(self):
+        assert cole_vishkin_schedule_length(6) == 0
+        assert cole_vishkin_schedule_length(10**6) <= 6
+        assert cole_vishkin_schedule_length(10) >= 1
+
+    @pytest.mark.parametrize("n", [2, 3, 7, 50, 500])
+    def test_path_is_properly_three_colored(self, n):
+        graph = nx.path_graph(n)
+        colors, _ = cole_vishkin_forest_coloring(graph, _path_parents(n))
+        assert set(colors.values()) <= {0, 1, 2}
+        for i in range(1, n):
+            assert colors[i] != colors[i - 1]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_tree_properly_colored(self, seed):
+        graph = random_tree(80, seed=seed)
+        bfs = dict(nx.bfs_edges(graph, 0))
+        # bfs_edges yields (parent, child); invert to child->parent.
+        parents = {0: None}
+        for parent, child in nx.bfs_edges(graph, 0):
+            parents[child] = parent
+        colors, _ = cole_vishkin_forest_coloring(graph, parents)
+        for child, parent in parents.items():
+            if parent is not None:
+                assert colors[child] != colors[parent]
+
+    def test_forest_with_many_roots(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(9))
+        parents = {i: None for i in range(9)}
+        for root in (0, 3, 6):
+            parents[root + 1] = root
+            parents[root + 2] = root + 1
+            graph.add_edges_from([(root, root + 1), (root + 1, root + 2)])
+        colors, _ = cole_vishkin_forest_coloring(graph, parents)
+        for child, parent in parents.items():
+            if parent is not None:
+                assert colors[child] != colors[parent]
+
+    def test_round_count_is_log_star_like(self):
+        small = cole_vishkin_forest_coloring(
+            nx.path_graph(20), _path_parents(20)
+        )[1].rounds
+        big = cole_vishkin_forest_coloring(
+            nx.path_graph(4000), _path_parents(4000)
+        )[1].rounds
+        # 200x more vertices may cost at most a few extra rounds.
+        assert big - small <= 4
+
+    def test_single_vertex(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        colors, _ = cole_vishkin_forest_coloring(graph, {0: None})
+        assert colors[0] in (0, 1, 2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=120), st.integers(0, 10**6))
+    def test_property_random_trees(self, n, seed):
+        graph = random_tree(n, seed=seed)
+        parents = {0: None}
+        for parent, child in nx.bfs_edges(graph, 0):
+            parents[child] = parent
+        colors, _ = cole_vishkin_forest_coloring(graph, parents)
+        assert set(colors.values()) <= {0, 1, 2}
+        for child, parent in parents.items():
+            if parent is not None:
+                assert colors[child] != colors[parent]

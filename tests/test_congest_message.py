@@ -1,0 +1,92 @@
+"""Unit tests for message encoding and bit-size accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.congest import Message, bits_for_int, bits_for_payload
+
+
+class TestBitsForInt:
+    def test_zero_costs_one_bit(self):
+        assert bits_for_int(0) == 1
+
+    def test_one_costs_one_bit(self):
+        assert bits_for_int(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for_int(2) == 2
+        assert bits_for_int(255) == 8
+        assert bits_for_int(256) == 9
+
+    def test_negative_adds_sign_bit(self):
+        assert bits_for_int(-1) == 2
+        assert bits_for_int(-255) == 9
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_matches_bit_length(self, value):
+        assert bits_for_int(value) == value.bit_length()
+
+    @given(st.integers(min_value=-(10**12), max_value=-1))
+    def test_negative_is_one_more_than_positive(self, value):
+        assert bits_for_int(value) == bits_for_int(-value) + 1
+
+
+class TestBitsForPayload:
+    def test_none_costs_one(self):
+        assert bits_for_payload(None) == 1
+
+    def test_bool_costs_one(self):
+        assert bits_for_payload(True) == 1
+        assert bits_for_payload(False) == 1
+
+    def test_float_costs_sixty_four(self):
+        assert bits_for_payload(3.14) == 64
+
+    def test_string_costs_utf8_bytes(self):
+        assert bits_for_payload("ab") == 16
+        assert bits_for_payload("") == 0
+
+    def test_bytes(self):
+        assert bits_for_payload(b"xyz") == 24
+
+    def test_tuple_adds_framing(self):
+        # Two ints of 1 bit + 2 bits framing each.
+        assert bits_for_payload((1, 1)) == 6
+
+    def test_nested_containers(self):
+        flat = bits_for_payload((1, 2, 3))
+        nested = bits_for_payload(((1, 2), 3))
+        assert nested == flat + 2  # one extra framing layer
+
+    def test_dict(self):
+        assert bits_for_payload({1: 1}) == 4
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            bits_for_payload(object())
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=20))
+    def test_list_cost_is_sum_plus_framing(self, values):
+        expected = sum(bits_for_int(v) + 2 for v in values)
+        assert bits_for_payload(values) == expected
+
+
+class TestMessage:
+    def test_auto_size_from_payload(self):
+        assert Message(7).bit_size == 3
+
+    def test_explicit_size_respected(self):
+        assert Message("ignored", bit_size=5).bit_size == 5
+
+    def test_zero_size_bumped_to_one(self):
+        assert Message("", bit_size=0).bit_size == 1
+        assert Message("").bit_size == 1
+
+    def test_frozen(self):
+        message = Message(1)
+        with pytest.raises(AttributeError):
+            message.payload = 2
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_size_is_positive(self, value):
+        assert Message(value).bit_size >= 1

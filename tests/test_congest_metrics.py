@@ -1,0 +1,69 @@
+"""Tests for metrics counters and the composite-cost ledger."""
+
+import pytest
+
+from repro.congest import NetworkMetrics, RoundLedger
+
+
+class TestNetworkMetrics:
+    def test_record_round(self):
+        metrics = NetworkMetrics()
+        metrics.record_round()
+        metrics.record_round()
+        assert metrics.rounds == 2
+
+    def test_record_message_accumulates_bits(self):
+        metrics = NetworkMetrics()
+        metrics.record_message(10)
+        metrics.record_message(5)
+        assert metrics.messages == 2
+        assert metrics.total_bits == 15
+
+    def test_edge_load_keeps_max(self):
+        metrics = NetworkMetrics()
+        metrics.record_edge_load(3)
+        metrics.record_edge_load(9)
+        metrics.record_edge_load(4)
+        assert metrics.max_edge_bits_in_round == 9
+
+    def test_merge_adds_rounds_keeps_peak(self):
+        a = NetworkMetrics(rounds=2, messages=3, total_bits=30,
+                           max_edge_bits_in_round=7)
+        b = NetworkMetrics(rounds=5, messages=1, total_bits=8,
+                           max_edge_bits_in_round=4)
+        a.merge(b)
+        assert a.rounds == 7
+        assert a.messages == 4
+        assert a.total_bits == 38
+        assert a.max_edge_bits_in_round == 7
+
+
+class TestRoundLedger:
+    def test_charges_accumulate_by_label(self):
+        ledger = RoundLedger()
+        ledger.charge("bfs", 5)
+        ledger.charge("bfs", 3)
+        ledger.charge("routing", 10)
+        assert ledger.breakdown == {"bfs": 8, "routing": 10}
+        assert ledger.total_rounds == 18
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            RoundLedger().charge("oops", -1)
+
+    def test_parallel_charge_takes_max(self):
+        ledger = RoundLedger()
+        ledger.charge_parallel("gather", [3, 9, 1])
+        assert ledger.total_rounds == 9
+
+    def test_parallel_charge_empty_is_zero(self):
+        ledger = RoundLedger()
+        ledger.charge_parallel("gather", [])
+        assert ledger.total_rounds == 0
+
+    def test_merge_with_prefix(self):
+        inner = RoundLedger()
+        inner.charge("phase", 4)
+        outer = RoundLedger()
+        outer.merge(inner, prefix="cluster3.")
+        assert outer.breakdown == {"cluster3.phase": 4}

@@ -1,0 +1,170 @@
+"""Unit tests for the synchronous executor: delivery semantics, bandwidth
+enforcement, halting, and metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.congest import BandwidthExceededError, Message, Network, NodeAlgorithm
+from repro.congest.network import FunctionAlgorithm
+
+
+class EchoOnce(NodeAlgorithm):
+    """Round 1: send own id to all neighbours; round 2: record inbox, halt."""
+
+    def initialize(self, ctx):
+        self.seen = {}
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number == 1:
+            return {u: Message(str(ctx.node)) for u in ctx.neighbors}
+        self.seen = {u: m.payload for u, m in inbox.items()}
+        self.halt()
+        return {}
+
+    def output(self):
+        return self.seen
+
+
+class TestDelivery:
+    def test_messages_delivered_next_round(self):
+        graph = nx.path_graph(3)
+        outputs = Network(graph).run(EchoOnce())
+        assert outputs[1] == {0: "0", 2: "2"}
+        assert outputs[0] == {1: "1"}
+
+    def test_all_neighbors_receive(self):
+        graph = nx.star_graph(5)
+        outputs = Network(graph).run(EchoOnce())
+        assert set(outputs[0]) == {1, 2, 3, 4, 5}
+
+    def test_no_delivery_to_non_neighbors(self):
+        graph = nx.path_graph(4)
+        outputs = Network(graph).run(EchoOnce())
+        assert 3 not in outputs[0]
+        assert 0 not in outputs[3]
+
+
+class SendToStranger(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        self.halt()
+        if ctx.node == 0:
+            return {99: Message(1)}
+        return {}
+
+
+class TooBig(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        self.halt()
+        return {u: Message("x" * 10_000) for u in ctx.neighbors}
+
+
+class NeverHalts(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        return {}
+
+
+class TestValidation:
+    def test_send_to_non_neighbor_raises(self):
+        graph = nx.path_graph(3)
+        graph.add_node(99)
+        with pytest.raises(ValueError, match="non-neighbor"):
+            Network(graph).run(SendToStranger())
+
+    def test_congest_bandwidth_enforced(self):
+        with pytest.raises(BandwidthExceededError):
+            Network(nx.path_graph(4), model="congest").run(TooBig())
+
+    def test_local_model_allows_big_messages(self):
+        outputs = Network(nx.path_graph(4), model="local").run(TooBig())
+        assert outputs is not None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.path_graph(2), model="quantum")
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Network(nx.Graph())
+
+    def test_non_halting_raises(self):
+        with pytest.raises(RuntimeError, match="did not halt"):
+            Network(nx.path_graph(2)).run(NeverHalts(), max_rounds=5)
+
+    def test_non_message_object_rejected(self):
+        class BadSender(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return {u: "raw string" for u in ctx.neighbors}
+
+        with pytest.raises(TypeError):
+            Network(nx.path_graph(2)).run(BadSender())
+
+
+class TestMetrics:
+    def test_round_and_message_counts(self):
+        graph = nx.path_graph(3)  # 2 edges
+        net = Network(graph)
+        net.run(EchoOnce())
+        assert net.metrics.rounds == 2
+        assert net.metrics.messages == 4  # each endpoint sends over each edge
+
+    def test_bandwidth_scales_with_log_n(self):
+        small = Network(nx.path_graph(4))
+        large = Network(nx.path_graph(4096))
+        assert large.bandwidth_bits > small.bandwidth_bits
+
+    def test_max_edge_bits_recorded(self):
+        net = Network(nx.path_graph(3))
+        net.run(EchoOnce())
+        assert net.metrics.max_edge_bits_in_round >= 8  # one char payload
+
+
+class TestInputsAndFunctionAlgorithm:
+    def test_inputs_exposed(self):
+        def step(state, ctx, inbox):
+            return state, {}, True, state
+
+        algorithm = FunctionAlgorithm(step, initial_state=lambda ctx: None)
+
+        class Reader(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return {}
+
+            def output(self):
+                return self.input
+
+        graph = nx.path_graph(3)
+        outputs = Network(graph).run(Reader(), inputs={0: "a", 1: "b"})
+        assert outputs[0] == "a"
+        assert outputs[1] == "b"
+        assert outputs[2] is None
+
+    def test_function_algorithm_runs(self):
+        def step(state, ctx, inbox):
+            total = state + sum(m.payload for m in inbox.values())
+            if ctx.round_number == 1:
+                return total, {u: Message(1) for u in ctx.neighbors}, False, total
+            return total, {}, True, total
+
+        graph = nx.cycle_graph(5)
+        outputs = Network(graph).run(FunctionAlgorithm(step, lambda ctx: 0))
+        assert all(value == 2 for value in outputs.values())
+
+    def test_context_fields(self):
+        class Introspect(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return {}
+
+            def initialize(self, ctx):
+                self.n = ctx.n
+                self.degree = ctx.degree
+
+            def output(self):
+                return (self.n, self.degree)
+
+        graph = nx.star_graph(4)
+        outputs = Network(graph).run(Introspect())
+        assert outputs[0] == (5, 4)
+        assert outputs[1] == (5, 1)

@@ -1,0 +1,106 @@
+"""Tests for the dominating-set extension (Section 7 direction)."""
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    approximate_minimum_dominating_set,
+    greedy_dominating_set,
+    minimum_dominating_set_exact,
+)
+from repro.applications._template import kpr_decomposer
+from repro.graphs import grid_graph, random_planar_triangulation, random_tree
+
+
+class TestExactMDS:
+    def test_star_is_one(self):
+        assert minimum_dominating_set_exact(nx.star_graph(8)) == {0}
+
+    @pytest.mark.parametrize("n,expected", [(3, 1), (6, 2), (9, 3), (10, 4)])
+    def test_cycles(self, n, expected):
+        assert len(minimum_dominating_set_exact(nx.cycle_graph(n))) == expected
+
+    def test_path(self):
+        assert len(minimum_dominating_set_exact(nx.path_graph(9))) == 3
+
+    def test_petersen(self):
+        assert len(minimum_dominating_set_exact(nx.petersen_graph())) == 3
+
+    def test_restricted_targets(self):
+        g = nx.path_graph(5)
+        # Only dominate the endpoints: one vertex per endpoint suffices.
+        result = minimum_dominating_set_exact(g, targets={0, 4})
+        assert len(result) <= 2
+        for t in (0, 4):
+            assert t in result or any(u in result for u in g.neighbors(t))
+
+    def test_restricted_candidates(self):
+        g = nx.path_graph(3)
+        result = minimum_dominating_set_exact(g, candidates={1})
+        assert result == {1}
+
+    def test_undominatable_target_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            minimum_dominating_set_exact(g, targets={2}, candidates={0})
+
+    def test_result_dominates(self):
+        g = random_planar_triangulation(40, seed=1)
+        result = minimum_dominating_set_exact(g)
+        for v in g.nodes:
+            assert v in result or any(u in result for u in g.neighbors(v))
+
+    def test_never_worse_than_greedy(self):
+        g = random_planar_triangulation(35, seed=2)
+        assert len(minimum_dominating_set_exact(g)) <= len(
+            greedy_dominating_set(g)
+        )
+
+
+class TestGreedyMDS:
+    def test_dominates(self):
+        g = grid_graph(6, 6)
+        result = greedy_dominating_set(g)
+        for v in g.nodes:
+            assert v in result or any(u in result for u in g.neighbors(v))
+
+    def test_tree(self):
+        g = random_tree(50, seed=3)
+        result = greedy_dominating_set(g)
+        assert len(result) <= 25  # trees: MDS ≤ n/2 with slack
+
+
+class TestApproximateMDS:
+    def test_solution_dominates(self):
+        g = random_planar_triangulation(70, seed=4)
+        result = approximate_minimum_dominating_set(
+            g, 0.3, decomposer=kpr_decomposer
+        )
+        for v in g.nodes:
+            assert v in result.solution or any(
+                u in result.solution for u in g.neighbors(v)
+            )
+
+    def test_quality_vs_exact_small(self):
+        g = random_planar_triangulation(35, seed=5)
+        optimum = len(minimum_dominating_set_exact(g))
+        result = approximate_minimum_dominating_set(
+            g, 0.3, decomposer=kpr_decomposer
+        )
+        multiplicity = result.extras["boundary_multiplicity"]
+        assert result.value <= multiplicity * optimum
+
+    def test_beats_or_matches_greedy_often(self):
+        g = grid_graph(7, 7)
+        result = approximate_minimum_dominating_set(
+            g, 0.3, decomposer=kpr_decomposer
+        )
+        baseline = len(greedy_dominating_set(g))
+        assert result.value <= baseline + 4  # measured, not guaranteed
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            approximate_minimum_dominating_set(nx.path_graph(4), 0)

@@ -1,0 +1,166 @@
+"""Tests for the (ε, D, T)-decomposition machinery (Section 5)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import (
+    check_edt_decomposition,
+    edt_decomposition,
+    local_edt_lemma51,
+    local_edt_lemma52,
+    refine_local,
+    refine_merge,
+    trivial_decomposition,
+)
+from repro.decomposition.edt import run_gather_on_groups
+from repro.graphs import degeneracy, grid_graph, random_planar_triangulation, triangulated_grid
+
+
+class TestTrivialDecomposition:
+    def test_everything_singleton(self):
+        graph = nx.path_graph(5)
+        decomposition = trivial_decomposition(graph)
+        assert len(decomposition.cluster_members()) == 5
+        assert decomposition.epsilon(graph) == 1.0
+        assert decomposition.routing_rounds == 0
+
+    def test_leaders_are_self(self):
+        graph = nx.path_graph(4)
+        decomposition = trivial_decomposition(graph)
+        for v in graph.nodes:
+            assert decomposition.leader_of(v) == v
+
+
+class TestLocalLemmas:
+    @pytest.mark.parametrize("local", [local_edt_lemma51, local_edt_lemma52])
+    def test_parts_partition_subgraph(self, local):
+        graph = triangulated_grid(5, 5)
+        result = local(graph, 0.3)
+        seen = set()
+        for part in result["parts"]:
+            assert not (part & seen)
+            seen |= part
+        assert seen == set(graph.nodes)
+
+    @pytest.mark.parametrize("local", [local_edt_lemma51, local_edt_lemma52])
+    def test_groups_cover_their_parts(self, local):
+        graph = grid_graph(6, 6)
+        result = local(graph, 0.3)
+        for index, group in result["groups"].items():
+            part = result["parts"][index]
+            assert part <= set(group.nodes)
+
+    @pytest.mark.parametrize("local", [local_edt_lemma51, local_edt_lemma52])
+    def test_edgeless_input(self, local):
+        graph = nx.empty_graph(3)
+        result = local(graph, 0.3)
+        assert len(result["parts"]) == 3
+        assert result["groups"] == {}
+
+    def test_lemma52_measured_routing(self):
+        graph = nx.complete_graph(10)
+        result = local_edt_lemma52(graph, 0.4, measure_routing=True)
+        assert result["routing_rounds"] > 0
+
+    def test_lemma51_measured_routing(self):
+        graph = nx.complete_graph(10)
+        result = local_edt_lemma51(graph, 0.4, measure_routing=True)
+        assert result["routing_rounds"] > 0
+
+
+class TestRefineOperators:
+    def test_refine_merge_reduces_cut(self):
+        graph = triangulated_grid(6, 6)
+        decomposition = trivial_decomposition(graph)
+        before = decomposition.epsilon(graph)
+        alpha = max(1, degeneracy(graph))
+        merged = refine_merge(graph, decomposition, 1.0, alpha)
+        assert merged.epsilon(graph) < before
+
+    def test_refine_merge_keeps_partition(self):
+        graph = grid_graph(5, 5)
+        decomposition = refine_merge(
+            graph, trivial_decomposition(graph), 1.0, 3
+        )
+        assert set(decomposition.clustering.assignment) == set(graph.nodes)
+
+    def test_refine_merge_leaders_inherited(self):
+        graph = grid_graph(4, 4)
+        decomposition = refine_merge(graph, trivial_decomposition(graph), 1.0, 3)
+        for cluster_id in decomposition.cluster_members():
+            assert cluster_id in decomposition.leaders
+
+    def test_refine_local_partition(self):
+        graph = triangulated_grid(6, 6)
+        decomposition = refine_merge(graph, trivial_decomposition(graph), 1.0, 3)
+        refined = refine_local(graph, decomposition, 0.3, alpha=3)
+        assert set(refined.clustering.assignment) == set(graph.nodes)
+
+    def test_refine_local_assigns_group_leaders(self):
+        graph = triangulated_grid(6, 6)
+        decomposition = refine_merge(graph, trivial_decomposition(graph), 1.0, 3)
+        refined = refine_local(graph, decomposition, 0.3, alpha=3)
+        for cluster_id, members in refined.cluster_members().items():
+            assert cluster_id in refined.leaders
+            if len(members) > 1:
+                assert refined.groups.get(cluster_id)
+
+    def test_refine_local_invalid_variant(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError):
+            refine_local(graph, trivial_decomposition(graph), 0.3, 2, variant="99")
+
+
+class TestTheorem11:
+    @pytest.mark.parametrize("variant", ["51", "52"])
+    @pytest.mark.parametrize("epsilon", [0.4, 0.25])
+    def test_edt_reaches_target(self, variant, epsilon):
+        graph = grid_graph(8, 8)
+        decomposition = edt_decomposition(graph, epsilon, variant=variant)
+        stats = check_edt_decomposition(graph, decomposition, epsilon, math.inf)
+        assert stats["cut_fraction"] <= epsilon
+
+    def test_diameter_bounded(self):
+        graph = triangulated_grid(8, 8)
+        epsilon = 0.3
+        decomposition = edt_decomposition(graph, epsilon, variant="52")
+        # D = O(1/ε): generous constant for the measured check.
+        assert decomposition.diameter(graph) <= 64 / epsilon
+
+    def test_construction_rounds_positive(self):
+        graph = grid_graph(7, 7)
+        decomposition = edt_decomposition(graph, 0.3)
+        assert decomposition.construction_rounds > 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            edt_decomposition(nx.path_graph(4), 1.5)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(4)
+        decomposition = edt_decomposition(graph, 0.3)
+        assert len(decomposition.cluster_members()) == 4
+
+    def test_path_decomposition(self):
+        graph = nx.path_graph(60)
+        epsilon = 0.25
+        decomposition = edt_decomposition(graph, epsilon)
+        assert decomposition.epsilon(graph) <= epsilon
+
+    def test_measured_routing(self):
+        graph = grid_graph(7, 7)
+        decomposition = edt_decomposition(graph, 0.35)
+        measured = run_gather_on_groups(
+            graph, decomposition, backend="load_balancing"
+        )
+        assert measured == decomposition.routing_rounds
+        if any(len(m) > 1 for m in decomposition.cluster_members().values()):
+            assert measured > 0
+
+    def test_deterministic(self):
+        graph = random_planar_triangulation(60, seed=3)
+        a = edt_decomposition(graph, 0.3)
+        b = edt_decomposition(graph, 0.3)
+        assert a.clustering.assignment == b.clustering.assignment

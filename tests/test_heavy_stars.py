@@ -1,0 +1,108 @@
+"""Tests for the heavy-stars algorithm (Section 4.1, Lemma 4.2/4.3)."""
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import heavy_stars
+from repro.graphs import degeneracy, random_planar_triangulation, triangulated_grid
+
+
+def _assert_stars_vertex_disjoint(stars: dict) -> None:
+    seen = set()
+    for center, satellites in stars.items():
+        for v in [center, *satellites]:
+            assert v not in seen, f"vertex {v!r} in two stars"
+            seen.add(v)
+    # A vertex that is a center of one star cannot be a satellite elsewhere —
+    # covered by the same uniqueness check.
+
+
+class TestHeavyStars:
+    def test_empty_graph(self):
+        result = heavy_stars(nx.empty_graph(4))
+        assert result.stars == {}
+        assert result.captured_fraction == 1.0
+
+    def test_single_edge(self):
+        result = heavy_stars(nx.path_graph(2))
+        assert result.captured_weight == 1
+        _assert_stars_vertex_disjoint(result.stars)
+
+    def test_stars_are_vertex_disjoint_on_clique(self):
+        result = heavy_stars(nx.complete_graph(9))
+        _assert_stars_vertex_disjoint(result.stars)
+
+    def test_star_edges_exist_in_graph(self):
+        graph = triangulated_grid(6, 6)
+        result = heavy_stars(graph)
+        for center, satellites in result.stars.items():
+            for satellite in satellites:
+                assert graph.has_edge(center, satellite)
+
+    @pytest.mark.parametrize("builder,seed", [
+        (lambda s: nx.cycle_graph(20), 0),
+        (lambda s: triangulated_grid(6, 6), 0),
+        (lambda s: random_planar_triangulation(80, seed=s), 1),
+        (lambda s: random_planar_triangulation(80, seed=s), 2),
+        (lambda s: nx.random_labeled_tree(50, seed=s), 3),
+    ])
+    def test_lemma42_capture_fraction(self, builder, seed):
+        graph = builder(seed)
+        alpha = max(1, degeneracy(graph))  # ≥ arboricity is fine: 1/(8α) easier
+        result = heavy_stars(graph)
+        assert result.captured_fraction >= 1.0 / (8 * alpha) - 1e-12
+
+    def test_weighted_capture_fraction(self):
+        graph = nx.cycle_graph(12)
+        for index, (u, v) in enumerate(graph.edges):
+            graph[u][v]["weight"] = 1 + (index % 5) * 10
+        result = heavy_stars(graph)
+        assert result.total_weight == sum(
+            graph[u][v]["weight"] for u, v in graph.edges
+        )
+        assert result.captured_fraction >= 1.0 / 16  # α(cycle) = 2
+
+    def test_heavy_edge_preferred(self):
+        graph = nx.path_graph(3)
+        graph[0][1]["weight"] = 100
+        graph[1][2]["weight"] = 1
+        result = heavy_stars(graph)
+        captured_pairs = {
+            frozenset((center, s))
+            for center, sats in result.stars.items()
+            for s in sats
+        }
+        assert frozenset((0, 1)) in captured_pairs
+
+    def test_deterministic(self):
+        graph = random_planar_triangulation(60, seed=4)
+        a = heavy_stars(graph)
+        b = heavy_stars(graph)
+        assert a.stars == b.stars
+
+    def test_colors_proper_on_orientation_forest(self):
+        graph = triangulated_grid(5, 5)
+        result = heavy_stars(graph)
+        for child, parent in result.parents.items():
+            if parent is not None:
+                assert result.colors[child] != result.colors[parent]
+
+    def test_coloring_rounds_small(self):
+        graph = random_planar_triangulation(300, seed=5)
+        result = heavy_stars(graph)
+        assert result.coloring_rounds <= 15
+
+    def test_star_of_mapping(self):
+        graph = nx.complete_graph(6)
+        result = heavy_stars(graph)
+        star_of = result.star_of()
+        for center, satellites in result.stars.items():
+            assert star_of[center] == center
+            for satellite in satellites:
+                assert star_of[satellite] == center
+
+    def test_isolated_vertices_ignored(self):
+        graph = nx.path_graph(4)
+        graph.add_node(99)
+        result = heavy_stars(graph)
+        assert 99 not in result.star_of()

@@ -1,0 +1,88 @@
+"""Integration tests: the full paper pipeline end to end."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import edt_decomposition
+from repro.applications import (
+    approximate_maximum_independent_set,
+    test_minor_closed_property,
+)
+from repro.decomposition import check_edt_decomposition
+from repro.decomposition.edt import run_gather_on_groups
+from repro.gathering import gather_with_load_balancing
+from repro.graphs import (
+    grid_graph,
+    random_outerplanar,
+    random_planar_triangulation,
+    triangulated_grid,
+)
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("builder,epsilon", [
+        (lambda: grid_graph(8, 8), 0.3),
+        (lambda: triangulated_grid(7, 7), 0.3),
+        (lambda: random_planar_triangulation(80, seed=1), 0.35),
+        (lambda: random_outerplanar(60, seed=2), 0.3),
+        (lambda: nx.path_graph(100), 0.25),
+    ])
+    def test_decompose_validate_route(self, builder, epsilon):
+        graph = builder()
+        decomposition = edt_decomposition(graph, epsilon, variant="52")
+        stats = check_edt_decomposition(graph, decomposition, epsilon, math.inf)
+        assert stats["cut_fraction"] <= epsilon
+        measured = run_gather_on_groups(
+            graph, decomposition, backend="load_balancing"
+        )
+        assert measured >= 0
+
+    def test_routing_groups_actually_deliver(self):
+        graph = triangulated_grid(6, 6)
+        decomposition = edt_decomposition(graph, 0.3, variant="52")
+        for groups in decomposition.groups.values():
+            for group in groups:
+                sub = group.subgraph()
+                if sub.number_of_edges() == 0:
+                    continue
+                outcome = gather_with_load_balancing(sub, group.sink, f=0.25)
+                assert outcome.delivered_fraction >= 0.7
+                break  # one group per cluster suffices for the check
+
+    def test_decomposition_feeds_application(self):
+        graph = random_planar_triangulation(60, seed=3)
+
+        def decomposer(g, eps):
+            return edt_decomposition(g, max(eps, 0.3), variant="52")
+
+        result = approximate_maximum_independent_set(
+            graph, 0.35, decomposer=decomposer
+        )
+        for u, v in graph.edges:
+            assert not (u in result.solution and v in result.solution)
+        assert result.value > 0
+
+    def test_property_tester_consistent_with_decomposition(self):
+        graph = random_planar_triangulation(120, seed=4)
+        verdict = test_minor_closed_property(graph, "planar", epsilon=0.25)
+        assert verdict.accepted
+        decomposition = edt_decomposition(graph, 0.25, variant="52")
+        assert decomposition.epsilon(graph) <= 0.25
+
+    def test_shared_leaders_allowed(self):
+        # Several clusters may share one routing group / leader (the
+        # paper's explicit allowance); verify the structure arises and
+        # validates.
+        graph = triangulated_grid(8, 8)
+        decomposition = edt_decomposition(graph, 0.2, variant="51")
+        check_edt_decomposition(graph, decomposition, 0.2, math.inf)
+
+    def test_epsilon_monotonicity(self):
+        graph = triangulated_grid(7, 7)
+        loose = edt_decomposition(graph, 0.5)
+        tight = edt_decomposition(graph, 0.2)
+        assert tight.epsilon(graph) <= 0.2
+        assert loose.epsilon(graph) <= 0.5
+        assert len(tight.cluster_members()) <= len(loose.cluster_members())

@@ -1,0 +1,88 @@
+"""Tests for the KPR low-diameter decomposition (Lemma 3.1)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import (
+    check_low_diameter_decomposition,
+    cluster_diameters,
+    kpr_low_diameter_decomposition,
+)
+from tests.conftest import small_minor_free_families
+
+
+class TestKPRGuarantees:
+    @pytest.mark.parametrize("name", sorted(small_minor_free_families()))
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25, 0.1])
+    def test_cut_fraction_bounded(self, name, epsilon):
+        graph = small_minor_free_families()[name]
+        clustering = kpr_low_diameter_decomposition(graph, epsilon)
+        assert clustering.cut_fraction(graph) <= epsilon + 1e-12
+
+    @pytest.mark.parametrize("epsilon", [0.5, 0.25, 0.1])
+    def test_diameter_linear_in_inverse_epsilon(self, epsilon):
+        # On a long path the pieces must genuinely be chopped.
+        graph = nx.path_graph(800)
+        clustering = kpr_low_diameter_decomposition(graph, epsilon, depth=1)
+        worst = max(cluster_diameters(graph, clustering).values())
+        assert worst <= math.ceil(8 / epsilon) + 2
+
+    def test_clusters_connected(self):
+        from repro.graphs import random_planar_triangulation
+
+        graph = random_planar_triangulation(200, seed=1)
+        clustering = kpr_low_diameter_decomposition(graph, 0.3)
+        for members in clustering.clusters().values():
+            assert nx.is_connected(graph.subgraph(members))
+
+    def test_partition_complete(self):
+        from repro.graphs import triangulated_grid
+
+        graph = triangulated_grid(8, 8)
+        clustering = kpr_low_diameter_decomposition(graph, 0.2)
+        check_low_diameter_decomposition(graph, clustering, 0.2, math.inf)
+
+    def test_deterministic(self):
+        from repro.graphs import grid_graph
+
+        graph = grid_graph(10, 10)
+        a = kpr_low_diameter_decomposition(graph, 0.2)
+        b = kpr_low_diameter_decomposition(graph, 0.2)
+        assert a.assignment == b.assignment
+
+    def test_single_vertex(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        clustering = kpr_low_diameter_decomposition(graph, 0.5)
+        assert clustering.assignment.keys() == {0}
+
+    def test_empty_graph(self):
+        clustering = kpr_low_diameter_decomposition(nx.Graph(), 0.5)
+        assert clustering.assignment == {}
+
+    def test_disconnected_components_kept_separate(self):
+        graph = nx.Graph([(0, 1), (2, 3)])
+        clustering = kpr_low_diameter_decomposition(graph, 0.9)
+        assert clustering.assignment[0] == clustering.assignment[1]
+        assert clustering.assignment[0] != clustering.assignment[2]
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            kpr_low_diameter_decomposition(nx.path_graph(4), 0.0)
+
+    def test_smaller_epsilon_cuts_no_more(self):
+        graph = nx.path_graph(500)
+        loose = kpr_low_diameter_decomposition(graph, 0.5)
+        tight = kpr_low_diameter_decomposition(graph, 0.05)
+        assert tight.cut_fraction(graph) <= 0.05
+        assert len(tight.clusters()) <= len(loose.clusters())
+
+    def test_enforcement_keeps_budget_on_grid(self):
+        from repro.graphs import grid_graph
+
+        graph = grid_graph(25, 25)
+        epsilon = 0.15
+        clustering = kpr_low_diameter_decomposition(graph, epsilon)
+        assert clustering.cut_fraction(graph) <= epsilon

@@ -1,0 +1,92 @@
+"""Tests for the k-wise independent hash family."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gathering.kwise import KWiseHash, VECTOR_PRIME, next_prime
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KWiseHash(k=0, range_size=4)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            KWiseHash(k=2, range_size=0)
+
+    def test_negative_seed(self):
+        with pytest.raises(ValueError):
+            KWiseHash(k=2, range_size=4, seed=-1)
+
+    def test_seed_bits_scale_with_k(self):
+        a = KWiseHash(k=4, range_size=8)
+        b = KWiseHash(k=8, range_size=8)
+        assert b.seed_bits == 2 * a.seed_bits
+
+    def test_coefficients_cached_and_deterministic(self):
+        h = KWiseHash(k=5, range_size=10, seed=7)
+        assert h.coefficients == KWiseHash(k=5, range_size=10, seed=7).coefficients
+        assert len(h.coefficients) == 5
+
+
+class TestEvaluation:
+    def test_values_in_range(self):
+        h = KWiseHash(k=3, range_size=12, seed=1)
+        assert all(0 <= h(x) < 12 for x in range(500))
+
+    def test_deterministic(self):
+        h = KWiseHash(k=3, range_size=12, seed=5)
+        assert [h(x) for x in range(50)] == [h(x) for x in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = KWiseHash(k=3, range_size=1000, seed=0)
+        b = KWiseHash(k=3, range_size=1000, seed=1)
+        assert [a(x) for x in range(30)] != [b(x) for x in range(30)]
+
+    def test_roughly_uniform(self):
+        h = KWiseHash(k=4, range_size=8, seed=3)
+        counts = Counter(h(x) for x in range(8000))
+        assert len(counts) == 8
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_pairwise_joint_uniformity(self):
+        # k ≥ 2 ⇒ pairs (h(x), h(x+1)) spread over the whole square.
+        h = KWiseHash(k=4, range_size=4, seed=2)
+        pairs = Counter((h(2 * x), h(2 * x + 1)) for x in range(4000))
+        assert len(pairs) == 16
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=2**40))
+    def test_triple_matches_scalar_packing(self, seed, key):
+        h = KWiseHash(k=3, range_size=6, seed=seed)
+        step, walk, sender = 3, 17, 9
+        packed = ((step << 40) | (walk << 20) | sender) + 1
+        assert h.hash_triple(step, walk, sender) == h(packed)
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        h = KWiseHash(k=4, range_size=10, seed=6, prime=VECTOR_PRIME)
+        walks = np.arange(100, dtype=np.uint64)
+        senders = np.arange(100, dtype=np.uint64) % 7
+        vector = h.hash_triples_vectorized(5, walks, senders)
+        scalar = [h.hash_triple(5, int(w), int(s)) for w, s in zip(walks, senders)]
+        assert vector.tolist() == scalar
+
+    def test_large_prime_rejected(self):
+        h = KWiseHash(k=4, range_size=10, seed=6)  # default 61-bit prime
+        with pytest.raises(ValueError):
+            h.hash_triples_vectorized(1, np.arange(4), np.arange(4))
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize("n,expected", [(2, 2), (4, 5), (90, 97), (7919, 7919)])
+    def test_known_values(self, n, expected):
+        assert next_prime(n) == expected
+
+    def test_vector_prime_is_prime(self):
+        assert next_prime(VECTOR_PRIME) == VECTOR_PRIME

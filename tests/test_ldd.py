@@ -1,0 +1,109 @@
+"""Tests for the CHW08 LDD and the MPX randomized baseline."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import (
+    Clustering,
+    check_low_diameter_decomposition,
+    chw_low_diameter_decomposition,
+    cluster_diameters,
+    mpx_low_diameter_decomposition,
+)
+from repro.decomposition.ldd import merge_stars
+from repro.graphs import grid_graph, random_planar_triangulation, triangulated_grid
+
+
+class TestMergeStars:
+    def test_satellites_adopt_center(self):
+        clustering = Clustering({0: "a", 1: "b", 2: "c"})
+        merged = merge_stars(clustering, {"a": ["b"]})
+        assert merged.assignment == {0: "a", 1: "a", 2: "c"}
+
+    def test_empty_stars_noop(self):
+        clustering = Clustering({0: "a", 1: "b"})
+        assert merge_stars(clustering, {}).assignment == clustering.assignment
+
+
+class TestCHW:
+    @pytest.mark.parametrize("epsilon", [0.4, 0.2, 0.1])
+    def test_cut_fraction(self, epsilon):
+        graph = triangulated_grid(9, 9)
+        clustering, _ = chw_low_diameter_decomposition(graph, epsilon)
+        assert clustering.cut_fraction(graph) <= epsilon + 1e-12
+
+    def test_clusters_connected(self):
+        graph = random_planar_triangulation(150, seed=1)
+        clustering, _ = chw_low_diameter_decomposition(graph, 0.25)
+        for members in clustering.clusters().values():
+            assert nx.is_connected(graph.subgraph(members))
+
+    def test_diameter_poly_in_inverse_epsilon(self):
+        # Merging t = O(log 1/ε) rounds triples the diameter each time.
+        graph = nx.path_graph(2000)
+        clustering, _ = chw_low_diameter_decomposition(graph, 0.1)
+        worst = max(cluster_diameters(graph, clustering).values())
+        assert worst <= 3 ** 10  # loose poly(1/ε) sanity bound
+
+    def test_ledger_records_iterations(self):
+        graph = triangulated_grid(8, 8)
+        _, ledger = chw_low_diameter_decomposition(graph, 0.2)
+        assert ledger.total_rounds > 0
+        assert any("heavy_stars" in label for label in ledger.breakdown)
+
+    def test_edgeless_graph(self):
+        graph = nx.empty_graph(5)
+        clustering, ledger = chw_low_diameter_decomposition(graph, 0.3)
+        assert len(clustering.clusters()) == 5
+        assert ledger.total_rounds == 0
+
+    def test_deterministic(self):
+        graph = random_planar_triangulation(100, seed=2)
+        a, _ = chw_low_diameter_decomposition(graph, 0.2)
+        b, _ = chw_low_diameter_decomposition(graph, 0.2)
+        assert a.assignment == b.assignment
+
+    def test_full_validation(self):
+        graph = grid_graph(10, 10)
+        clustering, _ = chw_low_diameter_decomposition(graph, 0.2)
+        check_low_diameter_decomposition(graph, clustering, 0.2, math.inf)
+
+
+class TestMPXBaseline:
+    def test_cut_fraction_reasonable(self):
+        # Expectation bound β per edge; allow slack for one seed.
+        graph = triangulated_grid(12, 12)
+        clustering = mpx_low_diameter_decomposition(graph, 0.3, seed=0)
+        assert clustering.cut_fraction(graph) <= 0.45
+
+    def test_partition_complete(self):
+        graph = grid_graph(9, 9)
+        clustering = mpx_low_diameter_decomposition(graph, 0.2, seed=1)
+        assert set(clustering.assignment) == set(graph.nodes)
+
+    def test_clusters_connected(self):
+        graph = random_planar_triangulation(150, seed=3)
+        clustering = mpx_low_diameter_decomposition(graph, 0.2, seed=2)
+        for members in clustering.clusters().values():
+            assert nx.is_connected(graph.subgraph(members))
+
+    def test_diameter_logarithmic(self):
+        graph = nx.path_graph(3000)
+        clustering = mpx_low_diameter_decomposition(graph, 0.2, seed=3)
+        worst = max(cluster_diameters(graph, clustering).values())
+        # O(log n / β): generous constant.
+        assert worst <= 60 * math.log(3000) / 0.2 / 10
+
+    def test_seed_changes_output(self):
+        graph = triangulated_grid(8, 8)
+        a = mpx_low_diameter_decomposition(graph, 0.3, seed=0)
+        b = mpx_low_diameter_decomposition(graph, 0.3, seed=7)
+        assert a.assignment != b.assignment
+
+    def test_same_seed_reproducible(self):
+        graph = triangulated_grid(8, 8)
+        a = mpx_low_diameter_decomposition(graph, 0.3, seed=4)
+        b = mpx_low_diameter_decomposition(graph, 0.3, seed=4)
+        assert a.assignment == b.assignment

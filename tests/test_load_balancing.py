@@ -1,0 +1,116 @@
+"""Tests for the GLM load-balancing router (Lemma 2.2)."""
+
+import networkx as nx
+import pytest
+
+from repro.gathering import (
+    gather_with_load_balancing,
+    glm_load_balance,
+    total_imbalance,
+)
+from repro.graphs import constant_degree_expander
+
+
+class TestTotalImbalance:
+    def test_uniform_is_zero(self):
+        assert total_imbalance({0: 3, 1: 3, 2: 3}) == 0
+
+    def test_skewed(self):
+        assert total_imbalance({0: 10, 1: 0, 2: 2}) == 6.0
+
+    def test_empty(self):
+        assert total_imbalance({}) == 0.0
+
+
+class TestGLMSteps:
+    def test_imbalance_shrinks_on_expander(self):
+        g = constant_degree_expander(32)
+        tokens = {v: [] for v in g.nodes}
+        tokens[0] = list(range(320))
+        before = total_imbalance({v: len(t) for v, t in tokens.items()})
+        glm_load_balance(g, tokens, max_steps=5000, target_imbalance=20)
+        after = total_imbalance({v: len(t) for v, t in tokens.items()})
+        assert after < before / 3
+
+    def test_tokens_conserved(self):
+        g = constant_degree_expander(20)
+        tokens = {v: [] for v in g.nodes}
+        tokens[0] = list(range(100))
+        tokens[5] = list(range(100, 140))
+        glm_load_balance(g, tokens, max_steps=2000)
+        assert sorted(x for t in tokens.values() for x in t) == list(range(140))
+
+    def test_threshold_prevents_oscillation(self):
+        # Two vertices differing by less than 2Δ+1 never exchange.
+        g = nx.path_graph(2)  # Δ = 1, gap = 3
+        tokens = {0: [1, 2], 1: []}
+        steps = glm_load_balance(g, tokens, max_steps=100)
+        assert tokens == {0: [1, 2], 1: []}
+        assert steps <= 2
+
+    def test_transfer_happens_beyond_threshold(self):
+        g = nx.path_graph(2)
+        tokens = {0: list(range(10)), 1: []}
+        glm_load_balance(g, tokens, max_steps=100)
+        assert len(tokens[1]) > 0
+
+    def test_early_stop_at_target(self):
+        g = constant_degree_expander(16)
+        tokens = {v: [0] for v in g.nodes}  # already flat
+        steps = glm_load_balance(g, tokens, max_steps=100, target_imbalance=1)
+        assert steps == 0
+
+
+class TestGatherLemma22:
+    def test_invalid_f(self):
+        with pytest.raises(ValueError):
+            gather_with_load_balancing(nx.complete_graph(4), 0, f=0.7)
+
+    def test_unknown_sink(self):
+        with pytest.raises(ValueError):
+            gather_with_load_balancing(nx.complete_graph(4), 99, f=0.2)
+
+    def test_edgeless_graph(self):
+        g = nx.empty_graph(3)
+        result = gather_with_load_balancing(g, 0, f=0.2)
+        assert result.delivered_fraction == 1.0
+
+    @pytest.mark.parametrize("n", [8, 12])
+    def test_delivery_on_complete_graphs(self, n):
+        result = gather_with_load_balancing(nx.complete_graph(n), 0, f=0.2)
+        assert result.delivered_fraction >= 0.8
+        assert result.total_messages == n * (n - 1)
+
+    def test_delivery_on_expander(self):
+        g = constant_degree_expander(40)
+        sink = max(g.nodes, key=lambda v: g.degree[v])
+        result = gather_with_load_balancing(g, sink, f=0.25)
+        assert result.delivered_fraction >= 0.75
+
+    def test_sink_messages_free(self):
+        g = nx.star_graph(6)
+        result = gather_with_load_balancing(g, 0, f=0.25)
+        for i in range(6):
+            assert (0, i) in result.delivered
+
+    def test_message_ids_shape(self):
+        g = nx.complete_graph(6)
+        result = gather_with_load_balancing(g, 0, f=0.2)
+        for (v, i) in result.delivered:
+            assert v in g.nodes
+            assert 0 <= i < g.degree[v]
+
+    def test_rounds_recorded(self):
+        g = nx.complete_graph(10)
+        result = gather_with_load_balancing(g, 0, f=0.2)
+        assert result.rounds > 0
+        assert result.iterations >= 1
+        assert len(result.detail) == result.iterations
+
+    def test_smaller_f_means_more_work(self):
+        g = constant_degree_expander(30)
+        sink = max(g.nodes, key=lambda v: g.degree[v])
+        loose = gather_with_load_balancing(g, sink, f=0.4)
+        tight = gather_with_load_balancing(g, sink, f=0.05)
+        assert tight.delivered_fraction >= loose.delivered_fraction - 1e-9
+        assert tight.rounds >= loose.rounds

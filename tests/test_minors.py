@@ -1,0 +1,130 @@
+"""Tests for minor containment and minor-closed predicates."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    grid_graph,
+    has_minor,
+    is_cactus,
+    is_forest,
+    is_h_minor_free,
+    is_outerplanar,
+    is_planar,
+    random_planar_triangulation,
+)
+
+
+K4 = nx.complete_graph(4)
+K5 = nx.complete_graph(5)
+K33 = nx.complete_bipartite_graph(3, 3)
+
+
+class TestHasMinor:
+    def test_graph_is_its_own_minor(self):
+        assert has_minor(nx.petersen_graph(), nx.petersen_graph())
+
+    def test_k5_minor_of_k6(self):
+        assert has_minor(nx.complete_graph(6), K5)
+
+    def test_k5_in_petersen(self):
+        # The Petersen graph famously contains a K5 minor.
+        assert has_minor(nx.petersen_graph(), K5)
+
+    def test_k33_in_petersen(self):
+        assert has_minor(nx.petersen_graph(), K33)
+
+    def test_cycle_has_no_k4(self):
+        assert not has_minor(nx.cycle_graph(8), K4)
+
+    def test_tree_has_no_cycle_minor(self):
+        tree = nx.random_labeled_tree(15, seed=1)
+        assert not has_minor(tree, nx.cycle_graph(3))
+
+    def test_grid_contains_k4_minor(self):
+        assert has_minor(grid_graph(3, 3), K4)
+
+    def test_grid_has_no_k5_minor(self):
+        assert not has_minor(grid_graph(3, 4), K5)
+
+    def test_edge_count_prunes(self):
+        assert not has_minor(nx.path_graph(10), K4)
+
+    def test_pattern_with_isolated_vertices(self):
+        pattern = nx.Graph()
+        pattern.add_edge(0, 1)
+        pattern.add_nodes_from([2, 3])
+        assert has_minor(nx.path_graph(4), pattern)
+        assert not has_minor(nx.path_graph(3), pattern)
+
+    def test_edgeless_pattern_needs_enough_vertices(self):
+        pattern = nx.empty_graph(4)
+        assert has_minor(nx.path_graph(4), pattern)
+        assert not has_minor(nx.path_graph(3), pattern)
+
+    def test_contraction_needed_case(self):
+        # C6 with chords: K4 appears only after contraction.
+        g = nx.cycle_graph(6)
+        g.add_edge(0, 3)
+        g.add_edge(1, 4)
+        g.add_edge(2, 5)
+        assert has_minor(g, K4)
+
+
+class TestIsHMinorFree:
+    def test_planar_graphs_are_k5_free_fast_path(self):
+        g = random_planar_triangulation(200, seed=1)  # big: needs fast path
+        assert is_h_minor_free(g, K5)
+
+    def test_planar_graphs_are_k33_free_fast_path(self):
+        g = random_planar_triangulation(200, seed=2)
+        assert is_h_minor_free(g, K33)
+
+    def test_k5_itself_is_not_k5_free(self):
+        assert not is_h_minor_free(K5, K5)
+
+    def test_cycle_is_k4_free(self):
+        assert is_h_minor_free(nx.cycle_graph(10), K4)
+
+
+class TestPredicates:
+    def test_planarity_on_kuratowski_graphs(self):
+        assert not is_planar(K5)
+        assert not is_planar(K33)
+        assert is_planar(K4)
+
+    def test_forest(self):
+        assert is_forest(nx.random_labeled_tree(10, seed=0))
+        assert not is_forest(nx.cycle_graph(3))
+        assert is_forest(nx.empty_graph(5))
+
+    def test_outerplanar_positive(self):
+        g = nx.cycle_graph(6)
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        assert is_outerplanar(g)
+
+    def test_outerplanar_negative_k4(self):
+        assert not is_outerplanar(K4)
+
+    def test_outerplanar_negative_k23(self):
+        assert not is_outerplanar(nx.complete_bipartite_graph(2, 3))
+
+    def test_planar_but_not_outerplanar(self):
+        assert is_planar(grid_graph(3, 3))
+        assert not is_outerplanar(grid_graph(3, 3))
+
+    def test_cactus_positive(self):
+        g = nx.cycle_graph(4)
+        g.add_edge(0, 10)
+        g.add_edges_from([(10, 11), (11, 12), (12, 10)])
+        assert is_cactus(g)
+
+    def test_cactus_negative_shared_edge(self):
+        g = nx.cycle_graph(4)
+        g.add_edge(0, 2)  # two cycles share edges
+        assert not is_cactus(g)
+
+    def test_empty_graph_satisfies_all(self):
+        g = nx.Graph()
+        assert is_planar(g) and is_forest(g) and is_outerplanar(g) and is_cactus(g)

@@ -1,0 +1,149 @@
+"""Cross-module property-based tests (hypothesis).
+
+These exercise the core invariants on *randomly generated* minor-free
+instances, complementing the example-based tests: whatever planar/tree/
+outerplanar instance hypothesis draws, the paper's guarantees must hold.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.decomposition import (
+    Clustering,
+    cluster_diameters,
+    heavy_stars,
+    kpr_low_diameter_decomposition,
+)
+from repro.decomposition.ldd import merge_stars
+from repro.gathering import glm_load_balance
+from repro.graphs import (
+    barenboim_elkin_partition,
+    constant_degree_expander,
+    degeneracy,
+    forest_decomposition,
+    is_planar,
+    random_outerplanar,
+    random_planar_triangulation,
+    random_tree,
+)
+
+
+planar_graphs = st.builds(
+    random_planar_triangulation,
+    st.integers(min_value=4, max_value=60),
+    st.integers(min_value=0, max_value=10**6),
+)
+trees = st.builds(
+    random_tree,
+    st.integers(min_value=2, max_value=80),
+    st.integers(min_value=0, max_value=10**6),
+)
+outerplanars = st.builds(
+    random_outerplanar,
+    st.integers(min_value=3, max_value=60),
+    st.integers(min_value=0, max_value=10**6),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(planar_graphs, st.sampled_from([0.5, 0.3, 0.2]))
+def test_kpr_invariants_on_random_planar(graph, epsilon):
+    clustering = kpr_low_diameter_decomposition(graph, epsilon)
+    assert set(clustering.assignment) == set(graph.nodes)
+    assert clustering.cut_fraction(graph) <= epsilon + 1e-12
+    for members in clustering.clusters().values():
+        assert nx.is_connected(graph.subgraph(members))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.one_of(planar_graphs, trees, outerplanars))
+def test_heavy_stars_invariants(graph):
+    result = heavy_stars(graph)
+    # Vertex-disjointness.
+    seen = set()
+    for center, satellites in result.stars.items():
+        for v in [center, *satellites]:
+            assert v not in seen
+            seen.add(v)
+    # Lemma 4.2 with α = degeneracy ≥ arboricity.
+    if graph.number_of_edges() > 0:
+        alpha = max(1, degeneracy(graph))
+        assert result.captured_fraction >= 1.0 / (8 * alpha) - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.one_of(planar_graphs, trees))
+def test_merge_preserves_partition(graph):
+    clustering = Clustering.singletons(graph)
+    result = heavy_stars(graph)
+    merged = merge_stars(clustering, result.stars)
+    assert set(merged.assignment) == set(graph.nodes)
+    # Merged clusters are stars of adjacent singletons: connected.
+    for members in merged.clusters().values():
+        if len(members) > 1:
+            assert nx.is_connected(graph.subgraph(members))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.one_of(planar_graphs, outerplanars))
+def test_forest_decomposition_partitions_edges(graph):
+    forests = forest_decomposition(graph)
+    assert all(nx.is_forest(f) for f in forests)
+    covered = [frozenset(e) for f in forests for e in f.edges]
+    assert len(covered) == len(set(covered)) == graph.number_of_edges()
+
+
+@settings(max_examples=20, deadline=None)
+@given(planar_graphs)
+def test_barenboim_elkin_never_rejects_planar(graph):
+    result = barenboim_elkin_partition(graph, alpha0=3)
+    assert not result["rejecting"]
+    digraph = nx.DiGraph(result["orientation"].values())
+    assert nx.is_directed_acyclic_graph(digraph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=48),
+    st.integers(min_value=1, max_value=200),
+)
+def test_load_balance_conserves_and_levels(size, token_count):
+    graph = constant_degree_expander(size)
+    tokens = {v: [] for v in graph.nodes}
+    tokens[0] = list(range(token_count))
+    glm_load_balance(graph, tokens, max_steps=20_000, target_imbalance=25)
+    remaining = sorted(x for t in tokens.values() for x in t)
+    assert remaining == list(range(token_count))
+    delta = max(d for _, d in graph.degree)
+    # GLM fixed point: adjacent loads differ by at most 2Δ (the threshold).
+    for u, v in graph.edges:
+        assert abs(len(tokens[u]) - len(tokens[v])) <= max(
+            2 * delta, 25 + 2 * delta
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(trees, st.sampled_from([0.4, 0.2]))
+def test_tree_decomposition_cut_and_planarity(tree, epsilon):
+    clustering = kpr_low_diameter_decomposition(tree, epsilon)
+    assert clustering.cut_fraction(tree) <= epsilon + 1e-12
+    # Contracting connected clusters of a tree yields a tree (minor-closed).
+    from repro.graphs import build_cluster_graph
+
+    cluster_graph = build_cluster_graph(tree, clustering.assignment)
+    assert nx.is_forest(cluster_graph)
+
+
+@settings(max_examples=20, deadline=None)
+@given(planar_graphs)
+def test_cluster_graph_of_planar_partition_is_planar(graph):
+    clustering = kpr_low_diameter_decomposition(graph, 0.3)
+    from repro.graphs import build_cluster_graph
+
+    cluster_graph = build_cluster_graph(graph, clustering.assignment)
+    # Contraction of connected parts of a planar graph is planar (the
+    # minor-closure property the paper's Remark relies on).
+    assert is_planar(cluster_graph)

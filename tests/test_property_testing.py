@@ -1,0 +1,159 @@
+"""Tests for distributed property testing (Corollary 6.6)."""
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    PROPERTY_REGISTRY,
+    certify_arboricity,
+    test_minor_closed_property,
+)
+from repro.graphs import (
+    random_cactus,
+    random_outerplanar,
+    random_planar_triangulation,
+    random_regular_expander,
+    random_tree,
+    triangulated_grid,
+)
+
+
+class TestRegistry:
+    def test_all_entries_complete(self):
+        for name, entry in PROPERTY_REGISTRY.items():
+            assert callable(entry["predicate"])
+            assert entry["alpha0"] >= 1
+
+    def test_planar_registered(self):
+        assert "planar" in PROPERTY_REGISTRY
+
+
+class TestCompleteness:
+    """Members of P must always be accepted."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_planar_members_accepted(self, seed):
+        graph = random_planar_triangulation(150, seed=seed)
+        verdict = test_minor_closed_property(graph, "planar", epsilon=0.2)
+        assert verdict.accepted, verdict.reasons
+
+    def test_grid_accepted_as_planar(self):
+        verdict = test_minor_closed_property(
+            triangulated_grid(9, 9), "planar", epsilon=0.2
+        )
+        assert verdict.accepted
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_trees_accepted_as_forest(self, seed):
+        verdict = test_minor_closed_property(
+            random_tree(120, seed=seed), "forest", epsilon=0.25
+        )
+        assert verdict.accepted, verdict.reasons
+
+    def test_outerplanar_members_accepted(self):
+        verdict = test_minor_closed_property(
+            random_outerplanar(80, seed=1), "outerplanar", epsilon=0.25
+        )
+        assert verdict.accepted, verdict.reasons
+
+    def test_cactus_members_accepted(self):
+        verdict = test_minor_closed_property(
+            random_cactus(80, seed=2), "cactus", epsilon=0.25
+        )
+        assert verdict.accepted, verdict.reasons
+
+    def test_edgeless_graph_accepted(self):
+        verdict = test_minor_closed_property(
+            nx.empty_graph(5), "planar", epsilon=0.2
+        )
+        assert verdict.accepted
+
+    def test_accepting_run_reports_no_rejectors(self):
+        verdict = test_minor_closed_property(
+            random_tree(60, seed=3), "planar", epsilon=0.3
+        )
+        assert verdict.rejecting_vertices == set()
+
+
+class TestSoundness:
+    """Graphs ε-far from P must produce a rejecting vertex."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_expanders_rejected_as_planar(self, seed):
+        graph = random_regular_expander(150, 6, seed=seed)
+        verdict = test_minor_closed_property(graph, "planar", epsilon=0.2)
+        assert not verdict.accepted
+        assert verdict.rejecting_vertices
+        assert verdict.reasons
+
+    def test_dense_planar_rejected_as_forest(self):
+        verdict = test_minor_closed_property(
+            triangulated_grid(9, 9), "forest", epsilon=0.2
+        )
+        assert not verdict.accepted
+
+    def test_triangulation_rejected_as_outerplanar(self):
+        verdict = test_minor_closed_property(
+            random_planar_triangulation(100, seed=4), "outerplanar", epsilon=0.2
+        )
+        assert not verdict.accepted
+
+    def test_clique_rejected_for_everything(self):
+        graph = nx.complete_graph(30)
+        for name in PROPERTY_REGISTRY:
+            verdict = test_minor_closed_property(graph, name, epsilon=0.2)
+            assert not verdict.accepted, name
+
+
+class TestMechanics:
+    def test_explicit_predicate(self):
+        from repro.graphs import is_planar
+
+        verdict = test_minor_closed_property(
+            random_tree(40, seed=1), predicate=is_planar, alpha0=3, epsilon=0.3
+        )
+        assert verdict.accepted
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            test_minor_closed_property(nx.path_graph(3))
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            test_minor_closed_property(nx.path_graph(3), "planar", epsilon=0)
+
+    def test_rounds_recorded(self):
+        verdict = test_minor_closed_property(
+            random_planar_triangulation(100, seed=5), "planar", epsilon=0.25
+        )
+        assert verdict.rounds > 0
+        assert verdict.iterations >= 1
+
+    def test_rounds_scale_gently_with_n(self):
+        small = test_minor_closed_property(
+            random_tree(50, seed=6), "forest", epsilon=0.25
+        )
+        large = test_minor_closed_property(
+            random_tree(800, seed=6), "forest", epsilon=0.25
+        )
+        # O(log n / ε)-flavoured: 16x vertices, far less than 16x rounds.
+        assert large.rounds <= 8 * max(1, small.rounds)
+
+
+class TestArboricityCertificate:
+    def test_planar_accepted(self):
+        certificate = certify_arboricity(
+            random_planar_triangulation(100, seed=7), alpha0=3
+        )
+        assert certificate.accepted
+        assert certificate.oriented_fraction == 1.0
+        assert certificate.certified_bound == 9
+
+    def test_dense_rejected(self):
+        certificate = certify_arboricity(nx.complete_graph(40), alpha0=1)
+        assert not certificate.accepted
+        assert certificate.rejecting_vertices
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            certify_arboricity(nx.path_graph(3), alpha0=0)

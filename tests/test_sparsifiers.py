@@ -1,0 +1,93 @@
+"""Tests for Solomon's bounded-degree sparsifiers."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.applications import (
+    matching_sparsifier,
+    maximum_independent_set_exact,
+    maximum_matching_exact,
+    mis_sparsifier,
+    vertex_cover_sparsifier,
+)
+from repro.graphs import random_planar_triangulation
+
+
+class TestVertexCoverSparsifier:
+    def test_high_set_has_high_degree(self):
+        g = random_planar_triangulation(80, seed=1)
+        low, high = vertex_cover_sparsifier(g, 0.3, alpha=3)
+        d = math.ceil(2 * 3 / 0.3)
+        for v in high:
+            assert g.degree[v] >= d
+        for v in low.nodes:
+            assert g.degree[v] < d
+
+    def test_low_graph_degree_bounded(self):
+        g = random_planar_triangulation(80, seed=2)
+        low, _ = vertex_cover_sparsifier(g, 0.3, alpha=3)
+        d = math.ceil(2 * 3 / 0.3)
+        assert all(deg < d for _, deg in low.degree)
+
+    def test_cover_property_preserved(self):
+        # V_high + exact VC of G_low covers G.
+        from repro.applications import minimum_vertex_cover_exact
+
+        g = random_planar_triangulation(50, seed=3)
+        low, high = vertex_cover_sparsifier(g, 0.4, alpha=3)
+        cover = high | minimum_vertex_cover_exact(low)
+        for u, v in g.edges:
+            assert u in cover or v in cover
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            vertex_cover_sparsifier(nx.path_graph(3), 0, 1)
+
+
+class TestMatchingSparsifier:
+    def test_degree_bound(self):
+        g = random_planar_triangulation(100, seed=4)
+        sparse = matching_sparsifier(g, 0.25, alpha=3)
+        d = math.ceil(2 * 3 / 0.25)
+        assert max(deg for _, deg in sparse.degree) <= d
+
+    def test_subgraph_of_original(self):
+        g = random_planar_triangulation(60, seed=5)
+        sparse = matching_sparsifier(g, 0.3, alpha=3)
+        for u, v in sparse.edges:
+            assert g.has_edge(u, v)
+
+    def test_matching_size_nearly_preserved(self):
+        g = random_planar_triangulation(60, seed=6)
+        sparse = matching_sparsifier(g, 0.25, alpha=3)
+        full = len(maximum_matching_exact(g))
+        reduced = len(maximum_matching_exact(sparse))
+        assert reduced >= (1 - 0.35) * full
+
+    def test_low_degree_graph_unchanged(self):
+        g = nx.cycle_graph(10)  # Δ = 2, way below the threshold
+        sparse = matching_sparsifier(g, 0.3, alpha=2)
+        assert set(sparse.edges) == set(g.edges)
+
+
+class TestMISSparsifier:
+    def test_high_degree_vertices_removed(self):
+        g = nx.star_graph(100)
+        sparse = mis_sparsifier(g, 0.3, alpha=1)
+        assert 0 not in sparse.nodes
+
+    def test_mis_size_nearly_preserved(self):
+        g = random_planar_triangulation(60, seed=7)
+        sparse = mis_sparsifier(g, 0.25, alpha=3)
+        full = len(maximum_independent_set_exact(g))
+        reduced = len(maximum_independent_set_exact(sparse))
+        assert reduced >= (1 - 0.35) * full
+
+    def test_subgraph_relationship(self):
+        g = random_planar_triangulation(50, seed=8)
+        sparse = mis_sparsifier(g, 0.3, alpha=3)
+        assert set(sparse.nodes) <= set(g.nodes)
+        for u, v in sparse.edges:
+            assert g.has_edge(u, v)

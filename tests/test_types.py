@@ -1,0 +1,121 @@
+"""Tests for the decomposition data structures."""
+
+import networkx as nx
+import pytest
+
+from repro.decomposition.types import (
+    Clustering,
+    EDTDecomposition,
+    OverlapCluster,
+    OverlapDecomposition,
+    RoutingGroup,
+    induced_subgraph,
+)
+
+
+class TestClustering:
+    def test_singletons(self):
+        graph = nx.path_graph(4)
+        clustering = Clustering.singletons(graph)
+        assert len(clustering.clusters()) == 4
+
+    def test_from_sets(self):
+        clustering = Clustering.from_sets([{0, 1}, {2}])
+        assert clustering.assignment[0] == clustering.assignment[1]
+        assert clustering.assignment[2] != clustering.assignment[0]
+
+    def test_from_sets_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            Clustering.from_sets([{0, 1}, {1, 2}])
+
+    def test_cut_fraction(self):
+        graph = nx.path_graph(4)
+        clustering = Clustering({0: 0, 1: 0, 2: 1, 3: 1})
+        assert clustering.cut_fraction(graph) == pytest.approx(1 / 3)
+
+    def test_cut_fraction_empty_graph(self):
+        graph = nx.empty_graph(3)
+        clustering = Clustering.singletons(graph)
+        assert clustering.cut_fraction(graph) == 0.0
+
+    def test_inter_cluster_edges(self):
+        graph = nx.cycle_graph(4)
+        clustering = Clustering({0: "a", 1: "a", 2: "b", 3: "b"})
+        crossing = clustering.inter_cluster_edges(graph)
+        assert len(crossing) == 2
+
+    def test_relabel_normalizes(self):
+        clustering = Clustering({0: "x", 1: "x", 2: "zz"})
+        relabeled = clustering.relabel()
+        assert set(relabeled.assignment.values()) == {0, 1}
+        assert relabeled.assignment[0] == relabeled.assignment[1]
+
+    def test_relabel_deterministic(self):
+        a = Clustering({0: "p", 1: "q", 2: "p"}).relabel()
+        b = Clustering({0: "zz", 1: "yy", 2: "zz"}).relabel()
+        assert a.assignment == b.assignment
+
+
+class TestOverlapStructures:
+    def test_from_graph_roundtrip(self):
+        graph = nx.cycle_graph(4)
+        cluster = OverlapCluster.from_graph({0, 1}, graph)
+        sub = cluster.subgraph()
+        assert set(sub.nodes) == set(graph.nodes)
+        assert set(map(frozenset, sub.edges)) == set(map(frozenset, graph.edges))
+
+    def test_assignment_rejects_member_overlap(self):
+        g = nx.path_graph(2)
+        decomposition = OverlapDecomposition([
+            OverlapCluster.from_graph({0}, g.subgraph([0])),
+            OverlapCluster.from_graph({0, 1}, g),
+        ])
+        with pytest.raises(ValueError):
+            decomposition.assignment()
+
+    def test_max_overlap_counts_subgraph_nodes(self):
+        g = nx.path_graph(3)
+        decomposition = OverlapDecomposition([
+            OverlapCluster.from_graph({0}, g.subgraph([0, 1])),
+            OverlapCluster.from_graph({1, 2}, g.subgraph([1, 2])),
+        ])
+        assert decomposition.max_overlap() == 2  # vertex 1 in both
+
+    def test_empty_decomposition(self):
+        assert OverlapDecomposition([]).max_overlap() == 0
+
+
+class TestRoutingGroupAndEDT:
+    def test_routing_group_subgraph(self):
+        group = RoutingGroup(
+            nodes=frozenset({0, 1, 2}),
+            edges=frozenset({frozenset((0, 1)), frozenset((1, 2))}),
+            sink=1,
+        )
+        sub = group.subgraph()
+        assert sub.number_of_edges() == 2
+        assert sub.has_edge(0, 1)
+
+    def test_edt_leader_lookup(self):
+        graph = nx.path_graph(3)
+        decomposition = EDTDecomposition(
+            clustering=Clustering({0: 0, 1: 0, 2: 1}),
+            leaders={0: 1, 1: 2},
+        )
+        assert decomposition.leader_of(0) == 1
+        assert decomposition.leader_of(2) == 2
+
+    def test_edt_epsilon_and_diameter(self):
+        graph = nx.path_graph(4)
+        decomposition = EDTDecomposition(
+            clustering=Clustering({0: 0, 1: 0, 2: 1, 3: 1}),
+            leaders={0: 0, 1: 2},
+        )
+        assert decomposition.epsilon(graph) == pytest.approx(1 / 3)
+        assert decomposition.diameter(graph) == 1
+
+    def test_induced_subgraph_is_a_copy(self):
+        graph = nx.cycle_graph(5)
+        sub = induced_subgraph(graph, [0, 1, 2])
+        sub.add_edge(0, 99)
+        assert 99 not in graph

@@ -1,0 +1,137 @@
+"""Tests that the decomposition checkers actually catch violations."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.decomposition import (
+    Clustering,
+    check_clustering_partition,
+    check_expander_decomposition,
+    check_low_diameter_decomposition,
+    check_overlap_decomposition,
+    cluster_diameters,
+)
+from repro.decomposition.types import OverlapCluster, OverlapDecomposition
+from repro.graphs import grid_graph
+
+
+class TestPartitionCheck:
+    def test_accepts_complete_partition(self):
+        graph = nx.path_graph(4)
+        check_clustering_partition(graph, Clustering({v: 0 for v in graph.nodes}))
+
+    def test_rejects_missing_vertex(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(AssertionError, match="missing"):
+            check_clustering_partition(graph, Clustering({0: 0, 1: 0, 2: 0}))
+
+    def test_rejects_extra_vertex(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(AssertionError, match="extra"):
+            check_clustering_partition(
+                graph, Clustering({0: 0, 1: 0, 2: 0, 99: 0})
+            )
+
+
+class TestDiameters:
+    def test_singleton_zero(self):
+        graph = nx.path_graph(3)
+        diameters = cluster_diameters(graph, Clustering({0: 0, 1: 1, 2: 2}))
+        assert all(d == 0 for d in diameters.values())
+
+    def test_disconnected_cluster_infinite(self):
+        graph = nx.path_graph(3)
+        clustering = Clustering({0: 0, 2: 0, 1: 1})  # {0,2} not connected in G[S]
+        diameters = cluster_diameters(graph, clustering)
+        assert diameters[0] == math.inf
+
+    def test_path_cluster_diameter(self):
+        graph = nx.path_graph(5)
+        clustering = Clustering({v: 0 for v in graph.nodes})
+        assert cluster_diameters(graph, clustering)[0] == 4
+
+
+class TestLDDCheck:
+    def test_accepts_valid(self):
+        graph = grid_graph(4, 4)
+        clustering = Clustering({v: v // 4 for v in graph.nodes})
+        stats = check_low_diameter_decomposition(graph, clustering, 0.7, 4)
+        assert stats["clusters"] == 4
+
+    def test_rejects_cut_violation(self):
+        graph = nx.complete_graph(6)
+        clustering = Clustering({v: v for v in graph.nodes})  # everything cut
+        with pytest.raises(AssertionError, match="exceeds ε"):
+            check_low_diameter_decomposition(graph, clustering, 0.5, 10)
+
+    def test_rejects_diameter_violation(self):
+        graph = nx.path_graph(10)
+        clustering = Clustering({v: 0 for v in graph.nodes})
+        with pytest.raises(AssertionError, match="diameter"):
+            check_low_diameter_decomposition(graph, clustering, 1.0, 3)
+
+
+class TestExpanderCheck:
+    def test_accepts_valid(self):
+        graph = nx.complete_graph(8)
+        clustering = Clustering({v: 0 for v in graph.nodes})
+        stats = check_expander_decomposition(graph, clustering, 0.1, 0.3)
+        assert stats["min_conductance"] >= 0.3
+
+    def test_rejects_low_conductance_cluster(self):
+        graph = nx.path_graph(10)
+        clustering = Clustering({v: 0 for v in graph.nodes})
+        with pytest.raises(AssertionError, match="below φ"):
+            check_expander_decomposition(graph, clustering, 1.0, 0.5)
+
+    def test_singletons_exempt(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        clustering = Clustering({0: 0, 1: 1})
+        check_expander_decomposition(graph, clustering, 0.5, 0.9)
+
+
+class TestOverlapCheck:
+    def _simple_decomposition(self, graph):
+        return OverlapDecomposition([
+            OverlapCluster.from_graph(
+                members=set(graph.nodes), subgraph=graph
+            )
+        ])
+
+    def test_accepts_whole_clique(self):
+        graph = nx.complete_graph(6)
+        decomposition = self._simple_decomposition(graph)
+        stats = check_overlap_decomposition(graph, decomposition, 0.1, 0.3, 1)
+        assert stats["max_overlap"] == 1
+
+    def test_rejects_missing_induced_edge(self):
+        graph = nx.complete_graph(4)
+        sub = graph.copy()
+        sub.remove_edge(0, 1)  # G_S missing an induced edge
+        decomposition = OverlapDecomposition([
+            OverlapCluster.from_graph(members=set(graph.nodes), subgraph=sub)
+        ])
+        with pytest.raises(AssertionError, match="missing from associated"):
+            check_overlap_decomposition(graph, decomposition, 1.0, 0.0, 1)
+
+    def test_rejects_overlap_violation(self):
+        graph = nx.complete_graph(4)
+        full = graph.copy()
+        decomposition = OverlapDecomposition([
+            OverlapCluster.from_graph(members={0, 1}, subgraph=full),
+            OverlapCluster.from_graph(members={2, 3}, subgraph=full),
+        ])
+        with pytest.raises(AssertionError, match="overlap"):
+            check_overlap_decomposition(graph, decomposition, 1.0, 0.0, 1)
+
+    def test_rejects_member_overlap(self):
+        graph = nx.path_graph(3)
+        decomposition = OverlapDecomposition([
+            OverlapCluster.from_graph({0, 1}, graph.subgraph([0, 1])),
+            OverlapCluster.from_graph({1, 2}, graph.subgraph([1, 2])),
+        ])
+        with pytest.raises(ValueError, match="overlap at"):
+            check_overlap_decomposition(graph, decomposition, 1.0, 0.0, 5)
