@@ -1,0 +1,352 @@
+"""Before/after benchmark for the compiled-topology execution engine.
+
+"Before" is a verbatim replica of the seed-commit execution stack
+(:class:`SeedNetwork` below): per-round ``{v: {} for v in nodes}`` inbox
+reallocation, ``all(halted)`` scans, O(deg) tuple-membership send
+validation, per-message metrics method calls, and the seed's frozen-
+dataclass ``Message`` that eagerly serialized its payload once per
+*receiver* (the seed algorithms constructed one sized message per
+neighbour; today's ``classic.py`` shares one lazily-sized message per
+broadcast, so the replica re-materializes that per-receiver cost exactly
+as the seed paid it).
+
+"After" is the production path: ``Network.run`` → the active-set engine of
+:mod:`repro.congest.engine`.  The intermediate ``Network._run_reference``
+(seed loop, modern messages) is timed too, so the table separates the
+executor win from the message-stack win.  Outputs and metrics counters of
+all three are asserted identical before any number is reported.
+
+Also measured: the ``run_many`` batch API — a 16-trial Luby MIS seed sweep,
+serial vs a 4-process pool.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--json PATH]
+
+``--quick`` shrinks the instances so the whole run finishes well under
+30 s (the perf-smoke budget in ``scripts/perf_smoke.sh``).  Results are
+written to ``BENCH_engine.json`` at the repository root to seed the perf
+trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import fmt, print_table
+
+from repro.congest import Message, Network, NetworkMetrics, Trial, run_many
+from repro.congest.classic import (
+    LubyMISAlgorithm,
+    ProposalMatchingAlgorithm,
+    TrialColoringAlgorithm,
+)
+from repro.congest.algorithms import BFSTreeAlgorithm
+from repro.congest.message import bits_for_payload
+from repro.graphs import random_regular_expander, triangulated_grid
+
+
+# ---------------------------------------------------------------------------
+# The seed-commit execution stack, replicated verbatim as the baseline.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SeedMessage:
+    """The seed's frozen-dataclass message: payload sized eagerly at
+    construction — which the seed algorithms did once per receiver."""
+
+    payload: Any
+    bit_size: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.bit_size < 0:
+            object.__setattr__(self, "bit_size", bits_for_payload(self.payload))
+        if self.bit_size == 0:
+            object.__setattr__(self, "bit_size", 1)
+
+
+class SeedNetwork:
+    """The seed commit's ``Network`` loop, kept bit-for-bit as the "before".
+
+    The one adaptation: today's algorithms return shared lazily-sized
+    ``Message`` objects, so each outgoing message is re-materialized as a
+    fresh :class:`SeedMessage` — exactly the per-receiver construction +
+    eager sizing the seed's ``classic.py`` performed.
+    """
+
+    def __init__(self, graph, model="congest", bandwidth_factor=32):
+        self.graph = graph
+        self.model = model
+        n = graph.number_of_nodes()
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+        self.bandwidth_bits = bandwidth_factor * log_n
+        self.metrics = NetworkMetrics()
+        self._neighbors = {
+            v: tuple(sorted(graph.neighbors(v), key=repr)) for v in graph.nodes
+        }
+
+    def run(self, algorithm, max_rounds=10_000, inputs=None):
+        from repro.congest.network import NodeContext
+
+        n = self.graph.number_of_nodes()
+        nodes = {}
+        contexts = {}
+        for v in self.graph.nodes:
+            instance = algorithm.spawn()
+            instance.input = None if inputs is None else inputs.get(v)
+            ctx = NodeContext(node=v, neighbors=self._neighbors[v], n=n)
+            instance.initialize(ctx)
+            nodes[v] = instance
+            contexts[v] = ctx
+
+        inboxes = {v: {} for v in self.graph.nodes}
+        for round_number in range(1, max_rounds + 1):
+            if all(node.halted for node in nodes.values()):
+                break
+            self.metrics.record_round()
+            outboxes = {}
+            for v, node in nodes.items():
+                if node.halted:
+                    continue
+                ctx = contexts[v]
+                ctx.round_number = round_number
+                sent = node.on_round(ctx, inboxes[v])
+                if sent:
+                    sent = {
+                        receiver: SeedMessage(message.payload)
+                        for receiver, message in sent.items()
+                    }
+                    self._validate_and_count(v, sent)
+                    outboxes[v] = sent
+            inboxes = {v: {} for v in self.graph.nodes}
+            for sender, sent in outboxes.items():
+                for receiver, message in sent.items():
+                    inboxes[receiver][sender] = message
+        else:
+            if not all(node.halted for node in nodes.values()):
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+        return {v: node.output() for v, node in nodes.items()}
+
+    def _validate_and_count(self, sender, sent):
+        neighbor_set = self._neighbors[sender]  # tuple: O(deg) membership
+        for receiver, message in sent.items():
+            if receiver not in neighbor_set:
+                raise ValueError(
+                    f"node {sender!r} sent to non-neighbor {receiver!r}"
+                )
+            if not isinstance(message, SeedMessage):
+                raise TypeError(
+                    f"node {sender!r} sent a non-Message object: {message!r}"
+                )
+            if self.model == "congest" and message.bit_size > self.bandwidth_bits:
+                raise RuntimeError("bandwidth exceeded")
+            self.metrics.record_message(message.bit_size)
+            self.metrics.record_edge_load(message.bit_size)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def _time_best(make_net, runner_name, graph, make_algorithm, inputs,
+               max_rounds, repeats):
+    best = None
+    for _ in range(repeats):
+        net = make_net(graph)
+        runner = getattr(net, runner_name)
+        start = time.perf_counter()
+        outputs = runner(make_algorithm(), max_rounds=max_rounds,
+                         inputs=inputs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, outputs, net.metrics)
+    return best
+
+
+def bench_workload(name, graph, make_algorithm, inputs, max_rounds, repeats):
+    seed_s, seed_out, seed_metrics = _time_best(
+        SeedNetwork, "run", graph, make_algorithm, inputs, max_rounds, repeats
+    )
+    ref_s, ref_out, ref_metrics = _time_best(
+        Network, "_run_reference", graph, make_algorithm, inputs, max_rounds,
+        repeats,
+    )
+    eng_s, eng_out, eng_metrics = _time_best(
+        Network, "run", graph, make_algorithm, inputs, max_rounds, repeats
+    )
+    if not (eng_out == ref_out == seed_out):
+        raise AssertionError(f"{name}: executor outputs diverged")
+    counters = lambda m: (m.rounds, m.messages, m.total_bits,
+                          m.max_edge_bits_in_round)
+    if not (counters(eng_metrics) == counters(ref_metrics)
+            == counters(seed_metrics)):
+        raise AssertionError(f"{name}: executor metrics diverged")
+    return {
+        "workload": name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "rounds": eng_metrics.rounds,
+        "messages": eng_metrics.messages,
+        "seed_stack_s": seed_s,
+        "reference_s": ref_s,
+        "engine_s": eng_s,
+        "speedup_vs_seed": seed_s / eng_s if eng_s > 0 else float("inf"),
+        "speedup_vs_reference": ref_s / eng_s if eng_s > 0 else float("inf"),
+        "rounds_per_sec_engine": eng_metrics.rounds / eng_s if eng_s else 0.0,
+    }
+
+
+def bench_run_many(graph, horizon, trials, processes):
+    """Serial vs multiprocessing wall clock for a Luby MIS seed sweep."""
+    jobs = [
+        Trial(graph, inputs=seeded_inputs(graph, seed),
+              max_rounds=horizon + 2)
+        for seed in range(trials)
+    ]
+    start = time.perf_counter()
+    serial = run_many(LubyMISAlgorithm(horizon), jobs, processes=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_many(LubyMISAlgorithm(horizon), jobs, processes=processes)
+    parallel_s = time.perf_counter() - start
+    for (out_s, _), (out_p, _) in zip(serial, parallel):
+        if out_s != out_p:
+            raise AssertionError("run_many parallel output diverged")
+    return {
+        "trials": trials,
+        "processes": processes,
+        "available_cpus": os.cpu_count() or 1,
+        "n": graph.number_of_nodes(),
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances; finishes in well under 30 s",
+    )
+    parser.add_argument(
+        "--json", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        mis_graph = random_regular_expander(512, 16, seed=2)
+        grid = triangulated_grid(16, 16)
+        sparse_mis = triangulated_grid(22, 22)
+        sweep_graph = random_regular_expander(256, 8, seed=3)
+        repeats, sweep_trials = 1, 8
+    else:
+        # The acceptance instance: a 2,000-node MIS run.
+        mis_graph = random_regular_expander(2000, 32, seed=2)
+        grid = triangulated_grid(32, 32)
+        sparse_mis = triangulated_grid(45, 45)  # 2,025 nodes, planar-degree
+        sweep_graph = random_regular_expander(2000, 16, seed=3)
+        repeats, sweep_trials = 3, 16
+
+    results = []
+
+    for name, graph in (("luby_mis_2k", mis_graph),
+                        ("luby_mis_grid", sparse_mis)):
+        n = graph.number_of_nodes()
+        horizon = 20 * max(4, n.bit_length() ** 2)
+        results.append(bench_workload(
+            name, graph, lambda h=horizon: LubyMISAlgorithm(h),
+            seeded_inputs(graph, 1), horizon + 2, repeats,
+        ))
+
+    n = grid.number_of_nodes()
+    match_horizon = 40 * max(4, n.bit_length() ** 2)
+    results.append(bench_workload(
+        "greedy_matching", grid,
+        lambda: ProposalMatchingAlgorithm(match_horizon),
+        seeded_inputs(grid, 2), match_horizon + 2, repeats,
+    ))
+
+    delta = max(d for _, d in grid.degree)
+    color_horizon = 40 * max(4, n.bit_length() ** 2)
+    results.append(bench_workload(
+        "coloring", grid,
+        lambda: TrialColoringAlgorithm(delta + 1, color_horizon),
+        seeded_inputs(grid, 3), color_horizon + 2, repeats,
+    ))
+
+    root = next(iter(grid.nodes))
+    bfs_horizon = grid.number_of_nodes() + 4
+    results.append(bench_workload(
+        "bfs_tree", grid,
+        lambda: BFSTreeAlgorithm(root, bfs_horizon),
+        None, bfs_horizon + 2, repeats,
+    ))
+
+    print_table(
+        "Engine vs seed execution stack (identical outputs asserted)",
+        ["workload", "n", "msgs", "seed s", "ref s", "engine s",
+         "speedup", "vs ref", "rounds/s"],
+        [
+            [r["workload"], r["n"], r["messages"], fmt(r["seed_stack_s"], 4),
+             fmt(r["reference_s"], 4), fmt(r["engine_s"], 4),
+             fmt(r["speedup_vs_seed"], 2), fmt(r["speedup_vs_reference"], 2),
+             int(r["rounds_per_sec_engine"])]
+            for r in results
+        ],
+    )
+
+    sweep_n = sweep_graph.number_of_nodes()
+    sweep_horizon = 20 * max(4, sweep_n.bit_length() ** 2)
+    sweep = bench_run_many(sweep_graph, sweep_horizon, sweep_trials,
+                           processes=4)
+    print_table(
+        "run_many batch sweep (Luby MIS, identical outputs asserted)",
+        ["trials", "n", "cpus", "serial s", "4-proc s", "speedup"],
+        [[sweep["trials"], sweep["n"], sweep["available_cpus"],
+          fmt(sweep["serial_s"], 3), fmt(sweep["parallel_s"], 3),
+          fmt(sweep["speedup"], 2)]],
+    )
+    if sweep["available_cpus"] < 2:
+        print(
+            "note: this host exposes a single CPU, so the 4-process run "
+            "can only measure pool overhead; run on a multi-core host to "
+            "see the parallel speedup."
+        )
+
+    geo_mean = statistics.geometric_mean(
+        [r["speedup_vs_seed"] for r in results]
+    )
+    payload = {
+        "quick": args.quick,
+        "workloads": results,
+        "run_many": sweep,
+        "geomean_speedup_vs_seed": geo_mean,
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"geomean speedup vs seed stack: {geo_mean:.2f}x")
+    print(f"wrote {args.json}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Perf smoke: the tier-1 test suite plus the quick engine benchmark.
+#
+# The benchmark's --quick mode finishes in well under 30 s and emits
+# BENCH_engine.json (wall-clock, speedup vs the seed execution stack, and
+# simulator rounds/sec) at the repository root.  Run from anywhere:
+#
+#   scripts/perf_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+python benchmarks/bench_engine.py --quick

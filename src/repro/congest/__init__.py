@@ -16,12 +16,18 @@ Public API
     network (id, neighbours, round number).
 ``Network``
     The synchronous executor, with per-edge bandwidth enforcement and
-    round/message/bit metrics.
+    round/message/bit metrics.  Delegates its round loop to the
+    compiled-topology active-set engine (``repro.congest.engine``).
+``CompiledTopology`` / ``run_many`` / ``Trial``
+    The engine's one-time topology compilation and the batched benchmark
+    runner: ``run_many(algorithm, trials, processes=N)`` fans a sweep of
+    graphs/seeds out over a multiprocessing pool.
 ``RoundLedger``
     Cost accounting for composite cluster-level algorithms whose primitives
     have measured CONGEST costs (see DESIGN.md section 3).
 """
 
+from repro.congest.engine import CompiledTopology, Trial, run_many
 from repro.congest.message import Message, bits_for_int, bits_for_payload
 from repro.congest.metrics import NetworkMetrics, RoundLedger
 from repro.congest.network import (
@@ -54,6 +60,9 @@ from repro.congest.algorithms import (
 )
 
 __all__ = [
+    "CompiledTopology",
+    "Trial",
+    "run_many",
     "Message",
     "bits_for_int",
     "bits_for_payload",

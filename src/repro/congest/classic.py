@@ -56,6 +56,7 @@ class LubyMISAlgorithm(NodeAlgorithm):
     def initialize(self, ctx: NodeContext) -> None:
         self.rng = random.Random(self.input)
         self.active_neighbors = set(ctx.neighbors)
+        self._node_repr = repr(ctx.node)
 
     def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
         if not self.active:
@@ -81,23 +82,30 @@ class LubyMISAlgorithm(NodeAlgorithm):
                 return {}
             self.priority = self.rng.randrange(1 << 30)
             self.phase = self._RESOLVE
-            return {
-                u: Message((0, self.priority))
-                for u in self.active_neighbors
-            }
-        # RESOLVE: compare priorities.
+            # Broadcasts share one immutable Message so the payload is
+            # sized once, not once per neighbour.
+            draw = Message((0, self.priority))
+            return {u: draw for u in self.active_neighbors}
+        # RESOLVE: compare priorities.  Ties on the 30-bit priority are
+        # broken by vertex repr, but the repr is only materialized on an
+        # actual tie — same outcome as comparing (value, repr) tuples.
         wins = True
+        my_priority = self.priority
         for sender, message in inbox.items():
             kind, value = message.payload
             if kind == 0 and sender in self.active_neighbors:
-                if (value, repr(sender)) > (self.priority, repr(ctx.node)):
+                if value > my_priority or (
+                    value == my_priority and repr(sender) > self._node_repr
+                ):
                     wins = False
+                    break
         self.phase = self._DRAW
         if wins:
             self.in_set = True
             self.active = False
             # Notify neighbours, then stop next round.
-            out = {u: Message((1, 0)) for u in self.active_neighbors}
+            joined = Message((1, 0))
+            out = {u: joined for u in self.active_neighbors}
             self.halt()
             return out
         return {}
@@ -191,8 +199,9 @@ class ProposalMatchingAlgorithm(NodeAlgorithm):
         if self.proposed_to in proposers:
             self.partner = self.proposed_to
             self.free = False
+            matched = Message(2)
             out = {
-                u: Message(2)
+                u: matched
                 for u in self.free_neighbors
                 if u != self.partner
             }
@@ -268,7 +277,8 @@ class TrialColoringAlgorithm(NodeAlgorithm):
             conflict = True
         if self.color is None and self.trial is not None and not conflict:
             self.color = self.trial
-            out = {u: Message((1, self.color)) for u in ctx.neighbors}
+            final = Message((1, self.color))
+            out = {u: final for u in ctx.neighbors}
             self.halt()
             return out
         if self.color is not None:
@@ -277,7 +287,8 @@ class TrialColoringAlgorithm(NodeAlgorithm):
         taken = set(self.neighbor_colors.values())
         available = [c for c in range(self.palette_size) if c not in taken]
         self.trial = self.rng.choice(available)
-        return {u: Message((0, self.trial)) for u in ctx.neighbors}
+        trial = Message((0, self.trial))
+        return {u: trial for u in ctx.neighbors}
 
     def output(self):
         return self.color

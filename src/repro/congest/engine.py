@@ -1,0 +1,387 @@
+"""Compiled-topology execution engine for the CONGEST/LOCAL simulator.
+
+The seed executor in :mod:`repro.congest.network` re-derived everything per
+round: a fresh ``{v: {} for v in nodes}`` inbox table, an ``all(halted)``
+scan over every vertex, and an O(deg) tuple-membership check per message.
+This module compiles the topology once and schedules only the vertices that
+can still act, so large benchmark sweeps pay for the work the algorithm
+actually does rather than for the size of the graph.
+
+Architecture
+------------
+:class:`CompiledTopology`
+    Built once per :class:`~repro.congest.network.Network`.  Vertices are
+    indexed to dense ints ``0..n-1`` (in ``graph.nodes`` order, so outputs
+    keep the seed executor's ordering); adjacency is stored three ways:
+
+    * ``neighbor_tuples[i]`` — the deterministic sorted tuple handed to
+      :class:`~repro.congest.network.NodeContext` (identical to the seed);
+    * ``neighbor_sets[i]`` — a ``frozenset`` for O(1) send validation;
+    * CSR arrays ``indptr``/``indices`` over dense ints, the substrate for
+      future vectorized delivery.
+
+:func:`execute`
+    The active-set scheduler.  Per round it steps only not-yet-halted
+    vertices (halting is tracked by membership in the active list, not an
+    O(n) scan), delivers messages directly into the *next* round's inbox
+    dicts, and reuses the inbox dicts double-buffered across rounds — only
+    dicts that actually received a message are cleared.  Message/bit
+    counters are accumulated in locals and flushed to
+    :class:`~repro.congest.metrics.NetworkMetrics` once, so per-message
+    method-call overhead disappears while the final counters stay identical
+    to the seed executor's.
+
+    Contract change vs the seed: the inbox mapping passed to ``on_round``
+    is owned by the engine and is only valid for the duration of the call
+    (it is cleared and reused two rounds later).  No algorithm in this
+    repository retains it.
+
+:func:`run_many`
+    Batch API for benchmark sweeps: runs one algorithm over many trials
+    (graphs, or graphs with per-vertex inputs) across a ``multiprocessing``
+    pool, returning ``(outputs, metrics)`` per trial in input order.
+
+Semantics are byte-identical to the seed executor (same outputs, same
+``NetworkMetrics`` counters, same exceptions); ``tests/test_engine.py``
+asserts this differentially against the retained reference implementation
+``Network._run_reference``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from repro.congest.message import Message
+from repro.congest.metrics import NetworkMetrics
+
+
+class CompiledTopology:
+    """One-time compilation of a ``networkx.Graph`` into dense-int form.
+
+    Attributes
+    ----------
+    vertices:
+        Vertex ids in ``graph.nodes`` order; position is the dense index.
+    index_of:
+        ``{vertex id: dense index}``.
+    neighbor_tuples:
+        Per dense index, the neighbours as a tuple sorted by ``repr`` (the
+        deterministic order the seed executor exposed via ``NodeContext``).
+    neighbor_sets:
+        Per dense index, the same neighbours as a ``frozenset`` for O(1)
+        send validation.
+    indptr / indices:
+        CSR adjacency over dense indices (``indices[indptr[i]:indptr[i+1]]``
+        are ``i``'s neighbours).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "vertices",
+        "index_of",
+        "neighbor_tuples",
+        "neighbor_sets",
+        "indptr",
+        "indices",
+        "degrees",
+        "__weakref__",
+    )
+
+    _instances: "weakref.WeakKeyDictionary[nx.Graph, CompiledTopology]" = (
+        weakref.WeakKeyDictionary()
+    )
+
+    @classmethod
+    def for_graph(cls, graph: nx.Graph) -> "CompiledTopology":
+        """Memoized compilation, so sweeps that rebuild ``Network`` objects
+        over one graph compile the topology once.
+
+        Staleness is detected by comparing n, m, and the full degree
+        table (O(n)).  The one mutation class this cannot see is a
+        degree-preserving rewire (e.g. ``nx.double_edge_swap``) between
+        ``Network`` constructions — call :meth:`invalidate` after such
+        mutations, or pass a fresh graph copy.
+        """
+        topology = cls._instances.get(graph)
+        if topology is not None and topology.n == len(graph):
+            # One pass over the degree view covers n, m, and per-vertex
+            # degrees (degrees determine 2m).
+            index_of = topology.index_of
+            degrees = topology.degrees
+            for v, d in graph.degree:
+                i = index_of.get(v)
+                if i is None or degrees[i] != d:
+                    break
+            else:
+                return topology
+        topology = cls(graph)
+        cls._instances[graph] = topology
+        return topology
+
+    @classmethod
+    def invalidate(cls, graph: nx.Graph) -> None:
+        """Drop the cached compilation for ``graph`` (after an in-place
+        mutation the staleness check cannot detect)."""
+        cls._instances.pop(graph, None)
+
+    def __init__(self, graph: nx.Graph) -> None:
+        vertices = list(graph.nodes)
+        index_of = {v: i for i, v in enumerate(vertices)}
+        neighbor_tuples = [
+            tuple(sorted(graph.neighbors(v), key=repr)) for v in vertices
+        ]
+        indptr = [0]
+        indices: list[int] = []
+        for nbrs in neighbor_tuples:
+            indices.extend(index_of[u] for u in nbrs)
+            indptr.append(len(indices))
+        self.n = len(vertices)
+        self.m = graph.number_of_edges()
+        self.vertices = vertices
+        self.index_of = index_of
+        self.neighbor_tuples = neighbor_tuples
+        self.neighbor_sets = [frozenset(nbrs) for nbrs in neighbor_tuples]
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = [len(nbrs) for nbrs in neighbor_tuples]
+
+
+def execute(
+    topology: CompiledTopology,
+    algorithm: "NodeAlgorithm",
+    *,
+    model: str,
+    bandwidth_bits: int,
+    metrics: NetworkMetrics,
+    max_rounds: int = 10_000,
+    inputs: Mapping[Any, Any] | None = None,
+) -> dict[Any, Any]:
+    """Run ``algorithm`` on ``topology`` with the active-set scheduler.
+
+    Same observable semantics as the seed executor: outputs keyed in
+    ``graph.nodes`` order, identical metrics counters, identical
+    exceptions on non-neighbor sends, non-``Message`` objects, bandwidth
+    violations, and ``max_rounds`` exhaustion.
+    """
+    from repro.congest.network import BandwidthExceededError, NodeContext
+
+    n = topology.n
+    vertices = topology.vertices
+    instances = []
+    contexts = []
+    step_fns = []
+    for i in range(n):
+        instance = algorithm.spawn()
+        instance.input = None if inputs is None else inputs.get(vertices[i])
+        ctx = NodeContext(
+            node=vertices[i], neighbors=topology.neighbor_tuples[i], n=n
+        )
+        instance.initialize(ctx)
+        instances.append(instance)
+        contexts.append(ctx)
+        step_fns.append(instance.on_round)
+
+    index_of = topology.index_of
+    neighbor_sets = topology.neighbor_sets
+    congest = model == "congest"
+    # Single comparison per message: in LOCAL mode the limit is unreachable.
+    limit = bandwidth_bits if congest else (1 << 62)
+
+    # Double-buffered inboxes: ``read`` is consumed this round, ``fill``
+    # receives next round's messages; only dirty dicts are ever cleared.
+    read: list[dict[Any, Message]] = [{} for _ in range(n)]
+    fill: list[dict[Any, Message]] = [{} for _ in range(n)]
+    dirty_read: list[int] = []
+    dirty_fill: list[int] = []
+
+    active = [i for i in range(n) if not instances[i].halted]
+    message_count = 0
+    total_bits = 0
+    max_edge = metrics.max_edge_bits_in_round
+    round_number = 0
+    try:
+        while active:
+            round_number += 1
+            if round_number > max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+            metrics.record_round()
+            still_active: list[int] = []
+            still_append = still_active.append
+            dirty_append = dirty_fill.append
+            for i in active:
+                ctx = contexts[i]
+                ctx.round_number = round_number
+                sent = step_fns[i](ctx, read[i])
+                if sent:
+                    sender = ctx.node
+                    nbrs = neighbor_sets[i]
+                    for receiver, message in sent.items():
+                        if receiver not in nbrs:
+                            raise ValueError(
+                                f"node {sender!r} sent to non-neighbor "
+                                f"{receiver!r}"
+                            )
+                        if message.__class__ is not Message:
+                            if not isinstance(message, Message):
+                                raise TypeError(
+                                    f"node {sender!r} sent a non-Message "
+                                    f"object: {message!r}"
+                                )
+                        # Fast path past the lazy property: shared broadcast
+                        # messages hit the cached slot after the first read.
+                        bits = message._bit_size
+                        if bits < 0:
+                            bits = message.bit_size
+                        if bits > limit:
+                            raise BandwidthExceededError(
+                                f"message of {bits} bits from {sender!r} to "
+                                f"{receiver!r} exceeds CONGEST bandwidth "
+                                f"{bandwidth_bits} bits"
+                            )
+                        message_count += 1
+                        total_bits += bits
+                        if bits > max_edge:
+                            max_edge = bits
+                        j = index_of[receiver]
+                        box = fill[j]
+                        if not box:
+                            dirty_append(j)
+                        box[sender] = message
+                if not instances[i]._halted:
+                    still_append(i)
+            active = still_active
+            for j in dirty_read:
+                read[j].clear()
+            dirty_read.clear()
+            read, fill = fill, read
+            dirty_read, dirty_fill = dirty_fill, dirty_read
+    finally:
+        metrics.messages += message_count
+        metrics.total_bits += total_bits
+        metrics.max_edge_bits_in_round = max_edge
+    return {vertices[i]: instances[i].output() for i in range(n)}
+
+
+# ---------------------------------------------------------------------------
+# Batched execution across trials (benchmark sweeps)
+# ---------------------------------------------------------------------------
+@dataclass
+class Trial:
+    """One job for :func:`run_many`: a topology plus optional per-vertex
+    inputs (e.g. RNG seeds) and per-trial overrides."""
+
+    graph: nx.Graph
+    inputs: Mapping[Any, Any] | None = None
+    max_rounds: int | None = None
+    model: str | None = None
+    bandwidth_factor: int | None = None
+
+
+_POOL_SHARED: dict[str, Any] = {}
+
+
+def _pool_init(shared_graph) -> None:
+    """Pool initializer: receive a sweep's common graph once per worker
+    instead of re-pickling it with every trial payload."""
+    _POOL_SHARED["graph"] = shared_graph
+
+
+def _run_trial(payload: tuple) -> tuple[dict, NetworkMetrics]:
+    """Top-level worker (must be picklable for multiprocessing)."""
+    from repro.congest.network import Network
+
+    algorithm, graph, inputs, model, bandwidth_factor, max_rounds = payload
+    if graph is None:
+        graph = _POOL_SHARED["graph"]
+    net = Network(graph, model=model, bandwidth_factor=bandwidth_factor)
+    outputs = net.run(algorithm, max_rounds=max_rounds, inputs=inputs)
+    return outputs, net.metrics
+
+
+def run_many(
+    algorithm: "NodeAlgorithm",
+    trials: Iterable[nx.Graph | Trial | tuple],
+    processes: int | None = None,
+    *,
+    model: str = "congest",
+    bandwidth_factor: int = 32,
+    max_rounds: int = 10_000,
+) -> list[tuple[dict, NetworkMetrics]]:
+    """Run ``algorithm`` over many trials, optionally in parallel.
+
+    Parameters
+    ----------
+    algorithm:
+        The prototype :class:`~repro.congest.network.NodeAlgorithm`; each
+        trial spawns fresh per-vertex instances from it.  Must be picklable
+        when ``processes > 1`` (every algorithm in this repository is).
+    trials:
+        Iterable of jobs.  Each may be a bare ``networkx.Graph``, a
+        ``(graph, inputs)`` pair, or a :class:`Trial` with per-trial
+        overrides (the common benchmark shape: same graph, many seeds).
+    processes:
+        Worker-process count.  ``None`` uses ``os.cpu_count()`` capped at
+        the trial count; ``1`` (or a single trial) runs serially in this
+        process with zero multiprocessing overhead.
+
+    Returns
+    -------
+    ``[(outputs, metrics), ...]`` in trial order — exactly what running
+    each trial through :meth:`Network.run` serially would produce.
+    """
+    payloads = []
+    for spec in trials:
+        if isinstance(spec, Trial):
+            payloads.append(
+                (
+                    algorithm,
+                    spec.graph,
+                    spec.inputs,
+                    spec.model if spec.model is not None else model,
+                    spec.bandwidth_factor
+                    if spec.bandwidth_factor is not None
+                    else bandwidth_factor,
+                    spec.max_rounds
+                    if spec.max_rounds is not None
+                    else max_rounds,
+                )
+            )
+        elif isinstance(spec, tuple):
+            graph, inputs = spec
+            payloads.append(
+                (algorithm, graph, inputs, model, bandwidth_factor, max_rounds)
+            )
+        else:
+            payloads.append(
+                (algorithm, spec, None, model, bandwidth_factor, max_rounds)
+            )
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = max(1, min(processes, len(payloads)))
+    if processes == 1 or len(payloads) <= 1:
+        return [_run_trial(payload) for payload in payloads]
+    # Common sweep shape: every trial runs on the same graph.  Ship that
+    # graph once per worker (pool initializer) rather than per trial.
+    graphs = {id(payload[1]): payload[1] for payload in payloads}
+    shared_graph = next(iter(graphs.values())) if len(graphs) == 1 else None
+    if shared_graph is not None:
+        payloads = [
+            (payload[0], None, *payload[2:]) for payload in payloads
+        ]
+    start_methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in start_methods else "spawn"
+    )
+    with ctx.Pool(
+        processes, initializer=_pool_init, initargs=(shared_graph,)
+    ) as pool:
+        return pool.map(_run_trial, payloads)

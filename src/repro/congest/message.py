@@ -9,7 +9,6 @@ repository (ints, vertex identifiers, short tuples of those).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -60,9 +59,20 @@ def bits_for_payload(payload: Any) -> int:
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 
 
-@dataclass(frozen=True)
 class Message:
     """A single message sent over one edge in one round.
+
+    Immutable (like the frozen dataclass it replaced) but with the bit
+    size computed *lazily on first access* and cached, so constructing a
+    message — e.g. one per neighbour in a broadcast — does not serialize
+    the payload until bandwidth validation or metrics actually need the
+    size, and never more than once per message.
+
+    One consequence of the laziness: an unsizeable payload no longer
+    raises ``TypeError`` at construction; it raises on the first
+    ``bit_size`` access instead — in practice when the executor validates
+    the send (and ``==``/``hash`` also force the size, since equality
+    compares ``(payload, bit_size)`` like the dataclass did).
 
     Parameters
     ----------
@@ -71,14 +81,41 @@ class Message:
         ints, vertex ids, and short tuples.
     bit_size:
         Explicit size used for CONGEST accounting.  When omitted it is
-        derived from the payload via :func:`bits_for_payload`.
+        derived from the payload via :func:`bits_for_payload` on first
+        access.
     """
 
-    payload: Any
-    bit_size: int = field(default=-1)
+    __slots__ = ("payload", "_bit_size")
 
-    def __post_init__(self) -> None:
-        if self.bit_size < 0:
-            object.__setattr__(self, "bit_size", bits_for_payload(self.payload))
-        if self.bit_size == 0:
-            object.__setattr__(self, "bit_size", 1)
+    def __init__(self, payload: Any, bit_size: int = -1) -> None:
+        object.__setattr__(self, "payload", payload)
+        object.__setattr__(self, "_bit_size", 1 if bit_size == 0 else bit_size)
+
+    @property
+    def bit_size(self) -> int:
+        size = self._bit_size
+        if size < 0:
+            size = bits_for_payload(self.payload) or 1
+            object.__setattr__(self, "_bit_size", size)
+        return size
+
+    # -- immutability / value semantics (dataclass parity) ------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Message is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Message is immutable; cannot delete {name!r}")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (self.payload, self.bit_size) == (other.payload, other.bit_size)
+
+    def __hash__(self) -> int:
+        return hash((self.payload, self.bit_size))
+
+    def __repr__(self) -> str:
+        return f"Message(payload={self.payload!r}, bit_size={self.bit_size})"
+
+    def __reduce__(self):
+        return (Message, (self.payload, self._bit_size))

@@ -9,6 +9,27 @@ Usage sketch::
 is created per vertex.  The executor delivers all messages sent in round r
 at the beginning of round r + 1 and stops when every node has halted (or
 ``max_rounds`` is hit, which raises).
+
+Execution engine
+----------------
+:meth:`Network.run` keeps this public API but delegates the round loop to
+the compiled-topology engine in :mod:`repro.congest.engine`: the topology
+is indexed to dense ints once in ``__init__`` (adjacency as CSR arrays
+plus per-vertex ``frozenset`` neighbour sets for O(1) send validation),
+and the engine steps only not-yet-halted vertices per round, reusing
+inbox dicts instead of reallocating ``{v: {} for v in nodes}`` each round.
+The pre-engine loop is retained verbatim as :meth:`Network._run_reference`
+— it is the executable specification that ``tests/test_engine.py`` checks
+the engine against and the baseline ``benchmarks/bench_engine.py`` measures
+speedups over.
+
+Batch sweeps over many graphs/seeds should use
+:func:`repro.congest.engine.run_many`, which fans trials out over a
+``multiprocessing`` pool.
+
+One engine-level contract note: the inbox mapping passed to
+:meth:`NodeAlgorithm.on_round` is owned by the executor and valid only for
+the duration of the call; algorithms must copy it if they need it later.
 """
 
 from __future__ import annotations
@@ -19,6 +40,7 @@ from typing import Any, Callable, Mapping
 
 import networkx as nx
 
+from repro.congest import engine as _engine
 from repro.congest.message import Message
 from repro.congest.metrics import NetworkMetrics
 
@@ -135,8 +157,14 @@ class Network:
         log_n = max(1, math.ceil(math.log2(max(2, n))))
         self.bandwidth_bits = bandwidth_factor * log_n
         self.metrics = NetworkMetrics()
+        self._topology = _engine.CompiledTopology.for_graph(graph)
         self._neighbors = {
-            v: tuple(sorted(graph.neighbors(v), key=repr)) for v in graph.nodes
+            v: self._topology.neighbor_tuples[i]
+            for i, v in enumerate(self._topology.vertices)
+        }
+        self._neighbor_sets = {
+            v: self._topology.neighbor_sets[i]
+            for i, v in enumerate(self._topology.vertices)
         }
 
     # ------------------------------------------------------------------
@@ -151,7 +179,35 @@ class Network:
         ``inputs`` optionally provides a per-vertex input value, exposed to
         the node as ``self.input`` before :meth:`NodeAlgorithm.initialize`.
 
-        Returns the dict of per-vertex outputs.
+        Returns the dict of per-vertex outputs.  Delegates to the
+        compiled-topology active-set engine (see the module docstring and
+        :mod:`repro.congest.engine`); semantics are identical to the
+        reference loop in :meth:`_run_reference`.
+        """
+        return _engine.execute(
+            self._topology,
+            algorithm,
+            model=self.model,
+            bandwidth_bits=self.bandwidth_bits,
+            metrics=self.metrics,
+            max_rounds=max_rounds,
+            inputs=inputs,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_reference(
+        self,
+        algorithm: NodeAlgorithm,
+        max_rounds: int = 10_000,
+        inputs: Mapping[Any, Any] | None = None,
+    ) -> dict[Any, Any]:
+        """The seed round loop, kept as the engine's executable spec.
+
+        Reallocates every inbox each round and scans all vertices for
+        halting — O(n) per round regardless of activity.  Used by
+        ``tests/test_engine.py`` for differential checks and by
+        ``benchmarks/bench_engine.py`` as the speedup baseline.  Do not
+        optimize this method; optimize the engine.
         """
         n = self.graph.number_of_nodes()
         nodes: dict[Any, NodeAlgorithm] = {}
@@ -192,7 +248,9 @@ class Network:
 
     # ------------------------------------------------------------------
     def _validate_and_count(self, sender: Any, sent: Mapping[Any, Message]) -> None:
-        neighbor_set = self._neighbors[sender]
+        # Precomputed frozensets: membership is O(1) per message, not
+        # O(deg) as with the seed's neighbour tuples.
+        neighbor_set = self._neighbor_sets[sender]
         for receiver, message in sent.items():
             if receiver not in neighbor_set:
                 raise ValueError(

@@ -52,6 +52,7 @@ from repro.decomposition.types import (
 )
 from repro.graphs.cluster_graph import build_cluster_graph
 from repro.graphs.conductance import conductance
+from repro.graphs.stats import GraphStats
 
 
 # ---------------------------------------------------------------------------
@@ -92,9 +93,7 @@ def local_edt_lemma51(
     if not 0 < epsilon <= 1:
         raise ValueError("epsilon must lie in (0, 1]")
     if alpha is None:
-        from repro.graphs.arboricity import degeneracy
-
-        alpha = max(1, degeneracy(subgraph))
+        alpha = max(1, GraphStats.for_graph(subgraph).degeneracy)
     if subgraph.number_of_edges() == 0:
         return {
             "parts": [{v} for v in subgraph.nodes],
@@ -303,6 +302,7 @@ def refine_merge(
 
     members = clustering.clusters()
     threshold = epsilon_threshold / (32.0 * alpha)
+    stats = GraphStats.for_graph(graph)
 
     def crossing_weight(a: Hashable, b: Hashable) -> int:
         return cluster_graph[a][b]["weight"] if cluster_graph.has_edge(a, b) else 0
@@ -310,7 +310,7 @@ def refine_merge(
     star_of: dict[Hashable, Hashable] = {}
     for center, satellites in stars_result.stars.items():
         for satellite in satellites:
-            volume_s = sum(graph.degree[v] for v in members[satellite])
+            volume_s = stats.volume(members[satellite])
             if crossing_weight(center, satellite) <= threshold * volume_s:
                 continue  # light link removed — S stays its own cluster
             star_of[satellite] = center
@@ -461,9 +461,7 @@ def edt_decomposition(
     if not 0 < epsilon < 1:
         raise ValueError("epsilon must lie in (0, 1)")
     if alpha is None:
-        from repro.graphs.arboricity import degeneracy
-
-        alpha = max(1, degeneracy(graph))
+        alpha = max(1, GraphStats.for_graph(graph).degeneracy)
     if max_outer_iterations is None:
         shrink = 1.0 - 1.0 / (16.0 * alpha)
         max_outer_iterations = max(

@@ -44,6 +44,7 @@ from repro.decomposition.heavy_stars import heavy_stars
 from repro.decomposition.types import OverlapCluster, OverlapDecomposition
 from repro.graphs.cluster_graph import build_cluster_graph
 from repro.graphs.conductance import conductance
+from repro.graphs.stats import GraphStats
 
 
 @dataclass
@@ -102,15 +103,23 @@ def lemma44_round(
     """One merging round (the algorithm of Lemma 4.4).  Returns the new
     cluster list and round diagnostics."""
     # ---- Step 1: creating singleton clusters ------------------------------
+    stats = GraphStats.for_graph(graph)
+    degree = stats.degree
     threshold_ratio = 1.0 / (34.0 * alpha)
     new_singletons: list[_MutableCluster] = []
     for cluster in clusters:
         if len(cluster.members) <= 1:
             continue
+        # One pass over E(G_S) builds every member's subgraph degree; the
+        # seed's per-vertex degree_in_subgraph scan was O(|S|·|E_S|).
+        sub_degree: dict[Hashable, int] = {}
+        for edge in cluster.edges:
+            for x in edge:
+                sub_degree[x] = sub_degree.get(x, 0) + 1
         expelled = [
             u
             for u in cluster.members
-            if cluster.degree_in_subgraph(u) <= threshold_ratio * graph.degree[u]
+            if sub_degree.get(u, 0) <= threshold_ratio * degree[u]
         ]
         for u in expelled:
             cluster.members.discard(u)
@@ -152,9 +161,7 @@ def lemma44_round(
         kept = []
         for satellite in satellites:
             key = (min(center, satellite), max(center, satellite))
-            volume_s = sum(
-                graph.degree[x] for x in clusters[satellite].nodes
-            )
+            volume_s = stats.volume(clusters[satellite].nodes)
             if crossing.get(key, 0) <= light_threshold * volume_s:
                 removed_links += crossing.get(key, 0)
                 continue
@@ -215,9 +222,7 @@ def overlap_expander_decomposition(
     if not 0 < epsilon <= 1:
         raise ValueError("epsilon must lie in (0, 1]")
     if alpha is None:
-        from repro.graphs.arboricity import degeneracy
-
-        alpha = max(1, degeneracy(graph))
+        alpha = max(1, GraphStats.for_graph(graph).degeneracy)
     stats = OverlapRunStats()
     m = graph.number_of_edges()
     clusters = [

@@ -67,6 +67,7 @@ from repro.graphs.conductance import (
 )
 from repro.graphs.expander_split import ExpanderSplit, constant_degree_expander
 from repro.graphs.cluster_graph import build_cluster_graph, contract_partition
+from repro.graphs.stats import GraphStats
 
 __all__ = [
     "bounded_treewidth_graph",
@@ -106,4 +107,5 @@ __all__ = [
     "constant_degree_expander",
     "build_cluster_graph",
     "contract_partition",
+    "GraphStats",
 ]

@@ -24,37 +24,55 @@ from typing import Hashable, Iterable
 import networkx as nx
 import numpy as np
 
+from repro.graphs.stats import GraphStats
+
 
 def volume(graph: nx.Graph, vertices: Iterable[Hashable]) -> int:
     """vol(S) = Σ_{v∈S} deg_G(v), degrees in the underlying graph."""
-    return sum(graph.degree[v] for v in vertices)
+    degree = graph.degree
+    return sum(degree[v] for v in vertices)
 
 
 def cut_size(graph: nx.Graph, vertices: Iterable[Hashable]) -> int:
-    """|∂S| = number of edges with exactly one endpoint in S."""
-    inside = set(vertices)
-    return sum(1 for u, v in graph.edges if (u in inside) != (v in inside))
+    """|∂S| = number of edges with exactly one endpoint in S.
+
+    Delegates to :class:`~repro.graphs.stats.GraphStats`: iterates only
+    edges incident to S — O(vol S), not O(m) — and memoizes results for
+    ``frozenset`` arguments, so repeated cut queries in refinement loops
+    don't rescan the whole edge set.
+    """
+    return GraphStats.for_graph(graph).cut_size(vertices)
 
 
 def conductance_of_set(graph: nx.Graph, vertices: Iterable[Hashable]) -> float:
-    """Φ(S) per the paper; requires ∅ ⊂ S ⊂ V."""
+    """Φ(S) per the paper; requires ∅ ⊂ S ⊂ V.
+
+    Uses the per-graph :class:`~repro.graphs.stats.GraphStats` cache: the
+    degree table and total volume are computed once per graph, so
+    vol(V∖S) is ``total − vol(S)`` instead of a second pass over V∖S.
+    """
+    stats = GraphStats.for_graph(graph)
     inside = set(vertices)
-    outside = set(graph.nodes) - inside
-    if not inside or not outside:
+    if not inside:
         raise ValueError("conductance needs a proper nonempty subset")
-    denominator = min(volume(graph, inside), volume(graph, outside))
+    vol_inside = stats.volume(inside)
+    if len(inside) >= stats.n:
+        raise ValueError("conductance needs a proper nonempty subset")
+    denominator = min(vol_inside, stats.total_volume - vol_inside)
     if denominator == 0:
         return math.inf
-    return cut_size(graph, inside) / denominator
+    return stats.cut_size(inside) / denominator
 
 
 def sparsity_of_set(graph: nx.Graph, vertices: Iterable[Hashable]) -> float:
     """Ψ(S) (edge expansion) per the paper; requires ∅ ⊂ S ⊂ V."""
+    stats = GraphStats.for_graph(graph)
     inside = set(vertices)
-    outside = set(graph.nodes) - inside
-    if not inside or not outside:
+    if not inside:
         raise ValueError("sparsity needs a proper nonempty subset")
-    return cut_size(graph, inside) / min(len(inside), len(outside))
+    if len(inside) >= stats.n:
+        raise ValueError("sparsity needs a proper nonempty subset")
+    return stats.cut_size(inside) / min(len(inside), stats.n - len(inside))
 
 
 def exact_conductance(graph: nx.Graph, max_nodes: int = 18) -> float:
@@ -158,21 +176,38 @@ def is_phi_expander(graph: nx.Graph, phi: float) -> bool:
 
 
 def cheeger_sweep_cut(graph: nx.Graph) -> set | None:
-    """Sweep cut from the Fiedler vector: a cut with Φ ≤ √(2 λ2)."""
+    """Sweep cut from the Fiedler vector: a cut with Φ ≤ √(2 λ2).
+
+    The sweep maintains |∂S| and vol(S) incrementally as each vertex joins
+    the prefix (cut grows by deg(v) minus twice the edges into the prefix),
+    so the whole sweep costs O(m) instead of the seed's O(n·m) rescans.
+    """
     n = graph.number_of_nodes()
     if n < 2 or not nx.is_connected(graph):
         return None
+    stats = GraphStats.for_graph(graph)
     nodes = list(graph.nodes)
     laplacian = nx.normalized_laplacian_matrix(graph, nodelist=nodes).todense()
     _, vectors = np.linalg.eigh(np.asarray(laplacian))
     fiedler = vectors[:, 1]
     degrees = np.array([graph.degree[v] for v in nodes], dtype=float)
     order = np.argsort(fiedler / np.sqrt(np.maximum(degrees, 1.0)))
+    adj = graph.adj
+    total_volume = stats.total_volume
     best_cut, best_phi = None, math.inf
     prefix: set = set()
+    cut = 0
+    vol = 0
     for idx in order[:-1]:
-        prefix.add(nodes[int(idx)])
-        phi = conductance_of_set(graph, prefix)
+        v = nodes[int(idx)]
+        internal = sum(1 for u in adj[v] if u in prefix)
+        cut += stats.degree[v] - 2 * internal
+        if v in adj[v]:  # a self-loop never crosses the cut
+            cut -= 2
+        vol += stats.degree[v]
+        prefix.add(v)
+        denominator = min(vol, total_volume - vol)
+        phi = cut / denominator if denominator else math.inf
         if phi < best_phi:
             best_phi = phi
             best_cut = set(prefix)
