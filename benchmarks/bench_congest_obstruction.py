@@ -20,7 +20,12 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import networkx as nx
 
-from _common import print_table
+from _common import (
+    bench_payload,
+    print_table,
+    workload_record,
+    write_bench_json,
+)
 
 from repro.congest import measure_step1_message_bits
 
@@ -47,17 +52,38 @@ def _star_of_clusters(pendants: int):
 
 
 def test_step1_message_size_blowup(benchmark):
+    import time
+
     sizes = [4, 16, 64, 256]
 
     def run():
         out = []
         for pendants in sizes:
             graph, assignment = _star_of_clusters(pendants)
+            start = time.perf_counter()
             result = measure_step1_message_bits(graph, assignment, model="local")
+            result["wall_clock_s"] = time.perf_counter() - start
+            result["n"] = graph.number_of_nodes()
+            result["m"] = graph.number_of_edges()
             out.append((pendants, result))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_bench_json("obstruction", bench_payload("obstruction", [
+        workload_record(
+            f"step1_aggregation_{pendants}_clusters",
+            n=result["n"],
+            m=result["m"],
+            wall_clock_s=result["wall_clock_s"],
+            rounds=result["rounds"],
+            messages=result["messages"],
+            bits=result["total_bits"],
+            max_message_bits=result["max_message_bits"],
+            congest_budget_bits=result["congest_budget_bits"],
+            violates_congest=result["violates_congest"],
+        )
+        for pendants, result in results
+    ]))
     rows = [
         [pendants, result["max_message_bits"],
          result["congest_budget_bits"],

@@ -1,0 +1,364 @@
+"""Before/after benchmark for the broadcast-aware vectorized delivery plane.
+
+"Before" is a verbatim replica of the **PR-1 engine** (:func:`pr1_execute`
+below): compiled topology, active-set scheduling, double-buffered inboxes —
+but strictly per-message delivery.  Every outgoing message pays its own
+neighbour-set membership check, type check, bit-size lookup, bandwidth
+compare, three counter updates, and a dense-index dict lookup; broadcasts
+arrive as the per-receiver dicts the PR-1 algorithms built by hand
+(replayed here by :class:`DictOutboxAdapter`, since today's algorithms emit
+``Broadcast`` sentinels).
+
+"After" is the production path: ``Network.run`` → the delivery plane of
+:mod:`repro.congest.engine`, which validates a broadcast payload once,
+counts ``deg × bits`` with one multiply, delivers over the precompiled CSR
+neighbour indices, and defers unicast metrics to per-round reductions.
+
+``Network._run_reference`` (the seed loop, the executable spec) runs too;
+outputs and ``NetworkMetrics`` counters of all three executors are asserted
+byte-identical before any number is reported.  Workloads are the
+broadcast-heavy classics named by the PR-2 acceptance bar — Luby MIS,
+(Δ+1)-colouring, BFS — at 2k–10k nodes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_delivery.py [--quick] [--json PATH]
+
+``--quick`` shrinks the instances so the whole run finishes well under
+30 s (the perf-smoke budget in ``scripts/perf_smoke.sh``).  Results are
+written to ``BENCH_delivery.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import bench_payload, fmt, print_table, write_bench_json
+
+from repro.congest import (
+    Broadcast,
+    CompiledTopology,
+    Message,
+    Network,
+    NetworkMetrics,
+    NodeAlgorithm,
+)
+from repro.congest.algorithms import BFSTreeAlgorithm
+from repro.congest.classic import LubyMISAlgorithm, TrialColoringAlgorithm
+from repro.graphs import random_regular_expander, triangulated_grid
+
+
+# ---------------------------------------------------------------------------
+# The PR-1 engine, replicated verbatim as the "before".
+# ---------------------------------------------------------------------------
+class DictOutboxAdapter(NodeAlgorithm):
+    """Replay the PR-1 message emission: every ``Broadcast`` expanded to
+    the per-receiver dict the PR-1 algorithms built inside ``on_round``
+    (same comprehension, same shared message object)."""
+
+    def __init__(self, inner: NodeAlgorithm) -> None:
+        super().__init__()
+        self.inner = inner
+
+    def spawn(self) -> "DictOutboxAdapter":
+        return DictOutboxAdapter(self.inner.spawn())
+
+    def initialize(self, ctx) -> None:
+        self.inner.input = self.input
+        self.inner.initialize(ctx)
+        self._halted = self.inner._halted
+
+    def on_round(self, ctx, inbox):
+        out = self.inner.on_round(ctx, inbox)
+        self._halted = self.inner._halted
+        if isinstance(out, Broadcast):
+            out = out.expand(ctx.neighbors)
+        return out
+
+    def output(self):
+        return self.inner.output()
+
+
+def pr1_execute(topology, algorithm, *, model, bandwidth_bits, metrics,
+                max_rounds=10_000, inputs=None):
+    """The PR-1 ``engine.execute`` loop, kept bit-for-bit: active-set
+    scheduling and buffer reuse, but per-message validation/metrics."""
+    from repro.congest.network import BandwidthExceededError, NodeContext
+
+    n = topology.n
+    vertices = topology.vertices
+    instances = []
+    contexts = []
+    step_fns = []
+    for i in range(n):
+        instance = algorithm.spawn()
+        instance.input = None if inputs is None else inputs.get(vertices[i])
+        ctx = NodeContext(
+            node=vertices[i], neighbors=topology.neighbor_tuples[i], n=n
+        )
+        instance.initialize(ctx)
+        instances.append(instance)
+        contexts.append(ctx)
+        step_fns.append(instance.on_round)
+
+    index_of = topology.index_of
+    neighbor_sets = topology.neighbor_sets
+    congest = model == "congest"
+    limit = bandwidth_bits if congest else (1 << 62)
+
+    read = [{} for _ in range(n)]
+    fill = [{} for _ in range(n)]
+    dirty_read = []
+    dirty_fill = []
+
+    active = [i for i in range(n) if not instances[i].halted]
+    message_count = 0
+    total_bits = 0
+    max_edge = metrics.max_edge_bits_in_round
+    round_number = 0
+    try:
+        while active:
+            round_number += 1
+            if round_number > max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+            metrics.record_round()
+            still_active = []
+            still_append = still_active.append
+            dirty_append = dirty_fill.append
+            for i in active:
+                ctx = contexts[i]
+                ctx.round_number = round_number
+                sent = step_fns[i](ctx, read[i])
+                if sent:
+                    sender = ctx.node
+                    nbrs = neighbor_sets[i]
+                    for receiver, message in sent.items():
+                        if receiver not in nbrs:
+                            raise ValueError(
+                                f"node {sender!r} sent to non-neighbor "
+                                f"{receiver!r}"
+                            )
+                        if message.__class__ is not Message:
+                            if not isinstance(message, Message):
+                                raise TypeError(
+                                    f"node {sender!r} sent a non-Message "
+                                    f"object: {message!r}"
+                                )
+                        bits = message._bit_size
+                        if bits < 0:
+                            bits = message.bit_size
+                        if bits > limit:
+                            raise BandwidthExceededError(
+                                f"message of {bits} bits from {sender!r} to "
+                                f"{receiver!r} exceeds CONGEST bandwidth "
+                                f"{bandwidth_bits} bits"
+                            )
+                        message_count += 1
+                        total_bits += bits
+                        if bits > max_edge:
+                            max_edge = bits
+                        j = index_of[receiver]
+                        box = fill[j]
+                        if not box:
+                            dirty_append(j)
+                        box[sender] = message
+                if not instances[i]._halted:
+                    still_append(i)
+            active = still_active
+            for j in dirty_read:
+                read[j].clear()
+            dirty_read.clear()
+            read, fill = fill, read
+            dirty_read, dirty_fill = dirty_fill, dirty_read
+    finally:
+        metrics.messages += message_count
+        metrics.total_bits += total_bits
+        metrics.max_edge_bits_in_round = max_edge
+    return {vertices[i]: instances[i].output() for i in range(n)}
+
+
+def run_pr1(graph, make_algorithm, inputs, max_rounds):
+    n = graph.number_of_nodes()
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    metrics = NetworkMetrics()
+    outputs = pr1_execute(
+        CompiledTopology.for_graph(graph),
+        DictOutboxAdapter(make_algorithm()),
+        model="congest",
+        bandwidth_bits=32 * log_n,
+        metrics=metrics,
+        max_rounds=max_rounds,
+        inputs=inputs,
+    )
+    return outputs, metrics
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def _best_of(repeats, runner):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outputs, metrics = runner()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, outputs, metrics)
+    return best
+
+
+def counters(metrics):
+    return (metrics.rounds, metrics.messages, metrics.total_bits,
+            metrics.max_edge_bits_in_round)
+
+
+def bench_workload(name, graph, make_algorithm, inputs, max_rounds, repeats):
+    pr1_s, pr1_out, pr1_metrics = _best_of(repeats, lambda: run_pr1(
+        graph, make_algorithm, inputs, max_rounds))
+
+    def run_engine():
+        net = Network(graph)
+        return net.run(make_algorithm(), max_rounds=max_rounds,
+                       inputs=inputs), net.metrics
+
+    def run_reference():
+        net = Network(graph)
+        return net._run_reference(make_algorithm(), max_rounds=max_rounds,
+                                  inputs=inputs), net.metrics
+
+    eng_s, eng_out, eng_metrics = _best_of(repeats, run_engine)
+    ref_s, ref_out, ref_metrics = _best_of(1, run_reference)
+
+    if not (eng_out == pr1_out == ref_out):
+        raise AssertionError(f"{name}: executor outputs diverged")
+    if not (list(eng_out) == list(pr1_out) == list(ref_out)):
+        raise AssertionError(f"{name}: output vertex order diverged")
+    if not (counters(eng_metrics) == counters(pr1_metrics)
+            == counters(ref_metrics)):
+        raise AssertionError(f"{name}: executor metrics diverged")
+    return {
+        "workload": name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "trials": repeats,
+        "wall_clock_s": eng_s,
+        "rounds": eng_metrics.rounds,
+        "messages": eng_metrics.messages,
+        "bits": eng_metrics.total_bits,
+        "pr1_engine_s": pr1_s,
+        "reference_s": ref_s,
+        "engine_s": eng_s,
+        "speedup_vs_pr1": pr1_s / eng_s if eng_s > 0 else float("inf"),
+        "speedup_vs_reference": ref_s / eng_s if eng_s > 0 else float("inf"),
+        "messages_per_sec_engine":
+            eng_metrics.messages / eng_s if eng_s else 0.0,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances; finishes in well under 30 s",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="where to write the results JSON "
+             "(default: BENCH_delivery.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = [
+            ("luby_mis_expander",
+             random_regular_expander(512, 16, seed=2), "mis", 1),
+            ("coloring_grid", triangulated_grid(16, 16), "coloring", 1),
+            ("bfs_expander",
+             random_regular_expander(1024, 8, seed=3), "bfs", 1),
+        ]
+    else:
+        workloads = [
+            ("luby_mis_expander_2k",
+             random_regular_expander(2000, 32, seed=2), "mis", 3),
+            ("luby_mis_expander_10k",
+             random_regular_expander(10000, 16, seed=4), "mis", 3),
+            ("coloring_grid_2k", triangulated_grid(45, 45), "coloring", 3),
+            ("coloring_expander_4k",
+             random_regular_expander(4000, 16, seed=5), "coloring", 3),
+            ("bfs_expander_10k",
+             random_regular_expander(10000, 16, seed=6), "bfs", 3),
+        ]
+
+    results = []
+    for name, graph, kind, repeats in workloads:
+        n = graph.number_of_nodes()
+        if kind == "mis":
+            horizon = 20 * max(4, n.bit_length() ** 2)
+            make = lambda h=horizon: LubyMISAlgorithm(h)
+            inputs = seeded_inputs(graph, 1)
+        elif kind == "coloring":
+            delta = max(d for _, d in graph.degree)
+            horizon = 40 * max(4, n.bit_length() ** 2)
+            make = lambda d=delta, h=horizon: TrialColoringAlgorithm(d + 1, h)
+            inputs = seeded_inputs(graph, 3)
+        else:  # bfs: expanders have O(log n) diameter; a tight horizon
+            # (eccentricity + completion-wave slack) keeps the run
+            # delivery-bound rather than idle-round-bound.
+            import networkx as nx
+            root = next(iter(graph.nodes))
+            horizon = nx.eccentricity(graph, v=root) + 3
+            make = lambda r=root, h=horizon: BFSTreeAlgorithm(r, h)
+            inputs = None
+        results.append(bench_workload(
+            name, graph, make, inputs, horizon + 2, repeats,
+        ))
+
+    print_table(
+        "Broadcast delivery plane vs PR-1 engine "
+        "(identical outputs and metrics asserted, incl. vs _run_reference)",
+        ["workload", "n", "msgs", "pr1 s", "ref s", "engine s",
+         "vs pr1", "vs ref", "msgs/s"],
+        [
+            [r["workload"], r["n"], r["messages"], fmt(r["pr1_engine_s"], 4),
+             fmt(r["reference_s"], 4), fmt(r["engine_s"], 4),
+             fmt(r["speedup_vs_pr1"], 2), fmt(r["speedup_vs_reference"], 2),
+             int(r["messages_per_sec_engine"])]
+            for r in results
+        ],
+    )
+
+    geo_mean = statistics.geometric_mean(
+        [r["speedup_vs_pr1"] for r in results]
+    )
+    payload = bench_payload(
+        "delivery",
+        results,
+        quick=args.quick,
+        geomean_speedup_vs_pr1=geo_mean,
+        geomean_speedup_vs_reference=statistics.geometric_mean(
+            [r["speedup_vs_reference"] for r in results]
+        ),
+    )
+    path = write_bench_json("delivery", payload, args.json)
+    print(f"geomean speedup vs PR-1 engine: {geo_mean:.2f}x")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

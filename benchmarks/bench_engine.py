@@ -32,7 +32,6 @@ trajectory.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import os
 import random
@@ -45,9 +44,16 @@ from typing import Any
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import fmt, print_table
+from _common import bench_payload, fmt, print_table, write_bench_json
 
-from repro.congest import Message, Network, NetworkMetrics, Trial, run_many
+from repro.congest import (
+    Broadcast,
+    Message,
+    Network,
+    NetworkMetrics,
+    Trial,
+    run_many,
+)
 from repro.congest.classic import (
     LubyMISAlgorithm,
     ProposalMatchingAlgorithm,
@@ -122,6 +128,10 @@ class SeedNetwork:
                 ctx = contexts[v]
                 ctx.round_number = round_number
                 sent = node.on_round(ctx, inboxes[v])
+                if isinstance(sent, Broadcast):
+                    # The seed algorithms built this dict by hand, with one
+                    # eagerly-sized message per receiver.
+                    sent = sent.expand(ctx.neighbors)
                 if sent:
                     sent = {
                         receiver: SeedMessage(message.payload)
@@ -202,8 +212,11 @@ def bench_workload(name, graph, make_algorithm, inputs, max_rounds, repeats):
         "workload": name,
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
+        "trials": repeats,
+        "wall_clock_s": eng_s,
         "rounds": eng_metrics.rounds,
         "messages": eng_metrics.messages,
+        "bits": eng_metrics.total_bits,
         "seed_stack_s": seed_s,
         "reference_s": ref_s,
         "engine_s": eng_s,
@@ -336,15 +349,16 @@ def main(argv=None):
     geo_mean = statistics.geometric_mean(
         [r["speedup_vs_seed"] for r in results]
     )
-    payload = {
-        "quick": args.quick,
-        "workloads": results,
-        "run_many": sweep,
-        "geomean_speedup_vs_seed": geo_mean,
-    }
-    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    payload = bench_payload(
+        "engine",
+        results,
+        quick=args.quick,
+        run_many=sweep,
+        geomean_speedup_vs_seed=geo_mean,
+    )
+    path = write_bench_json("engine", payload, args.json)
     print(f"geomean speedup vs seed stack: {geo_mean:.2f}x")
-    print(f"wrote {args.json}")
+    print(f"wrote {path}")
     return payload
 
 

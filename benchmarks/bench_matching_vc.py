@@ -16,7 +16,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import fmt, print_table
+from _common import (
+    bench_payload,
+    fmt,
+    print_table,
+    sweep_run_many,
+    write_bench_json,
+)
 
 from repro.applications import (
     approximate_maximum_matching,
@@ -122,6 +128,50 @@ def test_matching_granular_decomposition(benchmark):
     )
     for grain, result in results:
         assert result.value >= (1 - grain) * optimum
+
+
+def test_matching_greedy_run_many_sweep(benchmark):
+    """Sweep the ½-approximate proposal-matching baseline over seeds via
+    ``engine.run_many`` and record the uniform schema to
+    ``BENCH_matching_vc.json``."""
+    import random
+
+    from repro.congest import Trial
+    from repro.congest.classic import ProposalMatchingAlgorithm
+
+    graph = random_planar_triangulation(400, seed=17)
+    n = graph.number_of_nodes()
+    horizon = 40 * max(4, n.bit_length() ** 2)
+    rng = random.Random(31)
+    trials = [
+        Trial(
+            graph,
+            inputs={v: rng.randrange(1 << 30) for v in graph.nodes},
+            max_rounds=horizon + 2,
+        )
+        for _ in range(8)
+    ]
+
+    def run():
+        return sweep_run_many(
+            "greedy_matching_planar_400", ProposalMatchingAlgorithm(horizon),
+            trials, processes=1,
+        )
+
+    record, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for outputs, _metrics in results:
+        matched = {v for v, p in outputs.items() if p is not None}
+        assert not any(
+            u not in matched and v not in matched for u, v in graph.edges
+        )  # maximality
+    print_table(
+        "Cor 6.4 baseline — proposal matching seed sweep via engine.run_many",
+        ["workload", "n", "trials", "rounds", "messages", "bits", "wall s"],
+        [[record["workload"], record["n"], record["trials"],
+          record["rounds"], record["messages"], record["bits"],
+          fmt(record["wall_clock_s"], 3)]],
+    )
+    write_bench_json("matching_vc", bench_payload("matching_vc", [record]))
 
 
 def test_ablation_sparsifier(benchmark):

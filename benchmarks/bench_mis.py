@@ -15,7 +15,13 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import fmt, print_table
+from _common import (
+    bench_payload,
+    fmt,
+    print_table,
+    sweep_run_many,
+    write_bench_json,
+)
 
 from repro.applications import (
     approximate_maximum_independent_set,
@@ -167,6 +173,51 @@ def test_mis_vs_distributed_baseline(benchmark):
     )
     assert result.value >= (1 - epsilon) * optimum
     assert result.value >= len(luby_set)  # quality is the paper's win
+
+
+def test_mis_luby_run_many_sweep(benchmark):
+    """Sweep the Luby baseline over seeds through ``engine.run_many`` and
+    record the uniform schema (cpus, wall-clock, rounds, messages, bits)
+    to ``BENCH_mis.json`` — the distributed-baseline counterpart of the
+    quality tables above."""
+    import random
+
+    from repro.congest import Trial
+    from repro.congest.classic import LubyMISAlgorithm
+
+    graph = random_planar_triangulation(400, seed=13)
+    n = graph.number_of_nodes()
+    horizon = 20 * max(4, n.bit_length() ** 2)
+    rng = random.Random(29)
+    trials = [
+        Trial(
+            graph,
+            inputs={v: rng.randrange(1 << 30) for v in graph.nodes},
+            max_rounds=horizon + 2,
+        )
+        for _ in range(8)
+    ]
+
+    def run():
+        return sweep_run_many(
+            "luby_mis_planar_400", LubyMISAlgorithm(horizon), trials,
+            processes=1,
+        )
+
+    record, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for outputs, _metrics in results:
+        independent = {v for v, flag in outputs.items() if flag}
+        assert not any(
+            u in independent and v in independent for u, v in graph.edges
+        )
+    print_table(
+        "Cor 6.5 baseline — Luby MIS seed sweep via engine.run_many",
+        ["workload", "n", "trials", "rounds", "messages", "bits", "wall s"],
+        [[record["workload"], record["n"], record["trials"],
+          record["rounds"], record["messages"], record["bits"],
+          fmt(record["wall_clock_s"], 3)]],
+    )
+    write_bench_json("mis", bench_payload("mis", [record]))
 
 
 def test_mis_rounds_vs_n(benchmark):

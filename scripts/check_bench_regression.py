@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Fail when a fresh benchmark run regresses against a committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE.json FRESH.json \
+        [--threshold 0.10] [--floor 0.02]
+
+Both files must follow the uniform ``BENCH_*.json`` schema
+(``benchmarks/_common.py``).  Two gates run:
+
+* **aggregate** — the summed engine wall-clock over all matched
+  workloads must stay within ``baseline * (1 + threshold) + floor``;
+* **per-workload** — each workload must stay within
+  ``baseline * (1 + threshold) + max(floor, 0.5 * baseline)``; the
+  relative slack term absorbs scheduler jitter on the millisecond-scale
+  quick-mode timings this gate usually runs on (a bare 10% band flakes
+  on a loaded single-CPU CI host), while still tripping on a ~2x
+  single-workload regression.
+
+On second-scale baselines the threshold dominates (a true >10%
+regression fails); on millisecond baselines the slack terms dominate and
+the gate catches order-of-magnitude regressions only — which is the
+honest resolution a smoke benchmark can deliver.  Raise ``--floor`` if
+your CI box is noisier.
+
+Skips (exit 0, with a note) when:
+
+* the baseline file does not exist yet (first run on a branch);
+* the two runs' ``quick`` flags differ (full-mode and quick-mode
+  wall-clocks are not comparable);
+* ``BENCH_REGRESSION_SKIP=1`` is set in the environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def wall_clock(record: dict) -> float | None:
+    """The engine wall-clock of one workload record (``engine_s`` when the
+    bench separates executors, else the uniform ``wall_clock_s``)."""
+    value = record.get("engine_s", record.get("wall_clock_s"))
+    return float(value) if value is not None else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression budget (default 10%%)")
+    parser.add_argument("--floor", type=float, default=0.02,
+                        help="absolute seconds of slack (noise floor)")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("BENCH_REGRESSION_SKIP") == "1":
+        print("bench-regression: skipped (BENCH_REGRESSION_SKIP=1)")
+        return 0
+    if not args.baseline.exists():
+        print(f"bench-regression: no baseline at {args.baseline}; skipping")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if baseline.get("quick") != fresh.get("quick"):
+        print(
+            "bench-regression: quick flags differ "
+            f"(baseline={baseline.get('quick')}, fresh={fresh.get('quick')}); "
+            "wall-clocks are not comparable — skipping"
+        )
+        return 0
+
+    baseline_by_name = {
+        record["workload"]: record for record in baseline.get("workloads", [])
+    }
+    failures = []
+    base_total = 0.0
+    fresh_total = 0.0
+    compared = 0
+    for record in fresh.get("workloads", []):
+        name = record["workload"]
+        base = baseline_by_name.get(name)
+        if base is None:
+            continue
+        base_s = wall_clock(base)
+        fresh_s = wall_clock(record)
+        if base_s is None or fresh_s is None:
+            continue
+        compared += 1
+        base_total += base_s
+        fresh_total += fresh_s
+        allowed = base_s * (1.0 + args.threshold) + max(
+            args.floor, 0.5 * base_s
+        )
+        status = "ok" if fresh_s <= allowed else "REGRESSION"
+        print(
+            f"bench-regression: {name}: baseline {base_s:.3f}s → "
+            f"fresh {fresh_s:.3f}s (allowed {allowed:.3f}s) {status}"
+        )
+        if fresh_s > allowed:
+            failures.append(name)
+
+    if compared == 0:
+        print("bench-regression: no comparable workloads; skipping")
+        return 0
+
+    allowed_total = base_total * (1.0 + args.threshold) + args.floor
+    print(
+        f"bench-regression: aggregate: baseline {base_total:.3f}s → "
+        f"fresh {fresh_total:.3f}s (allowed {allowed_total:.3f}s)"
+    )
+    if fresh_total > allowed_total:
+        failures.append("<aggregate>")
+
+    if failures:
+        print(
+            f"bench-regression: FAIL — exceeded the >{args.threshold:.0%} "
+            f"wall-clock budget: " + ", ".join(failures)
+        )
+        return 1
+    print(f"bench-regression: OK ({compared} workloads within budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Perf smoke: the tier-1 test suite plus the quick engine benchmark.
+# Perf smoke: the tier-1 test suite, both quick engine benchmarks, and a
+# wall-clock regression gate.
 #
-# The benchmark's --quick mode finishes in well under 30 s and emits
-# BENCH_engine.json (wall-clock, speedup vs the seed execution stack, and
-# simulator rounds/sec) at the repository root.  Run from anywhere:
+# The benchmarks' --quick modes each finish in well under 30 s.  Fresh
+# results are written to a temp dir and compared against the committed
+# quick-mode baselines (BENCH_engine.quick.json / BENCH_delivery.quick.json)
+# by scripts/check_bench_regression.py, which fails on a >10% wall-clock
+# regression (plus a small absolute noise floor; see that script's
+# docstring).  Set BENCH_REGRESSION_SKIP=1 to run the benchmarks without
+# the gate.  Run from anywhere:
 #
 #   scripts/perf_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
 python -m pytest -x -q
-python benchmarks/bench_engine.py --quick
+python benchmarks/bench_engine.py --quick --json "$SMOKE_DIR/BENCH_engine.quick.json"
+python benchmarks/bench_delivery.py --quick --json "$SMOKE_DIR/BENCH_delivery.quick.json"
+python scripts/check_bench_regression.py BENCH_engine.quick.json "$SMOKE_DIR/BENCH_engine.quick.json"
+python scripts/check_bench_regression.py BENCH_delivery.quick.json "$SMOKE_DIR/BENCH_delivery.quick.json"

@@ -12,6 +12,12 @@ Commands
 ``gather``
     Run an information-gathering backend on an expander instance
     (Lemmas 2.2 / 2.5).
+``simulate``
+    Sweep a classic CONGEST baseline (Luby MIS, proposal matching,
+    (Δ+1)-colouring, BFS) over ``--trials N`` seeds through the engine's
+    batched :func:`repro.congest.run_many` runner — optionally fanned out
+    over ``--processes N`` worker processes — instead of a serial
+    Python loop.
 
 Instances are specified as ``family:size[:seed]`` with families
 ``grid``, ``tri-grid``, ``planar``, ``tree``, ``outerplanar``, ``cactus``,
@@ -146,6 +152,88 @@ def cmd_gather(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    import os
+    import random
+    import time
+
+    from repro.congest import Trial, run_many
+    from repro.congest.algorithms import BFSTreeAlgorithm
+    from repro.congest.classic import (
+        LubyMISAlgorithm,
+        ProposalMatchingAlgorithm,
+        TrialColoringAlgorithm,
+    )
+
+    graph = build_instance(args.instance)
+    n = graph.number_of_nodes()
+    needs_inputs = True
+    if args.problem == "mis":
+        horizon = 20 * max(4, n.bit_length() ** 2)
+        algorithm = LubyMISAlgorithm(horizon)
+
+        def summarize(outputs):
+            return f"|IS| = {sum(1 for flag in outputs.values() if flag)}"
+    elif args.problem == "matching":
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        algorithm = ProposalMatchingAlgorithm(horizon)
+
+        def summarize(outputs):
+            matched = sum(
+                1 for partner in outputs.values() if partner is not None
+            )
+            return f"|M| = {matched // 2}"
+    elif args.problem == "coloring":
+        delta = max((d for _, d in graph.degree), default=0)
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        algorithm = TrialColoringAlgorithm(delta + 1, horizon)
+
+        def summarize(outputs):
+            return f"colors = {len(set(outputs.values()))}"
+    else:  # bfs
+        root = min(graph.nodes, key=repr)
+        horizon = n + 2
+        algorithm = BFSTreeAlgorithm(root, horizon)
+        needs_inputs = False
+
+        def summarize(outputs):
+            reached = sum(1 for out in outputs.values() if out is not None)
+            return f"reached = {reached}/{n}"
+
+    rng = random.Random(args.seed)
+    trials = []
+    for _ in range(args.trials):
+        inputs = (
+            {v: rng.randrange(1 << 30) for v in graph.nodes}
+            if needs_inputs
+            else None
+        )
+        trials.append(
+            Trial(graph, inputs=inputs, max_rounds=horizon + 2,
+                  model=args.model)
+        )
+
+    start = time.perf_counter()
+    results = run_many(algorithm, trials, processes=args.processes)
+    elapsed = time.perf_counter() - start
+
+    print(f"instance: {args.instance} "
+          f"(n={n}, m={graph.number_of_edges()})  problem: {args.problem}")
+    print(f"trials: {args.trials}  processes: {args.processes}  "
+          f"available cpus: {os.cpu_count() or 1}  model: {args.model}")
+    for index, (outputs, metrics) in enumerate(results):
+        print(f"  trial {index}: rounds = {metrics.rounds}  "
+              f"messages = {metrics.messages}  bits = {metrics.total_bits}  "
+              f"{summarize(outputs)}")
+    total_rounds = sum(metrics.rounds for _, metrics in results)
+    total_messages = sum(metrics.messages for _, metrics in results)
+    total_bits = sum(metrics.total_bits for _, metrics in results)
+    print(f"sweep total: rounds = {total_rounds}  "
+          f"messages = {total_messages}  bits = {total_bits}  "
+          f"wall clock = {elapsed:.3f}s")
+    return 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -184,6 +272,21 @@ def make_parser() -> argparse.ArgumentParser:
                    default="both")
     p.add_argument("--f", type=float, default=0.25)
     p.set_defaults(func=cmd_gather)
+
+    p = sub.add_parser(
+        "simulate",
+        help="sweep a classic CONGEST baseline through engine.run_many",
+    )
+    p.add_argument("problem", choices=["mis", "matching", "coloring", "bfs"])
+    p.add_argument("instance")
+    p.add_argument("--trials", type=int, default=1,
+                   help="number of seeded trials in the sweep")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes for run_many (1 = serial)")
+    p.add_argument("--model", choices=["congest", "local"], default="congest")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed deriving the per-trial vertex seeds")
+    p.set_defaults(func=cmd_simulate)
     return parser
 
 

@@ -11,6 +11,11 @@ Public API
 ----------
 ``Message``
     A payload plus an explicit bit-size used for bandwidth accounting.
+``Broadcast``
+    Outbox sentinel: one shared message for every neighbour (or a
+    subset), delivered through the engine's vectorized broadcast plane —
+    validated once per broadcast instead of once per edge.  Build one
+    with ``ctx.broadcast(message)``.
 ``NodeAlgorithm`` / ``NodeContext``
     Base class for per-vertex algorithms and the per-vertex view of the
     network (id, neighbours, round number).
@@ -28,7 +33,12 @@ Public API
 """
 
 from repro.congest.engine import CompiledTopology, Trial, run_many
-from repro.congest.message import Message, bits_for_int, bits_for_payload
+from repro.congest.message import (
+    Broadcast,
+    Message,
+    bits_for_int,
+    bits_for_payload,
+)
 from repro.congest.metrics import NetworkMetrics, RoundLedger
 from repro.congest.network import (
     BandwidthExceededError,
@@ -63,6 +73,7 @@ __all__ = [
     "CompiledTopology",
     "Trial",
     "run_many",
+    "Broadcast",
     "Message",
     "bits_for_int",
     "bits_for_payload",

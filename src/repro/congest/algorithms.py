@@ -23,7 +23,7 @@ from typing import Any, Hashable, Mapping
 
 import networkx as nx
 
-from repro.congest.message import Message
+from repro.congest.message import Broadcast, Message
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
 
@@ -62,10 +62,10 @@ class BFSTreeAlgorithm(NodeAlgorithm):
                 self.depth = message.payload + 1
                 self.parent = sender
                 break
-        outgoing: dict[Any, Message] = {}
+        outgoing: "dict[Any, Message] | Broadcast" = {}
         if self.depth is not None and not self._announced:
             self._announced = True
-            outgoing = {u: Message(self.depth) for u in ctx.neighbors}
+            outgoing = ctx.broadcast(Message(self.depth))
         if ctx.round_number >= self.horizon:
             self.halt()
         return outgoing
@@ -114,10 +114,10 @@ class BroadcastAlgorithm(NodeAlgorithm):
     def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
         if self.received is None and inbox:
             self.received = next(iter(inbox.values())).payload
-        outgoing: dict[Any, Message] = {}
+        outgoing: "dict[Any, Message] | Broadcast" = {}
         if self.received is not None and not self._forwarded:
             self._forwarded = True
-            outgoing = {u: Message(self.received) for u in ctx.neighbors}
+            outgoing = ctx.broadcast(Message(self.received))
         if ctx.round_number >= self.horizon:
             self.halt()
         return outgoing
@@ -252,12 +252,10 @@ class FloodMaxLeaderElection(NodeAlgorithm):
                 # and the winning id, carried as rep string -> resolved later.
                 self.best = (key, rep, None)
                 self._dirty = True
-        outgoing: dict[Any, Message] = {}
+        outgoing: "dict[Any, Message] | Broadcast" = {}
         if self._dirty:
             self._dirty = False
-            outgoing = {
-                u: Message((self.best[0], self.best[1])) for u in ctx.neighbors
-            }
+            outgoing = ctx.broadcast(Message((self.best[0], self.best[1])))
         if ctx.round_number >= self.horizon:
             self.halt()
         return outgoing
@@ -395,7 +393,7 @@ class ColorReductionAlgorithm(NodeAlgorithm):
         if step >= self.total_updates:
             self.halt()
             return {}
-        return {u: Message(self.color) for u in ctx.neighbors}
+        return ctx.broadcast(Message(self.color))
 
     def output(self):
         return self.color

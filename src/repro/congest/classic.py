@@ -25,9 +25,16 @@ from typing import Any, Hashable, Mapping
 
 import networkx as nx
 
-from repro.congest.message import Message
+from repro.congest.message import Broadcast, Message
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
+
+
+# Constant-payload notifications shared by every vertex and every run:
+# messages are immutable, so one instance (sized once, ever) suffices.
+_MIS_JOINED = Message((1, 0))
+_MATCH_PROPOSAL = Message(0)
+_MATCH_TAKEN = Message(2)
 
 
 class LubyMISAlgorithm(NodeAlgorithm):
@@ -82,10 +89,13 @@ class LubyMISAlgorithm(NodeAlgorithm):
                 return {}
             self.priority = self.rng.randrange(1 << 30)
             self.phase = self._RESOLVE
-            # Broadcasts share one immutable Message so the payload is
-            # sized once, not once per neighbour.
+            # One shared immutable Message through the broadcast plane:
+            # payload validated and sized once, not once per neighbour.
+            # active_neighbors only shrinks, so equal size means the
+            # subset is all neighbours — the engine's fastest path.
             draw = Message((0, self.priority))
-            return {u: draw for u in self.active_neighbors}
+            to = self.active_neighbors
+            return Broadcast(draw, None if len(to) == ctx.degree else to)
         # RESOLVE: compare priorities.  Ties on the 30-bit priority are
         # broken by vertex repr, but the repr is only materialized on an
         # actual tie — same outcome as comparing (value, repr) tuples.
@@ -104,8 +114,8 @@ class LubyMISAlgorithm(NodeAlgorithm):
             self.in_set = True
             self.active = False
             # Notify neighbours, then stop next round.
-            joined = Message((1, 0))
-            out = {u: joined for u in self.active_neighbors}
+            to = self.active_neighbors
+            out = Broadcast(_MIS_JOINED, None if len(to) == ctx.degree else to)
             self.halt()
             return out
         return {}
@@ -187,7 +197,7 @@ class ProposalMatchingAlgorithm(NodeAlgorithm):
                 sorted(self.free_neighbors, key=repr)
             )
             self.phase = self._ACCEPT
-            return {self.proposed_to: Message(0)}  # 0 = proposal
+            return {self.proposed_to: _MATCH_PROPOSAL}  # 0 = proposal
         # ACCEPT phase: pick the smallest-id proposer; mutual agreement
         # requires that we proposed to them or they proposed to us and we
         # accept deterministically — to avoid three-way conflicts, a match
@@ -199,12 +209,10 @@ class ProposalMatchingAlgorithm(NodeAlgorithm):
         if self.proposed_to in proposers:
             self.partner = self.proposed_to
             self.free = False
-            matched = Message(2)
-            out = {
-                u: matched
-                for u in self.free_neighbors
-                if u != self.partner
-            }
+            out = Broadcast(
+                _MATCH_TAKEN,
+                (u for u in self.free_neighbors if u != self.partner),
+            )
             self.halt()
             return out
         return {}
@@ -245,6 +253,19 @@ class TrialColoringAlgorithm(NodeAlgorithm):
     not used by coloured neighbours; keep it if no uncoloured neighbour
     tried the same colour this phase."""
 
+    # Payloads are (kind, colour) over a palette of ≤ Δ+1 colours: memoize
+    # the messages class-wide so each distinct payload is constructed and
+    # sized once per process, not once per vertex per phase.
+    _shared_messages: dict = {}
+
+    @classmethod
+    def _coloring_message(cls, kind: int, color: int) -> Message:
+        key = (kind, color)
+        message = cls._shared_messages.get(key)
+        if message is None:
+            message = cls._shared_messages[key] = Message(key)
+        return message
+
     def __init__(self, palette_size: int, horizon: int) -> None:
         super().__init__()
         self.palette_size = palette_size
@@ -277,18 +298,15 @@ class TrialColoringAlgorithm(NodeAlgorithm):
             conflict = True
         if self.color is None and self.trial is not None and not conflict:
             self.color = self.trial
-            final = Message((1, self.color))
-            out = {u: final for u in ctx.neighbors}
             self.halt()
-            return out
+            return Broadcast(self._coloring_message(1, self.color))
         if self.color is not None:
             self.halt()
             return {}
         taken = set(self.neighbor_colors.values())
         available = [c for c in range(self.palette_size) if c not in taken]
         self.trial = self.rng.choice(available)
-        trial = Message((0, self.trial))
-        return {u: trial for u in ctx.neighbors}
+        return Broadcast(self._coloring_message(0, self.trial))
 
     def output(self):
         return self.color

@@ -31,7 +31,7 @@ from typing import Any, Hashable, Mapping
 
 import networkx as nx
 
-from repro.congest.message import Message
+from repro.congest.message import Broadcast, Message
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
 
 
@@ -86,9 +86,8 @@ class HeaviestNeighborAggregation(NodeAlgorithm):
                     self.table[cluster] = self.table.get(cluster, 0) + count
             elif kind == 1:
                 self.answer = tuple(payload) if payload is not None else None
-                out = {
-                    child: Message((1, payload)) for child in self.children
-                }
+                # One shared down-message to every child subtree.
+                out = Broadcast(Message((1, payload)), self.children)
                 self.halt()
                 return out
         if not self.pending_children and not self._sent_up:
@@ -102,7 +101,7 @@ class HeaviestNeighborAggregation(NodeAlgorithm):
                 else:
                     payload = None
                 self.answer = payload
-                out = {child: Message((1, payload)) for child in self.children}
+                out = Broadcast(Message((1, payload)), self.children)
                 self.halt()
                 return out
             # The single up-message carrying the whole table: its size is
@@ -159,8 +158,9 @@ def measure_step1_message_bits(
     whenever a table overflows the budget (tests exercise both).
 
     Returns ``{"answers", "max_message_bits", "congest_budget_bits",
-    "rounds", "violates_congest"}`` where ``answers`` maps each cluster
-    to its (heaviest neighbour, weight) pair.
+    "rounds", "messages", "total_bits", "violates_congest"}`` where
+    ``answers`` maps each cluster to its (heaviest neighbour, weight)
+    pair.
     """
     inputs = _cluster_bfs_inputs(graph, assignment)
     # Boundary tuples are (cluster, count) pairs; clusters must be
@@ -186,6 +186,8 @@ def measure_step1_message_bits(
         "max_message_bits": net.metrics.max_edge_bits_in_round,
         "congest_budget_bits": net.bandwidth_bits,
         "rounds": net.metrics.rounds,
+        "messages": net.metrics.messages,
+        "total_bits": net.metrics.total_bits,
         "violates_congest": net.metrics.max_edge_bits_in_round
         > net.bandwidth_bits,
     }

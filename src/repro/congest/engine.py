@@ -12,24 +12,52 @@ Architecture
 :class:`CompiledTopology`
     Built once per :class:`~repro.congest.network.Network`.  Vertices are
     indexed to dense ints ``0..n-1`` (in ``graph.nodes`` order, so outputs
-    keep the seed executor's ordering); adjacency is stored three ways:
+    keep the seed executor's ordering); adjacency is stored four ways:
 
     * ``neighbor_tuples[i]`` — the deterministic sorted tuple handed to
       :class:`~repro.congest.network.NodeContext` (identical to the seed);
     * ``neighbor_sets[i]`` — a ``frozenset`` for O(1) send validation;
-    * CSR arrays ``indptr``/``indices`` over dense ints, the substrate for
-      future vectorized delivery.
+    * CSR arrays ``indptr``/``indices`` — **numpy** ``int64`` arrays over
+      dense ints: the canonical compiled adjacency, exposed for
+      vectorized whole-graph analyses (degree/volume reductions,
+      future array-typed inboxes);
+    * ``neighbor_index_tuples[i]`` — the CSR slice
+      ``indices[indptr[i]:indptr[i+1]]`` materialized once as a tuple of
+      Python ints, which is what the delivery loop iterates (inbox-dict
+      writes need Python ints; unboxing numpy scalars per round would
+      give the speedup back).
+
+    Compilations are memoized per graph through the shared
+    :class:`~repro.graphs.cache.PerGraphCache` protocol — the same
+    staleness probe and registry as :class:`~repro.graphs.stats.GraphStats`,
+    so one ``invalidate`` drops both and a degree-preserving rewire can
+    never serve a stale topology next to fresh stats.
 
 :func:`execute`
-    The active-set scheduler.  Per round it steps only not-yet-halted
-    vertices (halting is tracked by membership in the active list, not an
-    O(n) scan), delivers messages directly into the *next* round's inbox
-    dicts, and reuses the inbox dicts double-buffered across rounds — only
-    dicts that actually received a message are cleared.  Message/bit
-    counters are accumulated in locals and flushed to
-    :class:`~repro.congest.metrics.NetworkMetrics` once, so per-message
-    method-call overhead disappears while the final counters stay identical
-    to the seed executor's.
+    The active-set scheduler with a broadcast-aware delivery plane.
+    Per round it steps only not-yet-halted vertices (halting is tracked by
+    membership in the active list, not an O(n) scan) and delivers messages
+    directly into the *next* round's inbox dicts, double-buffered across
+    rounds — only dicts that actually received a message are cleared.
+
+    **Broadcast path.**  An ``on_round`` may return
+    :class:`~repro.congest.message.Broadcast` instead of a dict: one shared
+    message for all neighbours (or an explicit subset).  The engine then
+    validates the payload *once per broadcast* — not once per edge — counts
+    ``deg × bits`` with one multiply, and runs a delivery loop that does
+    nothing but inbox-dict writes over the precompiled dense neighbour
+    ids.  Semantics are exactly the expanded dict's: same inbox contents
+    and insertion order, same metrics, same exceptions (slow paths replay
+    the reference executor's per-receiver validation order to raise
+    byte-identical errors).
+
+    **Unicast path.**  Explicit dict outboxes take a dense-int fast path:
+    per-message work is the neighbour check, the cached bit size, one
+    bandwidth compare, and the inbox write; message/bit counters are
+    deferred to *per-round* reductions (numpy for large rounds) instead of
+    per-message counter updates, and flushed to
+    :class:`~repro.congest.metrics.NetworkMetrics` once at the end so the
+    final counters stay identical to the seed executor's.
 
     Contract change vs the seed: the inbox mapping passed to ``on_round``
     is owned by the engine and is only valid for the duration of the call
@@ -42,23 +70,28 @@ Architecture
     pool, returning ``(outputs, metrics)`` per trial in input order.
 
 Semantics are byte-identical to the seed executor (same outputs, same
-``NetworkMetrics`` counters, same exceptions); ``tests/test_engine.py``
-asserts this differentially against the retained reference implementation
-``Network._run_reference``.
+``NetworkMetrics`` counters, same exceptions); ``tests/test_engine.py`` and
+``tests/test_delivery_soak.py`` assert this differentially against the
+retained reference implementation ``Network._run_reference``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import weakref
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
 import networkx as nx
+import numpy as np
 
-from repro.congest.message import Message
+from repro.congest.message import Broadcast, Message
 from repro.congest.metrics import NetworkMetrics
+from repro.graphs.cache import PerGraphCache, invalidate_graph_caches
+
+# Below this many entries a per-round reduction uses the Python builtins;
+# at or above it, numpy's fused int64 reductions win over interpreter sums.
+_VECTOR_MIN = 1024
 
 
 class CompiledTopology:
@@ -77,8 +110,16 @@ class CompiledTopology:
         Per dense index, the same neighbours as a ``frozenset`` for O(1)
         send validation.
     indptr / indices:
-        CSR adjacency over dense indices (``indices[indptr[i]:indptr[i+1]]``
-        are ``i``'s neighbours).
+        CSR adjacency over dense indices as numpy ``int64`` arrays
+        (``indices[indptr[i]:indptr[i+1]]`` are ``i``'s neighbours) —
+        the canonical compiled adjacency, for vectorized whole-graph
+        analyses; the round loop itself iterates the materialized
+        Python-int tuples below.
+    neighbor_index_tuples:
+        The CSR slices materialized once as tuples of Python ints — the
+        broadcast delivery loop's iteration order.
+    degrees:
+        Per dense index, ``len(neighbor_tuples[i])``.
     """
 
     __slots__ = (
@@ -88,14 +129,11 @@ class CompiledTopology:
         "index_of",
         "neighbor_tuples",
         "neighbor_sets",
+        "neighbor_index_tuples",
         "indptr",
         "indices",
         "degrees",
         "__weakref__",
-    )
-
-    _instances: "weakref.WeakKeyDictionary[nx.Graph, CompiledTopology]" = (
-        weakref.WeakKeyDictionary()
     )
 
     @classmethod
@@ -103,33 +141,22 @@ class CompiledTopology:
         """Memoized compilation, so sweeps that rebuild ``Network`` objects
         over one graph compile the topology once.
 
-        Staleness is detected by comparing n, m, and the full degree
-        table (O(n)).  The one mutation class this cannot see is a
-        degree-preserving rewire (e.g. ``nx.double_edge_swap``) between
-        ``Network`` constructions — call :meth:`invalidate` after such
-        mutations, or pass a fresh graph copy.
+        Served through the shared per-graph cache protocol
+        (:mod:`repro.graphs.cache`): staleness is detected by comparing n
+        and the full degree table (O(n)).  The one mutation class this
+        cannot see is a degree-preserving rewire (e.g.
+        ``nx.double_edge_swap``) between ``Network`` constructions — call
+        :meth:`invalidate` after such mutations, or pass a fresh graph
+        copy.
         """
-        topology = cls._instances.get(graph)
-        if topology is not None and topology.n == len(graph):
-            # One pass over the degree view covers n, m, and per-vertex
-            # degrees (degrees determine 2m).
-            index_of = topology.index_of
-            degrees = topology.degrees
-            for v, d in graph.degree:
-                i = index_of.get(v)
-                if i is None or degrees[i] != d:
-                    break
-            else:
-                return topology
-        topology = cls(graph)
-        cls._instances[graph] = topology
-        return topology
+        return _topology_cache.get(graph)
 
     @classmethod
     def invalidate(cls, graph: nx.Graph) -> None:
-        """Drop the cached compilation for ``graph`` (after an in-place
-        mutation the staleness check cannot detect)."""
-        cls._instances.pop(graph, None)
+        """Drop **every** registered per-graph cache entry for ``graph``
+        (after an in-place mutation the staleness check cannot detect) —
+        the compiled topology and the ``GraphStats`` cache stay in sync."""
+        invalidate_graph_caches(graph)
 
     def __init__(self, graph: nx.Graph) -> None:
         vertices = list(graph.nodes)
@@ -148,9 +175,71 @@ class CompiledTopology:
         self.index_of = index_of
         self.neighbor_tuples = neighbor_tuples
         self.neighbor_sets = [frozenset(nbrs) for nbrs in neighbor_tuples]
-        self.indptr = indptr
-        self.indices = indices
+        self.neighbor_index_tuples = [
+            tuple(indices[start:stop])
+            for start, stop in zip(indptr, indptr[1:])
+        ]
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
         self.degrees = [len(nbrs) for nbrs in neighbor_tuples]
+
+
+def _topology_fresh(topology: CompiledTopology, graph: nx.Graph) -> bool:
+    """Degree-table staleness probe: one pass over the degree view covers
+    n, m, and per-vertex degrees (degrees determine 2m)."""
+    if topology.n != len(graph):
+        return False
+    index_of = topology.index_of
+    degrees = topology.degrees
+    for v, d in graph.degree:
+        i = index_of.get(v)
+        if i is None or degrees[i] != d:
+            return False
+    return True
+
+
+_topology_cache = PerGraphCache(
+    CompiledTopology, _topology_fresh, name="compiled-topology"
+)
+
+
+def _validate_pedantic(sender, message, receivers, neighbor_set, limit,
+                       bandwidth_bits, count_append, size_append):
+    """Replay the reference executor's per-receiver validation order.
+
+    The broadcast fast paths validate once per broadcast; when that quick
+    guard fails (non-neighbour receiver, non-``Message`` payload,
+    ``Message`` subclass, bandwidth overflow) this function re-checks in
+    the exact order ``Network._validate_and_count`` would, so the raised
+    exception — type, message, and which receiver it names — is
+    byte-identical.  It also *counts* per receiver as it validates
+    (appending ``(1, bits)`` pairs to the deferred broadcast lists):
+    the reference counts every copy validated before the offending one,
+    and an exception must leave exactly those counted here too.  Returns
+    the message's bit size when the broadcast is legal after all (e.g. a
+    ``Message`` subclass); the caller must then *not* count it again.
+    """
+    from repro.congest.network import BandwidthExceededError
+
+    bits = 0
+    for receiver in receivers:
+        if receiver not in neighbor_set:
+            raise ValueError(
+                f"node {sender!r} sent to non-neighbor {receiver!r}"
+            )
+        if not isinstance(message, Message):
+            raise TypeError(
+                f"node {sender!r} sent a non-Message object: {message!r}"
+            )
+        bits = message.bit_size
+        if bits > limit:
+            raise BandwidthExceededError(
+                f"message of {bits} bits from {sender!r} to {receiver!r} "
+                f"exceeds CONGEST bandwidth {bandwidth_bits} bits"
+            )
+        count_append(1)
+        size_append(bits)
+    return bits
 
 
 def execute(
@@ -168,7 +257,9 @@ def execute(
     Same observable semantics as the seed executor: outputs keyed in
     ``graph.nodes`` order, identical metrics counters, identical
     exceptions on non-neighbor sends, non-``Message`` objects, bandwidth
-    violations, and ``max_rounds`` exhaustion.
+    violations, and ``max_rounds`` exhaustion.  ``Broadcast`` outboxes are
+    delivered by the vectorized broadcast plane (see the module
+    docstring); dict outboxes take the dense-int unicast path.
     """
     from repro.congest.network import BandwidthExceededError, NodeContext
 
@@ -190,14 +281,21 @@ def execute(
 
     index_of = topology.index_of
     neighbor_sets = topology.neighbor_sets
+    neighbor_tuples = topology.neighbor_tuples
+    neighbor_index_tuples = topology.neighbor_index_tuples
     congest = model == "congest"
-    # Single comparison per message: in LOCAL mode the limit is unreachable.
+    # Single comparison per payload: in LOCAL mode the limit is unreachable.
     limit = bandwidth_bits if congest else (1 << 62)
 
     # Double-buffered inboxes: ``read`` is consumed this round, ``fill``
-    # receives next round's messages; only dirty dicts are ever cleared.
-    read: list[dict[Any, Message]] = [{} for _ in range(n)]
-    fill: list[dict[Any, Message]] = [{} for _ in range(n)]
+    # receives next round's messages.  Dicts are allocated lazily on a
+    # vertex's first-ever delivery (``None`` until then — vertices that
+    # never receive never allocate) and reused across rounds; only dirty
+    # dicts are ever cleared.  Vertices with no pending messages read the
+    # shared immutable empty inbox.
+    read: list[dict[Any, Message] | None] = [None] * n
+    fill: list[dict[Any, Message] | None] = [None] * n
+    empty_inbox: dict[Any, Message] = {}
     dirty_read: list[int] = []
     dirty_fill: list[int] = []
 
@@ -206,6 +304,12 @@ def execute(
     total_bits = 0
     max_edge = metrics.max_edge_bits_in_round
     round_number = 0
+    # Per-round deferred accounting, reduced once per round (the vector
+    # check): one bits entry per unicast message; one (copies, bits) pair
+    # per broadcast.
+    round_bits: list[int] = []
+    bcast_counts: list[int] = []
+    bcast_sizes: list[int] = []
     try:
         while active:
             round_number += 1
@@ -217,54 +321,185 @@ def execute(
             still_active: list[int] = []
             still_append = still_active.append
             dirty_append = dirty_fill.append
+            bits_append = round_bits.append
+            count_append = bcast_counts.append
+            size_append = bcast_sizes.append
             for i in active:
                 ctx = contexts[i]
                 ctx.round_number = round_number
-                sent = step_fns[i](ctx, read[i])
+                inbox = read[i]
+                sent = step_fns[i](
+                    ctx, inbox if inbox is not None else empty_inbox
+                )
                 if sent:
-                    sender = ctx.node
-                    nbrs = neighbor_sets[i]
-                    for receiver, message in sent.items():
-                        if receiver not in nbrs:
-                            raise ValueError(
-                                f"node {sender!r} sent to non-neighbor "
-                                f"{receiver!r}"
-                            )
-                        if message.__class__ is not Message:
-                            if not isinstance(message, Message):
-                                raise TypeError(
-                                    f"node {sender!r} sent a non-Message "
-                                    f"object: {message!r}"
+                    if sent.__class__ is Broadcast:
+                        message = sent.message
+                        receivers = sent.to
+                        if receivers is None:
+                            # Full broadcast: receivers are the compiled
+                            # neighbour list — membership holds by
+                            # construction; validate the payload once.
+                            targets = neighbor_index_tuples[i]
+                            if targets:
+                                if message.__class__ is Message:
+                                    bits = message._bit_size
+                                    if bits < 0:
+                                        bits = message.bit_size
+                                    if bits > limit:
+                                        raise BandwidthExceededError(
+                                            f"message of {bits} bits from "
+                                            f"{ctx.node!r} to "
+                                            f"{neighbor_tuples[i][0]!r} "
+                                            f"exceeds CONGEST bandwidth "
+                                            f"{bandwidth_bits} bits"
+                                        )
+                                    count_append(len(targets))
+                                    size_append(bits)
+                                else:
+                                    # Counts per receiver internally.
+                                    _validate_pedantic(
+                                        ctx.node, message,
+                                        neighbor_tuples[i], neighbor_sets[i],
+                                        limit, bandwidth_bits,
+                                        count_append, size_append,
+                                    )
+                                sender = ctx.node
+                                for j in targets:
+                                    box = fill[j]
+                                    if box:
+                                        box[sender] = message
+                                    else:
+                                        if box is None:
+                                            box = fill[j] = {}
+                                        dirty_append(j)
+                                        box[sender] = message
+                        elif receivers:
+                            # Subset broadcast: one C-level superset check
+                            # replaces the per-receiver membership loop.
+                            nbrs = neighbor_sets[i]
+                            if (message.__class__ is Message
+                                    and nbrs.issuperset(receivers)):
+                                bits = message._bit_size
+                                if bits < 0:
+                                    bits = message.bit_size
+                                if bits > limit:
+                                    raise BandwidthExceededError(
+                                        f"message of {bits} bits from "
+                                        f"{ctx.node!r} to "
+                                        f"{next(iter(receivers))!r} exceeds "
+                                        f"CONGEST bandwidth "
+                                        f"{bandwidth_bits} bits"
+                                    )
+                                count_append(len(receivers))
+                                size_append(bits)
+                            else:
+                                # Counts per receiver internally.
+                                _validate_pedantic(
+                                    ctx.node, message, receivers, nbrs,
+                                    limit, bandwidth_bits,
+                                    count_append, size_append,
                                 )
-                        # Fast path past the lazy property: shared broadcast
-                        # messages hit the cached slot after the first read.
-                        bits = message._bit_size
-                        if bits < 0:
-                            bits = message.bit_size
-                        if bits > limit:
-                            raise BandwidthExceededError(
-                                f"message of {bits} bits from {sender!r} to "
-                                f"{receiver!r} exceeds CONGEST bandwidth "
-                                f"{bandwidth_bits} bits"
-                            )
-                        message_count += 1
-                        total_bits += bits
-                        if bits > max_edge:
-                            max_edge = bits
-                        j = index_of[receiver]
-                        box = fill[j]
-                        if not box:
-                            dirty_append(j)
-                        box[sender] = message
+                            sender = ctx.node
+                            for u in receivers:
+                                j = index_of[u]
+                                box = fill[j]
+                                if box:
+                                    box[sender] = message
+                                else:
+                                    if box is None:
+                                        box = fill[j] = {}
+                                    dirty_append(j)
+                                    box[sender] = message
+                    else:
+                        # Unicast path: explicit dict outbox.
+                        sender = ctx.node
+                        nbrs = neighbor_sets[i]
+                        for receiver, message in sent.items():
+                            if receiver not in nbrs:
+                                raise ValueError(
+                                    f"node {sender!r} sent to non-neighbor "
+                                    f"{receiver!r}"
+                                )
+                            if message.__class__ is not Message:
+                                if not isinstance(message, Message):
+                                    raise TypeError(
+                                        f"node {sender!r} sent a non-Message "
+                                        f"object: {message!r}"
+                                    )
+                            # Fast path past the lazy property: shared
+                            # messages hit the cached slot after the first
+                            # read.
+                            bits = message._bit_size
+                            if bits < 0:
+                                bits = message.bit_size
+                            if bits > limit:
+                                raise BandwidthExceededError(
+                                    f"message of {bits} bits from {sender!r} "
+                                    f"to {receiver!r} exceeds CONGEST "
+                                    f"bandwidth {bandwidth_bits} bits"
+                                )
+                            bits_append(bits)
+                            j = index_of[receiver]
+                            box = fill[j]
+                            if box:
+                                box[sender] = message
+                            else:
+                                if box is None:
+                                    box = fill[j] = {}
+                                dirty_append(j)
+                                box[sender] = message
                 if not instances[i]._halted:
                     still_append(i)
             active = still_active
+            # Per-round vector reduction of the deferred counters.
+            if round_bits:
+                message_count += len(round_bits)
+                if len(round_bits) >= _VECTOR_MIN:
+                    arr = np.array(round_bits, dtype=np.int64)
+                    total_bits += int(arr.sum())
+                    peak = int(arr.max())
+                else:
+                    total_bits += sum(round_bits)
+                    peak = max(round_bits)
+                if peak > max_edge:
+                    max_edge = peak
+                round_bits.clear()
+            if bcast_sizes:
+                if len(bcast_sizes) >= _VECTOR_MIN:
+                    counts = np.array(bcast_counts, dtype=np.int64)
+                    sizes = np.array(bcast_sizes, dtype=np.int64)
+                    message_count += int(counts.sum())
+                    total_bits += int(counts @ sizes)
+                    peak = int(sizes.max())
+                else:
+                    message_count += sum(bcast_counts)
+                    total_bits += sum(
+                        c * b for c, b in zip(bcast_counts, bcast_sizes)
+                    )
+                    peak = max(bcast_sizes)
+                if peak > max_edge:
+                    max_edge = peak
+                bcast_counts.clear()
+                bcast_sizes.clear()
             for j in dirty_read:
                 read[j].clear()
             dirty_read.clear()
             read, fill = fill, read
             dirty_read, dirty_fill = dirty_fill, dirty_read
     finally:
+        # Fold an interrupted round's deferred counters (an exception can
+        # fire mid-round, after some messages were already validated — the
+        # reference executor counts exactly those) and flush once.
+        if round_bits:
+            message_count += len(round_bits)
+            total_bits += sum(round_bits)
+            max_edge = max(max_edge, max(round_bits))
+        if bcast_sizes:
+            message_count += sum(bcast_counts)
+            total_bits += sum(
+                c * b for c, b in zip(bcast_counts, bcast_sizes)
+            )
+            max_edge = max(max_edge, max(bcast_sizes))
         metrics.messages += message_count
         metrics.total_bits += total_bits
         metrics.max_edge_bits_in_round = max_edge

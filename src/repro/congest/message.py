@@ -36,7 +36,23 @@ def bits_for_payload(payload: Any) -> int:
     Supports the payload shapes the algorithms actually send: ``None``,
     bools, ints, floats, strings, and (nested) tuples/lists/dicts of those.
     Container overhead is charged at 2 bits per element (length/framing).
+
+    The hot shapes — ints and short tuples of ints, one sizing per
+    broadcast — take exact-type fast paths; everything else falls through
+    to the general ``isinstance`` chain.  The two paths agree on every
+    value (``bool`` is charged like the int it is: 1 bit).
     """
+    kind = type(payload)
+    if kind is int:
+        if payload == 0:
+            return 1
+        magnitude = payload if payload > 0 else -payload
+        return magnitude.bit_length() + (1 if payload < 0 else 0)
+    if kind is tuple:
+        total = 0
+        for item in payload:
+            total += bits_for_payload(item) + 2
+        return total
     if payload is None:
         return 1
     if isinstance(payload, bool):
@@ -57,6 +73,47 @@ def bits_for_payload(payload: Any) -> int:
             for key, value in payload.items()
         )
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+class Broadcast:
+    """Outbox sentinel: one shared message for every neighbour (or a subset).
+
+    ``on_round`` may return ``Broadcast(message)`` instead of a dict; the
+    executor delivers ``message`` to every neighbour of the sender.  With
+    ``to`` it delivers only to that subset of neighbours (e.g. the
+    still-active ones).  Semantically a broadcast is *exactly* the dict
+    ``{u: message for u in receivers}`` — same inbox contents, same
+    per-edge metrics, same validation errors — but the engine validates
+    the payload and counts its bits once per broadcast (``deg × bits`` in
+    one multiply) instead of once per edge, which is what makes the
+    broadcast-heavy classic algorithms fast.
+
+    ``to`` may be any iterable of neighbour ids.  Sets are taken as-is;
+    other iterables are materialized to a duplicate-free tuple so a
+    broadcast counts each receiver once, like the dict form it replaces.
+
+    Use :meth:`~repro.congest.network.NodeContext.broadcast` as the
+    ergonomic constructor inside ``on_round``.
+    """
+
+    __slots__ = ("message", "to")
+
+    def __init__(self, message: Any, to: Any = None) -> None:
+        self.message = message
+        if to is None or isinstance(to, (set, frozenset)):
+            self.to = to
+        else:
+            self.to = tuple(dict.fromkeys(to))
+
+    def expand(self, neighbors: Any) -> dict:
+        """The equivalent explicit outbox dict (the reference executor's
+        view of a broadcast)."""
+        receivers = self.to if self.to is not None else neighbors
+        return {u: self.message for u in receivers}
+
+    def __repr__(self) -> str:
+        target = "all neighbors" if self.to is None else f"{len(self.to)} receivers"
+        return f"Broadcast({self.message!r}, to={target})"
 
 
 class Message:

@@ -27,9 +27,32 @@ Batch sweeps over many graphs/seeds should use
 :func:`repro.congest.engine.run_many`, which fans trials out over a
 ``multiprocessing`` pool.
 
-One engine-level contract note: the inbox mapping passed to
-:meth:`NodeAlgorithm.on_round` is owned by the executor and valid only for
-the duration of the call; algorithms must copy it if they need it later.
+The broadcast protocol
+----------------------
+Instead of a dict, :meth:`NodeAlgorithm.on_round` may return a
+:class:`~repro.congest.message.Broadcast` — one shared message for every
+neighbour (``Broadcast(message)``, or ``ctx.broadcast(message)``) or for
+an explicit subset (``Broadcast(message, to=receivers)``).  A broadcast
+is *semantically* the dict ``{u: message for u in receivers}``: identical
+inbox contents, per-edge message/bit accounting, bandwidth enforcement,
+and validation errors.  The difference is purely operational — the engine
+validates the shared payload once per broadcast and counts
+``len(receivers) × bits`` with one multiply instead of paying per-edge
+dict iteration, membership checks, and counter updates, which is what
+makes the broadcast-heavy classic algorithms fast.  The reference
+executor (:meth:`Network._run_reference`) expands a ``Broadcast`` to its
+dict form up front and runs the seed loop unchanged, so differential
+tests cover the protocol end to end.
+
+Engine-level contract notes:
+
+* the inbox mapping passed to :meth:`NodeAlgorithm.on_round` is owned by
+  the executor and valid only for the duration of the call (the engine
+  clears and reuses it two rounds later); algorithms must copy it if they
+  need it afterwards;
+* the ``Message`` inside a ``Broadcast`` is shared by every receiver —
+  messages are immutable, so this is observationally identical to the
+  expanded dict, whose values are the same object anyway.
 """
 
 from __future__ import annotations
@@ -41,7 +64,7 @@ from typing import Any, Callable, Mapping
 import networkx as nx
 
 from repro.congest import engine as _engine
-from repro.congest.message import Message
+from repro.congest.message import Broadcast, Message
 from repro.congest.metrics import NetworkMetrics
 
 
@@ -75,15 +98,25 @@ class NodeContext:
     def degree(self) -> int:
         return len(self.neighbors)
 
+    def broadcast(self, message: Message, to: Any = None) -> Broadcast:
+        """Ergonomic outbox for ``on_round``: one shared ``message`` to all
+        neighbours (or the subset ``to``), delivered through the engine's
+        vectorized broadcast plane.  ``return ctx.broadcast(msg)`` is
+        equivalent to ``return {u: msg for u in ctx.neighbors}``."""
+        return Broadcast(message, to)
+
 
 class NodeAlgorithm:
     """Base class for per-vertex synchronous algorithms.
 
     Lifecycle: the executor calls :meth:`initialize` once, then repeatedly
     calls :meth:`on_round` with the inbox of messages received that round
-    (empty in the first communication round).  The algorithm returns a dict
-    mapping a subset of neighbours to :class:`Message` objects.  Calling
-    :meth:`halt` stops the node; the run ends when all nodes have halted.
+    (empty in the first communication round).  The algorithm returns either
+    a dict mapping a subset of neighbours to :class:`Message` objects, or a
+    :class:`~repro.congest.message.Broadcast` when one shared message goes
+    to all neighbours (or a subset) — the fast path for broadcast-heavy
+    algorithms.  Calling :meth:`halt` stops the node; the run ends when all
+    nodes have halted.
 
     One instance of the subclass is created per vertex via ``spawn``;
     subclasses store per-vertex state on ``self``.
@@ -107,8 +140,15 @@ class NodeAlgorithm:
 
     def on_round(
         self, ctx: NodeContext, inbox: Mapping[Any, Message]
-    ) -> dict[Any, Message]:
-        """Process the inbox, update state, return outgoing messages."""
+    ) -> "dict[Any, Message] | Broadcast":
+        """Process the inbox, update state, return outgoing messages.
+
+        The return value is either ``{neighbor: Message}`` or a
+        :class:`~repro.congest.message.Broadcast` (see
+        :meth:`NodeContext.broadcast`).  ``inbox`` is owned by the
+        executor and valid only for the duration of this call — copy it
+        if you need it later.
+        """
         raise NotImplementedError
 
     def output(self) -> Any:
@@ -204,10 +244,13 @@ class Network:
         """The seed round loop, kept as the engine's executable spec.
 
         Reallocates every inbox each round and scans all vertices for
-        halting — O(n) per round regardless of activity.  Used by
-        ``tests/test_engine.py`` for differential checks and by
-        ``benchmarks/bench_engine.py`` as the speedup baseline.  Do not
-        optimize this method; optimize the engine.
+        halting — O(n) per round regardless of activity.  A ``Broadcast``
+        outbox is expanded to its equivalent dict up front (the protocol's
+        *definition*) and then validated, counted, and delivered exactly
+        as the seed executor did per edge.  Used by ``tests/test_engine.py``
+        and ``tests/test_delivery_soak.py`` for differential checks and by
+        the benchmarks as the speedup baseline.  Do not optimize this
+        method; optimize the engine.
         """
         n = self.graph.number_of_nodes()
         nodes: dict[Any, NodeAlgorithm] = {}
@@ -232,6 +275,8 @@ class Network:
                 ctx = contexts[v]
                 ctx.round_number = round_number
                 sent = node.on_round(ctx, inboxes[v])
+                if isinstance(sent, Broadcast):
+                    sent = sent.expand(ctx.neighbors)
                 if sent:
                     self._validate_and_count(v, sent)
                     outboxes[v] = sent

@@ -24,6 +24,7 @@ from repro.gathering.load_balancing import (
 )
 from repro.gathering.random_walks import (
     WalkSchedule,
+    broadcast_schedule,
     build_regularized_split,
     find_walk_schedule,
     find_shared_walk_schedule,
@@ -38,6 +39,7 @@ __all__ = [
     "glm_load_balance",
     "total_imbalance",
     "WalkSchedule",
+    "broadcast_schedule",
     "build_regularized_split",
     "find_walk_schedule",
     "find_shared_walk_schedule",

@@ -380,10 +380,39 @@ def find_shared_walk_schedule(
     )
 
 
+def broadcast_schedule(
+    graph: nx.Graph,
+    v_star: Hashable,
+    schedule: WalkSchedule,
+    model: str = "congest",
+):
+    """Lemma 2.5's distribution step, actually simulated.
+
+    The leader v⋆ knows the schedule; every vertex must learn it before
+    the walks can run.  Flood the schedule's description — ``(seed, r, τ,
+    d, k)``, an O(log n)-bit payload — from v⋆ through the simulator's
+    flooding primitive, which emits one shared :class:`Message` per round
+    via the engine's broadcast plane (``ctx.broadcast``).  Returns
+    ``(outputs, metrics)``: every vertex's received description plus the
+    measured CONGEST round/message/bit counts of the flood.
+    """
+    from repro.congest.algorithms import broadcast as _flood
+
+    payload = (
+        schedule.seed,
+        schedule.walks_per_message,
+        schedule.steps,
+        schedule.degree,
+        schedule.k,
+    )
+    return _flood(graph, v_star, payload, model=model)
+
+
 def gather_with_random_walks(
     graph: nx.Graph,
     v_star: Hashable,
     f: float = 0.25,
+    simulate_schedule_broadcast: bool = False,
     **kwargs,
 ) -> tuple[set, int, WalkSchedule]:
     """Convenience wrapper: find a schedule and report (delivered, rounds).
@@ -391,7 +420,16 @@ def gather_with_random_walks(
     Rounds = schedule broadcast cost (schedule_bits / bandwidth, charged
     as ⌈bits / log n⌉·D̂ with D̂ folded into execution rounds by the
     caller) + 3rτ execution; we return the execution rounds, the paper's
-    dominant term.
+    dominant term.  With ``simulate_schedule_broadcast=True`` the
+    Lemma 2.5 distribution step is run through the simulator
+    (:func:`broadcast_schedule`) and its *measured* rounds are added to
+    the returned total.
     """
     schedule, delivered = find_walk_schedule(graph, v_star, f=f, **kwargs)
-    return delivered, schedule.execution_rounds(), schedule
+    rounds = schedule.execution_rounds()
+    if simulate_schedule_broadcast:
+        outputs, metrics = broadcast_schedule(graph, v_star, schedule)
+        if any(received is None for received in outputs.values()):
+            raise RuntimeError("schedule broadcast did not reach all vertices")
+        rounds += metrics.rounds
+    return delivered, rounds, schedule

@@ -67,6 +67,7 @@ from repro.graphs.conductance import (
 )
 from repro.graphs.expander_split import ExpanderSplit, constant_degree_expander
 from repro.graphs.cluster_graph import build_cluster_graph, contract_partition
+from repro.graphs.cache import PerGraphCache, invalidate_graph_caches
 from repro.graphs.stats import GraphStats
 
 __all__ = [
@@ -108,4 +109,6 @@ __all__ = [
     "build_cluster_graph",
     "contract_partition",
     "GraphStats",
+    "PerGraphCache",
+    "invalidate_graph_caches",
 ]

@@ -15,14 +15,16 @@ computes them once per graph and serves them from a cache:
 * ``degeneracy`` is computed lazily once.
 
 Instances are cached per graph object (weakly, so graphs can still be
-garbage collected) via :meth:`GraphStats.for_graph`, with an O(n)
-staleness check over n, m, and the degree table: most in-place mutations
-invalidate the cached stats on the next lookup.  The check cannot see a
-*degree-preserving* rewire (e.g. ``nx.double_edge_swap``) — call
-:meth:`GraphStats.invalidate` after one, or use a fresh graph copy.
-Graphs mutated *between* ``for_graph`` and a query on the returned
-instance are the caller's responsibility — hold stats only across
-read-only phases.
+garbage collected) via :meth:`GraphStats.for_graph`, through the shared
+:class:`~repro.graphs.cache.PerGraphCache` protocol — the same staleness
+probe (n, m, and the degree table, O(n)) that guards the CONGEST
+engine's ``CompiledTopology`` cache, so the two can never disagree about
+whether a graph changed.  The probe cannot see a *degree-preserving*
+rewire (e.g. ``nx.double_edge_swap``) — call :meth:`GraphStats.invalidate`
+(which drops **all** registered per-graph caches) after one, or use a
+fresh graph copy.  Graphs mutated *between* ``for_graph`` and a query on
+the returned instance are the caller's responsibility — hold stats only
+across read-only phases.
 """
 
 from __future__ import annotations
@@ -31,6 +33,8 @@ import weakref
 from typing import Hashable, Iterable
 
 import networkx as nx
+
+from repro.graphs.cache import PerGraphCache, invalidate_graph_caches
 
 _CUT_CACHE_LIMIT = 4096
 
@@ -48,10 +52,6 @@ class GraphStats:
         "_degeneracy",
         "_cut_cache",
         "__weakref__",
-    )
-
-    _instances: "weakref.WeakKeyDictionary[nx.Graph, GraphStats]" = (
-        weakref.WeakKeyDictionary()
     )
 
     def __init__(self, graph: nx.Graph) -> None:
@@ -76,26 +76,15 @@ class GraphStats:
         degree-preserving rewire is invisible to this check (see the
         module docstring) and needs :meth:`invalidate`.
         """
-        stats = cls._instances.get(graph)
-        if stats is not None and stats.n == len(graph):
-            # One pass over the degree view covers n, m, and per-vertex
-            # degrees (degrees determine 2m) — same cost as the
-            # number_of_edges() scan it replaces.
-            degree = stats.degree
-            for v, d in graph.degree:
-                if degree.get(v, -1) != d:
-                    break
-            else:
-                return stats
-        stats = cls(graph)
-        cls._instances[graph] = stats
-        return stats
+        return _stats_cache.get(graph)
 
     @classmethod
     def invalidate(cls, graph: nx.Graph) -> None:
-        """Drop the cached stats for ``graph`` (after an in-place mutation
-        the staleness check cannot detect)."""
-        cls._instances.pop(graph, None)
+        """Drop **every** registered per-graph cache entry for ``graph``
+        (after an in-place mutation the staleness check cannot detect).
+        Clearing all caches at once keeps the engine's compiled topology
+        and these stats in sync."""
+        invalidate_graph_caches(graph)
 
     # ------------------------------------------------------------------
     def volume(self, vertices: Iterable[Hashable]) -> int:
@@ -146,3 +135,18 @@ class GraphStats:
                         graph.add_edge(u, v)
             self._degeneracy = _degeneracy(graph)
         return self._degeneracy
+
+
+def _stats_fresh(stats: GraphStats, graph: nx.Graph) -> bool:
+    """Degree-table staleness probe: one pass over the degree view covers
+    n, m, and per-vertex degrees (degrees determine 2m)."""
+    if stats.n != len(graph):
+        return False
+    degree = stats.degree
+    for v, d in graph.degree:
+        if degree.get(v, -1) != d:
+            return False
+    return True
+
+
+_stats_cache = PerGraphCache(GraphStats, _stats_fresh, name="graph-stats")

@@ -69,3 +69,26 @@ class TestCommands:
         assert main(["gather", "expander:24:1", "--backend", "load-balancing"])\
             == 0
         assert "load balancing" in capsys.readouterr().out
+
+    def test_simulate_mis_sweep(self, capsys):
+        assert main([
+            "simulate", "mis", "planar:30:2", "--trials", "3", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trials: 3" in out
+        assert out.count("|IS| =") == 3
+        assert "sweep total" in out
+
+    def test_simulate_bfs_multiprocess(self, capsys):
+        assert main([
+            "simulate", "bfs", "grid:25", "--trials", "2", "--processes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "processes: 2" in out
+        assert "reached = 25/25" in out
+
+    def test_simulate_coloring_local(self, capsys):
+        assert main([
+            "simulate", "coloring", "cycle:12", "--model", "local",
+        ]) == 0
+        assert "colors =" in capsys.readouterr().out

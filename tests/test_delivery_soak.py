@@ -1,0 +1,195 @@
+"""Randomized differential soak: the delivery plane vs the reference loop.
+
+The PR-2 engine has three delivery paths (full broadcast, subset
+broadcast, dense-int unicast) plus per-round deferred metric reductions;
+this suite drives randomly drawn (graph family × algorithm × seed ×
+model) combinations through both ``Network.run`` and the retained seed
+loop ``Network._run_reference`` and asserts byte-identical outputs
+(values *and* vertex order) and identical ``NetworkMetrics`` counters.
+
+The draw is deterministic (one master seed) so failures reproduce; the
+instances stay small so the whole soak runs in a few seconds inside
+tier 1.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest import Broadcast, Message, Network, NodeAlgorithm
+from repro.congest.algorithms import (
+    BFSTreeAlgorithm,
+    BroadcastAlgorithm,
+    FloodMaxLeaderElection,
+)
+from repro.congest.classic import (
+    LubyMISAlgorithm,
+    ProposalMatchingAlgorithm,
+    TrialColoringAlgorithm,
+)
+from repro.graphs import (
+    random_cactus,
+    random_outerplanar,
+    random_planar_triangulation,
+    random_regular_expander,
+    random_tree,
+    triangulated_grid,
+)
+
+MASTER_SEED = 20230725
+N_TRIALS = 24
+
+
+FAMILIES = {
+    "path": lambda rng: nx.path_graph(rng.randrange(2, 30)),
+    "cycle": lambda rng: nx.cycle_graph(rng.randrange(3, 30)),
+    "star": lambda rng: nx.star_graph(rng.randrange(2, 20)),
+    "tree": lambda rng: random_tree(rng.randrange(5, 35), seed=rng.randrange(100)),
+    "grid": lambda rng: triangulated_grid(
+        rng.randrange(2, 6), rng.randrange(2, 6)
+    ),
+    "planar": lambda rng: random_planar_triangulation(
+        rng.randrange(8, 36), seed=rng.randrange(100)
+    ),
+    "outerplanar": lambda rng: random_outerplanar(
+        rng.randrange(6, 30), seed=rng.randrange(100)
+    ),
+    "cactus": lambda rng: random_cactus(
+        rng.randrange(6, 30), seed=rng.randrange(100)
+    ),
+    "expander": lambda rng: random_regular_expander(
+        2 * rng.randrange(6, 18), 4, seed=rng.randrange(100)
+    ),
+    "disconnected": lambda rng: nx.disjoint_union(
+        nx.path_graph(rng.randrange(2, 8)), nx.cycle_graph(rng.randrange(3, 8))
+    ),
+}
+
+
+class RandomMixerAlgorithm(NodeAlgorithm):
+    """Adversarial emitter: each round each node picks — deterministically
+    from its per-vertex seed — between a full broadcast, a subset
+    broadcast, a unicast dict, and silence, exercising path interleavings
+    the classic algorithms never produce."""
+
+    def __init__(self, horizon: int = 6) -> None:
+        super().__init__()
+        self.horizon = horizon
+
+    def spawn(self) -> "RandomMixerAlgorithm":
+        return RandomMixerAlgorithm(self.horizon)
+
+    def initialize(self, ctx) -> None:
+        self.rng = random.Random(self.input)
+        self.received = 0
+
+    def on_round(self, ctx, inbox):
+        self.received += sum(m.payload[1] for m in inbox.values())
+        if ctx.round_number >= self.horizon:
+            self.halt()
+            return {}
+        choice = self.rng.randrange(4)
+        payload = (0, self.rng.randrange(8))
+        if not ctx.neighbors or choice == 3:
+            return {}
+        if choice == 0:
+            return ctx.broadcast(Message(payload))
+        if choice == 1:
+            k = self.rng.randrange(len(ctx.neighbors) + 1)
+            return Broadcast(
+                Message(payload), self.rng.sample(ctx.neighbors, k)
+            )
+        targets = self.rng.sample(
+            ctx.neighbors, self.rng.randrange(len(ctx.neighbors)) + 1
+        )
+        return {u: Message((0, self.rng.randrange(8))) for u in targets}
+
+    def output(self):
+        return self.received
+
+
+def algorithm_for(kind: str, graph: nx.Graph, rng: random.Random):
+    n = graph.number_of_nodes()
+    if kind == "mis":
+        horizon = 20 * max(4, n.bit_length() ** 2)
+        return LubyMISAlgorithm(horizon), horizon + 2, True
+    if kind == "matching":
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        return ProposalMatchingAlgorithm(horizon), horizon + 2, True
+    if kind == "coloring":
+        delta = max((d for _, d in graph.degree), default=0)
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        return TrialColoringAlgorithm(delta + 1, horizon), horizon + 2, True
+    if kind == "bfs":
+        root = min(graph.nodes, key=repr)
+        return BFSTreeAlgorithm(root, n + 2), n + 4, False
+    if kind == "flood":
+        root = min(graph.nodes, key=repr)
+        return BroadcastAlgorithm(root, rng.randrange(1 << 16), n + 2), n + 4, False
+    if kind == "leader":
+        return FloodMaxLeaderElection(n + 1), n + 3, False
+    if kind == "mixer":
+        return RandomMixerAlgorithm(), 10, True
+    raise AssertionError(kind)
+
+
+ALGORITHMS = ["mis", "matching", "coloring", "bfs", "flood", "leader", "mixer"]
+
+
+def _trial_specs():
+    rng = random.Random(MASTER_SEED)
+    specs = []
+    families = sorted(FAMILIES)
+    for trial in range(N_TRIALS):
+        specs.append(
+            (
+                trial,
+                rng.choice(families),
+                rng.choice(ALGORITHMS),
+                rng.choice(["congest", "local"]),
+                rng.randrange(1 << 30),
+            )
+        )
+    return specs
+
+
+def metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.total_bits,
+        metrics.max_edge_bits_in_round,
+    )
+
+
+@pytest.mark.parametrize(
+    "trial,family,kind,model,seed",
+    _trial_specs(),
+    ids=lambda value: str(value),
+)
+def test_soak_engine_matches_reference(trial, family, kind, model, seed):
+    rng = random.Random(seed)
+    graph = FAMILIES[family](rng)
+    algorithm, max_rounds, needs_inputs = algorithm_for(kind, graph, rng)
+    inputs = None
+    if needs_inputs:
+        input_rng = random.Random(seed + 1)
+        inputs = {v: input_rng.randrange(1 << 30) for v in graph.nodes}
+
+    engine_net = Network(graph, model=model)
+    engine_out = engine_net.run(
+        algorithm.spawn(), max_rounds=max_rounds, inputs=inputs
+    )
+    reference_net = Network(graph, model=model)
+    reference_out = reference_net._run_reference(
+        algorithm.spawn(), max_rounds=max_rounds, inputs=inputs
+    )
+
+    assert engine_out == reference_out
+    assert list(engine_out) == list(reference_out)
+    assert metrics_tuple(engine_net.metrics) == metrics_tuple(
+        reference_net.metrics
+    )

@@ -17,6 +17,7 @@ import pytest
 
 from repro.congest import (
     BandwidthExceededError,
+    Broadcast,
     CompiledTopology,
     Message,
     Network,
@@ -24,6 +25,7 @@ from repro.congest import (
     Trial,
     run_many,
 )
+from repro.graphs import GraphStats
 from repro.congest.classic import (
     LubyMISAlgorithm,
     ProposalMatchingAlgorithm,
@@ -270,6 +272,237 @@ class TestEngineValidation:
             Network(nx.path_graph(2)).run(Bad())
 
 
+class MixedOutboxAlgorithm(NodeAlgorithm):
+    """Alternates between broadcast and unicast emission so one round can
+    interleave both delivery paths; gossip payload is the round parity."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number >= 4:
+            self.halt()
+            return {}
+        self.seen = getattr(self, "seen", 0) + len(inbox)
+        if not ctx.neighbors:
+            return {}
+        if (ctx.round_number + hash(ctx.node)) % 2 == 0:
+            return ctx.broadcast(Message((0, ctx.round_number)))
+        return {ctx.neighbors[0]: Message((1, ctx.round_number))}
+
+    def output(self):
+        return getattr(self, "seen", 0)
+
+
+class SubsetBroadcaster(NodeAlgorithm):
+    """Broadcasts to a strict neighbour subset (every other neighbour)."""
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_number >= 3:
+            self.halt()
+            return {}
+        self.seen = getattr(self, "seen", 0) + len(inbox)
+        return Broadcast(Message(7), ctx.neighbors[::2])
+
+    def output(self):
+        return getattr(self, "seen", 0)
+
+
+class TestBroadcastProtocol:
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    def test_mixed_outboxes_match_reference(self, name):
+        run_both(GRAPHS[name](), MixedOutboxAlgorithm)
+
+    @pytest.mark.parametrize("name", ["path", "grid", "planar", "star"])
+    def test_subset_broadcast_matches_reference(self, name):
+        run_both(GRAPHS[name](), SubsetBroadcaster)
+
+    def test_ctx_broadcast_builds_sentinel(self):
+        from repro.congest import NodeContext
+
+        ctx = NodeContext(node=0, neighbors=(1, 2), n=3)
+        out = ctx.broadcast(Message(1))
+        assert isinstance(out, Broadcast)
+        assert out.to is None
+        assert out.expand(ctx.neighbors) == {1: Message(1), 2: Message(1)}
+
+    def test_subset_with_duplicates_counts_once(self):
+        class DupBroadcaster(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                if not ctx.neighbors:
+                    return {}
+                u = ctx.neighbors[0]
+                return Broadcast(Message(3), [u, u, u])
+
+        graph = nx.path_graph(4)
+        out, metrics = run_both(graph, DupBroadcaster)
+        # Each sender broadcast to exactly one distinct receiver.
+        assert metrics.messages == graph.number_of_nodes()
+
+    def test_broadcast_to_non_neighbor_raises(self):
+        class Stranger(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                if ctx.node == 0:
+                    return Broadcast(Message(1), [99])
+                return {}
+
+        graph = nx.path_graph(3)
+        graph.add_node(99)
+        with pytest.raises(ValueError, match="non-neighbor"):
+            Network(graph).run(Stranger())
+        with pytest.raises(ValueError, match="non-neighbor"):
+            Network(graph)._run_reference(Stranger())
+
+    def test_partially_invalid_broadcast_counts_valid_prefix(self):
+        """A broadcast whose second receiver is invalid must leave the
+        first (already validated) copy in the metrics, exactly like the
+        reference executor's per-receiver counting."""
+
+        class Mixed(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                if ctx.node == 0:
+                    return Broadcast(Message(1), [1, 99])
+                return {}
+
+        def build():
+            graph = nx.path_graph(3)
+            graph.add_node(99)
+            return graph
+
+        engine_net = Network(build())
+        with pytest.raises(ValueError, match="non-neighbor"):
+            engine_net.run(Mixed())
+        reference_net = Network(build())
+        with pytest.raises(ValueError, match="non-neighbor"):
+            reference_net._run_reference(Mixed())
+        assert metrics_tuple(engine_net.metrics) == metrics_tuple(
+            reference_net.metrics
+        )
+        assert engine_net.metrics.messages == 1
+
+    def test_broadcast_bandwidth_enforced(self):
+        class TooBig(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast(Message("x" * 10_000))
+
+        with pytest.raises(BandwidthExceededError):
+            Network(nx.path_graph(4), model="congest").run(TooBig())
+        with pytest.raises(BandwidthExceededError):
+            Network(nx.path_graph(4), model="congest")._run_reference(TooBig())
+        Network(nx.path_graph(4), model="local").run(TooBig())
+
+    def test_broadcast_bandwidth_error_messages_identical(self):
+        class TooBig(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast(Message("x" * 10_000))
+
+        with pytest.raises(BandwidthExceededError) as engine_error:
+            Network(nx.path_graph(4)).run(TooBig())
+        with pytest.raises(BandwidthExceededError) as reference_error:
+            Network(nx.path_graph(4))._run_reference(TooBig())
+        assert str(engine_error.value) == str(reference_error.value)
+
+    def test_broadcast_non_message_rejected(self):
+        class Bad(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast("raw")
+
+        with pytest.raises(TypeError):
+            Network(nx.path_graph(2)).run(Bad())
+        with pytest.raises(TypeError):
+            Network(nx.path_graph(2))._run_reference(Bad())
+
+    def test_broadcast_message_subclass_accepted(self):
+        class Tagged(Message):
+            pass
+
+        class Subclassed(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.seen = getattr(self, "seen", 0) + len(inbox)
+                if ctx.round_number >= 2:
+                    self.halt()
+                    return {}
+                return Broadcast(Tagged(5))
+
+            def output(self):
+                return getattr(self, "seen", 0)
+
+        run_both(nx.cycle_graph(6), Subclassed)
+
+    def test_empty_subset_broadcast_is_noop(self):
+        class EmptyCast(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast(Message(1), ())
+
+            def output(self):
+                return "ok"
+
+        out, metrics = run_both(nx.path_graph(3), EmptyCast)
+        assert metrics.messages == 0
+
+    def test_degree_zero_full_broadcast_is_noop(self):
+        class LonelyCast(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast(Message(1))
+
+            def output(self):
+                return "ok"
+
+        graph = nx.Graph()
+        graph.add_nodes_from(["a", "b"])
+        out, metrics = run_both(graph, LonelyCast)
+        assert metrics.messages == 0
+
+    def test_full_broadcast_metrics_count_every_edge(self):
+        graph = nx.complete_graph(7)
+
+        class OneShot(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                self.halt()
+                return Broadcast(Message(1))
+
+        out, metrics = run_both(graph, OneShot)
+        assert metrics.messages == 7 * 6
+        assert metrics.total_bits == 7 * 6 * 1
+
+
+class TestUnifiedGraphCache:
+    def test_compiled_topology_memoized(self):
+        graph = triangulated_grid(4, 4)
+        assert CompiledTopology.for_graph(graph) is CompiledTopology.for_graph(
+            graph
+        )
+
+    def test_degree_change_invalidates(self):
+        graph = nx.path_graph(6)
+        before = CompiledTopology.for_graph(graph)
+        graph.add_edge(0, 5)
+        after = CompiledTopology.for_graph(graph)
+        assert after is not before
+        assert after.neighbor_sets[0] == {1, 5}
+
+    def test_invalidate_clears_all_registered_caches(self):
+        graph = nx.cycle_graph(8)
+        topology = CompiledTopology.for_graph(graph)
+        stats = GraphStats.for_graph(graph)
+        # A degree-preserving rewire is invisible to the staleness probe...
+        CompiledTopology.invalidate(graph)
+        # ...but one invalidate call must drop *both* caches.
+        assert CompiledTopology.for_graph(graph) is not topology
+        assert GraphStats.for_graph(graph) is not stats
+
+    def test_stats_invalidate_also_clears_topology(self):
+        graph = nx.cycle_graph(8)
+        topology = CompiledTopology.for_graph(graph)
+        GraphStats.invalidate(graph)
+        assert CompiledTopology.for_graph(graph) is not topology
+
+
 class TestCompiledTopology:
     def test_dense_indexing_roundtrip(self):
         graph = triangulated_grid(3, 4)
@@ -294,6 +527,21 @@ class TestCompiledTopology:
             assert topology.neighbor_tuples[i] == tuple(
                 sorted(graph.neighbors(v), key=repr)
             )
+
+    def test_csr_is_numpy_and_index_tuples_match(self):
+        import numpy as np
+
+        graph = random_planar_triangulation(25, seed=4)
+        topology = CompiledTopology(graph)
+        assert isinstance(topology.indptr, np.ndarray)
+        assert isinstance(topology.indices, np.ndarray)
+        assert topology.indptr.dtype == np.int64
+        for i in range(topology.n):
+            start, stop = topology.indptr[i], topology.indptr[i + 1]
+            assert topology.neighbor_index_tuples[i] == tuple(
+                topology.indices[start:stop].tolist()
+            )
+            assert topology.degrees[i] == stop - start
 
 
 class TestRunMany:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.gathering import (
     KWiseHash,
+    broadcast_schedule,
     build_regularized_split,
     find_shared_walk_schedule,
     find_walk_schedule,
@@ -159,3 +160,32 @@ class TestSharedSchedule:
     def test_mismatched_sinks_rejected(self):
         with pytest.raises(ValueError):
             find_shared_walk_schedule([nx.complete_graph(4)], [0, 1])
+
+
+class TestScheduleBroadcast:
+    def test_schedule_reaches_every_vertex(self):
+        graph = nx.complete_graph(10)
+        schedule, _ = find_walk_schedule(graph, 0, f=0.3, phi_hint=0.4)
+        outputs, metrics = broadcast_schedule(graph, 0, schedule)
+        expected = (
+            schedule.seed,
+            schedule.walks_per_message,
+            schedule.steps,
+            schedule.degree,
+            schedule.k,
+        )
+        assert all(received == expected for received in outputs.values())
+        assert metrics.rounds >= 1
+        assert metrics.messages > 0
+
+    def test_gather_adds_measured_broadcast_rounds(self):
+        graph = nx.complete_graph(10)
+        delivered, base_rounds, schedule = gather_with_random_walks(
+            graph, 0, f=0.3, phi_hint=0.4
+        )
+        delivered2, total_rounds, schedule2 = gather_with_random_walks(
+            graph, 0, f=0.3, phi_hint=0.4, simulate_schedule_broadcast=True
+        )
+        assert delivered2 == delivered
+        assert schedule2.seed == schedule.seed
+        assert total_rounds > base_rounds
