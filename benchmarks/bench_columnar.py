@@ -1,0 +1,220 @@
+"""Before/after benchmark for the columnar message plane.
+
+"Before" is the **PR-2 delivery plane**: the object-plane classics
+(``LubyMISAlgorithm``, ``TrialColoringAlgorithm``, ``BFSTreeAlgorithm``)
+run through ``Network.run`` — compiled topology, active-set scheduling,
+broadcast-aware vectorized delivery, per-round deferred metric
+reductions — but with per-vertex Python ``on_round`` calls, dict
+inboxes, and Python inbox iteration.
+
+"After" is the **columnar plane**: the round-vectorized ports
+(``ColumnarLubyMIS``, ``ColumnarTrialColoring``, ``ColumnarBFSTree``)
+through the same ``Network.run``, delivering each round as typed numpy
+columns over the CSR topology with segmented-reduction inbox consumption
+and array-reduction metrics — zero per-message Python objects.
+
+Outputs (values *and* vertex order) and ``NetworkMetrics`` counters of
+the two planes are asserted identical before any number is reported, and
+each workload is also replayed once through the columnar plane's
+per-message reference executor (the dict plane for columnar programs) as
+an in-bench differential check.  Workloads are the dense-round classics
+named by the PR-3 acceptance bar — Luby MIS, (Δ+1)-colouring, BFS — at
+2k–10k nodes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [--quick] [--json PATH]
+
+``--quick`` shrinks the instances so the whole run finishes well under
+30 s (the perf-smoke budget in ``scripts/perf_smoke.sh``).  Results are
+written to ``BENCH_columnar.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _common import bench_payload, fmt, print_table, write_bench_json
+
+from repro.congest import Network
+from repro.congest.algorithms import BFSTreeAlgorithm, ColumnarBFSTree
+from repro.congest.classic import (
+    ColumnarLubyMIS,
+    ColumnarTrialColoring,
+    LubyMISAlgorithm,
+    TrialColoringAlgorithm,
+)
+from repro.graphs import random_regular_expander, triangulated_grid
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def _best_of(repeats, runner):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outputs, metrics = runner()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, outputs, metrics)
+    return best
+
+
+def counters(metrics):
+    return (metrics.rounds, metrics.messages, metrics.total_bits,
+            metrics.max_edge_bits_in_round)
+
+
+def bench_workload(name, graph, make_object, make_columnar, inputs,
+                   max_rounds, repeats):
+    def run(make, runner_name="run"):
+        net = Network(graph)
+        outputs = getattr(net, runner_name)(
+            make(), max_rounds=max_rounds, inputs=inputs
+        )
+        return outputs, net.metrics
+
+    object_s, object_out, object_metrics = _best_of(
+        repeats, lambda: run(make_object)
+    )
+    columnar_s, columnar_out, columnar_metrics = _best_of(
+        repeats, lambda: run(make_columnar)
+    )
+    reference_s, reference_out, reference_metrics = _best_of(
+        1, lambda: run(make_columnar, "_run_reference")
+    )
+
+    if not (columnar_out == object_out == reference_out):
+        raise AssertionError(f"{name}: plane outputs diverged")
+    if not (list(columnar_out) == list(object_out) == list(reference_out)):
+        raise AssertionError(f"{name}: output vertex order diverged")
+    if not (counters(columnar_metrics) == counters(object_metrics)
+            == counters(reference_metrics)):
+        raise AssertionError(f"{name}: plane metrics diverged")
+    return {
+        "workload": name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "trials": repeats,
+        "wall_clock_s": columnar_s,
+        "rounds": columnar_metrics.rounds,
+        "messages": columnar_metrics.messages,
+        "bits": columnar_metrics.total_bits,
+        "pr2_plane_s": object_s,
+        "columnar_reference_s": reference_s,
+        "engine_s": columnar_s,
+        "speedup_vs_pr2": object_s / columnar_s
+        if columnar_s > 0 else float("inf"),
+        "messages_per_sec_columnar":
+            columnar_metrics.messages / columnar_s if columnar_s else 0.0,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small instances; finishes in well under 30 s",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="where to write the results JSON "
+             "(default: BENCH_columnar.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        # Best-of-3 so the first-run warmup (delivery-plane compilation,
+        # numpy dispatch caches) doesn't pollute millisecond timings.
+        workloads = [
+            ("luby_mis_expander",
+             random_regular_expander(512, 16, seed=2), "mis", 3),
+            ("coloring_grid", triangulated_grid(24, 24), "coloring", 3),
+            ("bfs_expander",
+             random_regular_expander(1024, 8, seed=3), "bfs", 3),
+        ]
+    else:
+        workloads = [
+            ("luby_mis_expander_2k",
+             random_regular_expander(2000, 32, seed=2), "mis", 3),
+            ("luby_mis_expander_10k",
+             random_regular_expander(10000, 16, seed=4), "mis", 3),
+            ("coloring_grid_2k", triangulated_grid(45, 45), "coloring", 3),
+            ("coloring_expander_4k",
+             random_regular_expander(4000, 16, seed=5), "coloring", 3),
+            ("bfs_expander_10k",
+             random_regular_expander(10000, 16, seed=6), "bfs", 3),
+        ]
+
+    results = []
+    for name, graph, kind, repeats in workloads:
+        n = graph.number_of_nodes()
+        if kind == "mis":
+            horizon = 20 * max(4, n.bit_length() ** 2)
+            make_object = lambda h=horizon: LubyMISAlgorithm(h)
+            make_columnar = lambda h=horizon: ColumnarLubyMIS(h)
+            inputs = seeded_inputs(graph, 1)
+        elif kind == "coloring":
+            delta = max(d for _, d in graph.degree)
+            horizon = 40 * max(4, n.bit_length() ** 2)
+            make_object = (
+                lambda d=delta, h=horizon: TrialColoringAlgorithm(d + 1, h)
+            )
+            make_columnar = (
+                lambda d=delta, h=horizon: ColumnarTrialColoring(d + 1, h)
+            )
+            inputs = seeded_inputs(graph, 3)
+        else:  # bfs: tight horizon keeps the run delivery-bound.
+            import networkx as nx
+            root = next(iter(graph.nodes))
+            horizon = nx.eccentricity(graph, v=root) + 3
+            make_object = lambda r=root, h=horizon: BFSTreeAlgorithm(r, h)
+            make_columnar = lambda r=root, h=horizon: ColumnarBFSTree(r, h)
+            inputs = None
+        results.append(bench_workload(
+            name, graph, make_object, make_columnar, inputs,
+            horizon + 2, repeats,
+        ))
+
+    print_table(
+        "Columnar plane vs PR-2 delivery plane "
+        "(identical outputs and metrics asserted, incl. the per-message "
+        "columnar reference)",
+        ["workload", "n", "msgs", "pr2 s", "ref s", "columnar s",
+         "vs pr2", "msgs/s"],
+        [
+            [r["workload"], r["n"], r["messages"], fmt(r["pr2_plane_s"], 4),
+             fmt(r["columnar_reference_s"], 4), fmt(r["engine_s"], 4),
+             fmt(r["speedup_vs_pr2"], 2),
+             int(r["messages_per_sec_columnar"])]
+            for r in results
+        ],
+    )
+
+    geo_mean = statistics.geometric_mean(
+        [r["speedup_vs_pr2"] for r in results]
+    )
+    payload = bench_payload(
+        "columnar",
+        results,
+        quick=args.quick,
+        geomean_speedup_vs_pr2=geo_mean,
+    )
+    path = write_bench_json("columnar", payload, args.json)
+    print(f"geomean speedup vs PR-2 delivery plane: {geo_mean:.2f}x")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -12,11 +12,18 @@ Series regenerated:
 """
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import fmt, print_table
+from _common import (
+    bench_payload,
+    fmt,
+    print_table,
+    workload_record,
+    write_bench_json,
+)
 
 from repro.decomposition import (
     chw_low_diameter_decomposition,
@@ -69,13 +76,36 @@ def test_rounds_vs_n_chw(benchmark):
         out = []
         for side in sides:
             graph = triangulated_grid(side, side)
+            start = time.perf_counter()
             clustering, ledger = chw_low_diameter_decomposition(graph, epsilon)
+            elapsed = time.perf_counter() - start
             out.append((side * side, ledger.total_rounds,
-                        clustering.cut_fraction(graph)))
+                        clustering.cut_fraction(graph), graph, elapsed))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [[n, rounds, fmt(cut)] for n, rounds, cut in results]
+    rows = [[n, rounds, fmt(cut)] for n, rounds, cut, _g, _e in results]
+    # Uniform schema: rounds are the ledger's measured CONGEST cost; the
+    # decomposition never enters the message-passing simulator, so
+    # messages/bits are unmeasured here.
+    write_bench_json("decomposition_scaling", bench_payload(
+        "decomposition_scaling",
+        [
+            workload_record(
+                f"chw_grid_n{n}",
+                n=n,
+                m=graph.number_of_edges(),
+                wall_clock_s=elapsed,
+                rounds=rounds,
+                messages=None,
+                bits=None,
+                epsilon=epsilon,
+                cut_fraction=cut,
+            )
+            for n, rounds, cut, graph, elapsed in results
+        ],
+    ))
+    results = [(n, rounds, cut) for n, rounds, cut, _g, _e in results]
     print_table(
         "Thm 1.1 — CHW merging rounds vs n at ε = 0.25 (expect saturation: "
         "the D = poly(1/ε) factor is n-independent once iterations max out)",

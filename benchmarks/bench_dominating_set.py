@@ -8,11 +8,18 @@ multiplicity the analysis would have to pay.
 """
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import fmt, print_table
+from _common import (
+    bench_payload,
+    fmt,
+    print_table,
+    workload_record,
+    write_bench_json,
+)
 
 from repro.applications import (
     approximate_minimum_dominating_set,
@@ -37,20 +44,16 @@ def test_dominating_set_extension(benchmark):
 
     def run():
         out = []
-        for name, graph in instances:
+        for name, graph in list(instances) + [("grid 24x3 (granular)", strip)]:
+            decomposer = granular if graph is strip else kpr_decomposer
             optimum = len(minimum_dominating_set_exact(graph))
             baseline = len(greedy_dominating_set(graph))
+            start = time.perf_counter()
             result = approximate_minimum_dominating_set(
-                graph, epsilon, decomposer=kpr_decomposer
+                graph, epsilon, decomposer=decomposer
             )
-            out.append((name, optimum, baseline, result))
-        # Forced multi-cluster case: the boundary multiplicity becomes real.
-        optimum = len(minimum_dominating_set_exact(strip))
-        baseline = len(greedy_dominating_set(strip))
-        result = approximate_minimum_dominating_set(
-            strip, epsilon, decomposer=granular
-        )
-        out.append(("grid 24x3 (granular)", optimum, baseline, result))
+            elapsed = time.perf_counter() - start
+            out.append((name, graph, optimum, baseline, result, elapsed))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -59,7 +62,7 @@ def test_dominating_set_extension(benchmark):
          fmt(result.value / optimum),
          result.extras["boundary_multiplicity"],
          f"{result.exact_clusters}/{result.total_clusters}"]
-        for name, optimum, baseline, result in results
+        for name, _graph, optimum, baseline, result, _elapsed in results
     ]
     print_table(
         "Extension — dominating set via the decomposition template "
@@ -68,6 +71,28 @@ def test_dominating_set_extension(benchmark):
          "ratio", "boundary mult.", "exact clusters"],
         rows,
     )
-    for _name, optimum, baseline, result in results:
+    # Uniform schema: rounds are the decomposition's measured construction
+    # cost (None on the KPR fast path); the solver never enters the
+    # message-passing simulator, so messages/bits are unmeasured.
+    write_bench_json("dominating_set", bench_payload(
+        "dominating_set",
+        [
+            workload_record(
+                name.replace(" ", "_"),
+                n=graph.number_of_nodes(),
+                m=graph.number_of_edges(),
+                wall_clock_s=elapsed,
+                rounds=result.construction_rounds,
+                messages=None,
+                bits=None,
+                epsilon=epsilon,
+                value=result.value,
+                optimum=optimum,
+                greedy=baseline,
+            )
+            for name, graph, optimum, baseline, result, elapsed in results
+        ],
+    ))
+    for _name, _graph, optimum, baseline, result, _elapsed in results:
         # Unconditional soundness + never worse than multiplicity × OPT.
         assert result.value <= result.extras["boundary_multiplicity"] * optimum

@@ -14,13 +14,20 @@ Series regenerated:
 """
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
 import networkx as nx
 
-from _common import fmt, print_table
+from _common import (
+    bench_payload,
+    fmt,
+    print_table,
+    workload_record,
+    write_bench_json,
+)
 
 from repro.gathering import (
     find_shared_walk_schedule,
@@ -39,21 +46,41 @@ def test_backends_vs_f(benchmark):
     def run():
         out = []
         for f in targets:
+            start = time.perf_counter()
             lb = gather_with_load_balancing(graph, sink, f=f)
             delivered, rounds, schedule = gather_with_random_walks(
                 graph, sink, f=f, phi_hint=0.15
             )
-            out.append((f, lb, len(delivered) / total, rounds, schedule))
+            elapsed = time.perf_counter() - start
+            out.append((f, lb, len(delivered) / total, rounds, schedule,
+                        elapsed))
         return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
-    for f, lb, rw_fraction, rw_rounds, schedule in results:
+    records = []
+    for f, lb, rw_fraction, rw_rounds, schedule, elapsed in results:
         rows.append([
             f, fmt(lb.delivered_fraction), lb.rounds,
             fmt(rw_fraction), rw_rounds, schedule.seed,
             schedule.schedule_bits,
         ])
+        # Uniform schema: rounds are the measured router rounds (both
+        # backends, sequentially); the gathering primitives account
+        # delivered tokens rather than per-edge messages/bits.
+        records.append(workload_record(
+            f"gather_f_{f}",
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            wall_clock_s=elapsed,
+            rounds=lb.rounds + rw_rounds,
+            messages=None,
+            bits=None,
+            f=f,
+            lb_delivered=lb.delivered_fraction,
+            rw_delivered=rw_fraction,
+            schedule_bits=schedule.schedule_bits,
+        ))
     print_table(
         "Lemmas 2.2/2.5 — gather ≥ (1−f) of 2|E| messages "
         "(48-vertex constant-degree expander)",
@@ -61,7 +88,8 @@ def test_backends_vs_f(benchmark):
          "RW seed", "schedule bits"],
         rows,
     )
-    for f, lb, rw_fraction, _r, _s in results:
+    write_bench_json("gathering", bench_payload("gathering", records))
+    for f, lb, rw_fraction, _r, _s, _e in results:
         assert lb.delivered_fraction >= 1 - f - 1e-9
         assert rw_fraction >= 1 - f - 1e-9
 

@@ -11,11 +11,17 @@ Series regenerated:
 """
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from _common import print_table
+from _common import (
+    bench_payload,
+    print_table,
+    workload_record,
+    write_bench_json,
+)
 
 from repro.applications import test_minor_closed_property
 from repro.graphs import (
@@ -40,15 +46,18 @@ def test_completeness_soundness_matrix(benchmark):
     epsilon = 0.2
 
     def run():
-        return [
-            (prop, name, expected,
-             test_minor_closed_property(graph, prop, epsilon=epsilon))
-            for prop, name, graph, expected in cases
-        ]
+        out = []
+        for prop, name, graph, expected in cases:
+            start = time.perf_counter()
+            verdict = test_minor_closed_property(graph, prop, epsilon=epsilon)
+            elapsed = time.perf_counter() - start
+            out.append((prop, name, graph, expected, verdict, elapsed))
+        return out
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
-    for prop, name, expected, verdict in results:
+    records = []
+    for prop, name, graph, expected, verdict, elapsed in results:
         rows.append([
             prop, name,
             "member" if expected else "ε-far",
@@ -56,12 +65,29 @@ def test_completeness_soundness_matrix(benchmark):
             ",".join(sorted(set(verdict.reasons))) or "—",
             verdict.rounds,
         ])
+        # Uniform schema: rounds are the tester's measured CONGEST cost;
+        # it charges a ledger, not per-edge simulator messages.
+        records.append(workload_record(
+            f"{prop}_{name.replace(' ', '_')}",
+            n=graph.number_of_nodes(),
+            m=graph.number_of_edges(),
+            wall_clock_s=elapsed,
+            rounds=verdict.rounds,
+            messages=None,
+            bits=None,
+            epsilon=epsilon,
+            expected="member" if expected else "far",
+            accepted=verdict.accepted,
+        ))
     print_table(
         "Cor 6.6 — property testing: completeness and soundness",
         ["property", "instance", "truth", "verdict", "detector", "rounds"],
         rows,
     )
-    for _prop, _name, expected, verdict in results:
+    write_bench_json("property_testing", bench_payload(
+        "property_testing", records,
+    ))
+    for _prop, _name, _graph, expected, verdict, _elapsed in results:
         assert verdict.accepted == expected
 
 

@@ -6,6 +6,9 @@ Usage::
     python scripts/check_bench_regression.py BASELINE.json FRESH.json \
         [--threshold 0.10] [--floor 0.02]
 
+    python scripts/check_bench_regression.py --all FRESH_DIR \
+        [--threshold 0.10] [--floor 0.02]
+
 Both files must follow the uniform ``BENCH_*.json`` schema
 (``benchmarks/_common.py``).  Two gates run:
 
@@ -24,6 +27,12 @@ the gate catches order-of-magnitude regressions only — which is the
 honest resolution a smoke benchmark can deliver.  Raise ``--floor`` if
 your CI box is noisier.
 
+``--all FRESH_DIR`` sweeps **every** committed ``BENCH_*.quick.json`` at
+the repository root, compares each against the file of the same name in
+``FRESH_DIR``, and prints one summary table; the exit code fails if any
+bench regressed.  ``scripts/perf_smoke.sh`` regenerates the quick
+benches into a temp dir and runs this sweep.
+
 Skips (exit 0, with a note) when:
 
 * the baseline file does not exist yet (first run on a branch);
@@ -40,6 +49,8 @@ import os
 import sys
 from pathlib import Path
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
 
 def wall_clock(record: dict) -> float | None:
     """The engine wall-clock of one workload record (``engine_s`` when the
@@ -48,40 +59,30 @@ def wall_clock(record: dict) -> float | None:
     return float(value) if value is not None else None
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", type=Path)
-    parser.add_argument("fresh", type=Path)
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="relative regression budget (default 10%%)")
-    parser.add_argument("--floor", type=float, default=0.02,
-                        help="absolute seconds of slack (noise floor)")
-    args = parser.parse_args(argv)
+def compare_payloads(
+    baseline: dict, fresh: dict, threshold: float, floor: float,
+    verbose: bool = True,
+) -> dict:
+    """Run both gates over one (baseline, fresh) payload pair.
 
-    if os.environ.get("BENCH_REGRESSION_SKIP") == "1":
-        print("bench-regression: skipped (BENCH_REGRESSION_SKIP=1)")
-        return 0
-    if not args.baseline.exists():
-        print(f"bench-regression: no baseline at {args.baseline}; skipping")
-        return 0
-
-    baseline = json.loads(args.baseline.read_text())
-    fresh = json.loads(args.fresh.read_text())
+    Returns ``{"status": "ok" | "regression" | "skipped", "reason",
+    "failures", "compared", "base_total", "fresh_total"}``.
+    """
+    result = {
+        "status": "ok", "reason": "", "failures": [], "compared": 0,
+        "base_total": 0.0, "fresh_total": 0.0,
+    }
     if baseline.get("quick") != fresh.get("quick"):
-        print(
-            "bench-regression: quick flags differ "
-            f"(baseline={baseline.get('quick')}, fresh={fresh.get('quick')}); "
-            "wall-clocks are not comparable — skipping"
+        result["status"] = "skipped"
+        result["reason"] = (
+            f"quick flags differ (baseline={baseline.get('quick')}, "
+            f"fresh={fresh.get('quick')})"
         )
-        return 0
+        return result
 
     baseline_by_name = {
         record["workload"]: record for record in baseline.get("workloads", [])
     }
-    failures = []
-    base_total = 0.0
-    fresh_total = 0.0
-    compared = 0
     for record in fresh.get("workloads", []):
         name = record["workload"]
         base = baseline_by_name.get(name)
@@ -91,40 +92,146 @@ def main(argv=None) -> int:
         fresh_s = wall_clock(record)
         if base_s is None or fresh_s is None:
             continue
-        compared += 1
-        base_total += base_s
-        fresh_total += fresh_s
-        allowed = base_s * (1.0 + args.threshold) + max(
-            args.floor, 0.5 * base_s
-        )
+        result["compared"] += 1
+        result["base_total"] += base_s
+        result["fresh_total"] += fresh_s
+        allowed = base_s * (1.0 + threshold) + max(floor, 0.5 * base_s)
         status = "ok" if fresh_s <= allowed else "REGRESSION"
-        print(
-            f"bench-regression: {name}: baseline {base_s:.3f}s → "
-            f"fresh {fresh_s:.3f}s (allowed {allowed:.3f}s) {status}"
-        )
+        if verbose:
+            print(
+                f"bench-regression: {name}: baseline {base_s:.3f}s → "
+                f"fresh {fresh_s:.3f}s (allowed {allowed:.3f}s) {status}"
+            )
         if fresh_s > allowed:
-            failures.append(name)
+            result["failures"].append(name)
 
-    if compared == 0:
-        print("bench-regression: no comparable workloads; skipping")
-        return 0
+    if result["compared"] == 0:
+        result["status"] = "skipped"
+        result["reason"] = "no comparable workloads"
+        return result
 
-    allowed_total = base_total * (1.0 + args.threshold) + args.floor
-    print(
-        f"bench-regression: aggregate: baseline {base_total:.3f}s → "
-        f"fresh {fresh_total:.3f}s (allowed {allowed_total:.3f}s)"
-    )
-    if fresh_total > allowed_total:
-        failures.append("<aggregate>")
-
-    if failures:
+    allowed_total = result["base_total"] * (1.0 + threshold) + floor
+    if verbose:
         print(
-            f"bench-regression: FAIL — exceeded the >{args.threshold:.0%} "
-            f"wall-clock budget: " + ", ".join(failures)
+            f"bench-regression: aggregate: baseline "
+            f"{result['base_total']:.3f}s → fresh "
+            f"{result['fresh_total']:.3f}s (allowed {allowed_total:.3f}s)"
+        )
+    if result["fresh_total"] > allowed_total:
+        result["failures"].append("<aggregate>")
+    if result["failures"]:
+        result["status"] = "regression"
+    return result
+
+
+def check_pair(baseline_path: Path, fresh_path: Path, threshold: float,
+               floor: float) -> int:
+    if not baseline_path.exists():
+        print(f"bench-regression: no baseline at {baseline_path}; skipping")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    result = compare_payloads(baseline, fresh, threshold, floor)
+    if result["status"] == "skipped":
+        print(
+            f"bench-regression: {result['reason']} — skipping"
+        )
+        return 0
+    if result["status"] == "regression":
+        print(
+            f"bench-regression: FAIL — exceeded the >{threshold:.0%} "
+            f"wall-clock budget: " + ", ".join(result["failures"])
         )
         return 1
-    print(f"bench-regression: OK ({compared} workloads within budget)")
+    print(f"bench-regression: OK ({result['compared']} workloads within budget)")
     return 0
+
+
+def check_all(fresh_dir: Path, threshold: float, floor: float) -> int:
+    """Sweep every committed ``BENCH_*.quick.json`` against ``fresh_dir``
+    and print one summary table."""
+    baselines = sorted(REPO_ROOT.glob("BENCH_*.quick.json"))
+    if not baselines:
+        print("bench-regression: no committed BENCH_*.quick.json baselines")
+        return 0
+    rows = []
+    failed = False
+    for baseline_path in baselines:
+        bench = baseline_path.name[len("BENCH_"):-len(".quick.json")]
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            # A committed baseline with no fresh counterpart means the
+            # smoke harness forgot to regenerate this bench — fail loudly
+            # rather than let it silently drop out of the gate.
+            failed = True
+            rows.append((bench, "-", "-", "-",
+                         "REGRESSION: no fresh run (bench not regenerated)"))
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        fresh = json.loads(fresh_path.read_text())
+        result = compare_payloads(
+            baseline, fresh, threshold, floor, verbose=False
+        )
+        if result["status"] == "skipped":
+            rows.append((bench, "-", "-", "-", result["reason"]))
+            continue
+        ratio = (
+            result["fresh_total"] / result["base_total"]
+            if result["base_total"] else float("inf")
+        )
+        if result["status"] == "regression":
+            failed = True
+            verdict = "REGRESSION: " + ", ".join(result["failures"])
+        else:
+            verdict = "ok"
+        rows.append((
+            bench,
+            f"{result['base_total']:.3f}s",
+            f"{result['fresh_total']:.3f}s",
+            f"{ratio:.2f}x",
+            f"{verdict} ({result['compared']} workloads)",
+        ))
+    headers = ("bench", "baseline", "fresh", "ratio", "verdict")
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print("bench-regression: sweep of committed quick baselines")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    if failed:
+        print("bench-regression: FAIL — see REGRESSION rows above")
+        return 1
+    print("bench-regression: OK — no bench exceeded its budget")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path,
+                        help="baseline BENCH json, or FRESH_DIR with --all")
+    parser.add_argument("fresh", type=Path, nargs="?", default=None)
+    parser.add_argument("--all", action="store_true",
+                        help="sweep every committed BENCH_*.quick.json "
+                             "against the same-named file in the given "
+                             "directory and print one summary table")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression budget (default 10%%)")
+    parser.add_argument("--floor", type=float, default=0.02,
+                        help="absolute seconds of slack (noise floor)")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("BENCH_REGRESSION_SKIP") == "1":
+        print("bench-regression: skipped (BENCH_REGRESSION_SKIP=1)")
+        return 0
+    if args.all:
+        return check_all(args.baseline, args.threshold, args.floor)
+    if args.fresh is None:
+        parser.error("FRESH.json required unless --all is given")
+    return check_pair(args.baseline, args.fresh, args.threshold, args.floor)
 
 
 if __name__ == "__main__":

@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
-# Perf smoke: the tier-1 test suite, both quick engine benchmarks, and a
-# wall-clock regression gate.
+# Perf smoke: the tier-1 test suite, every quick engine benchmark, and a
+# wall-clock regression sweep.
 #
 # The benchmarks' --quick modes each finish in well under 30 s.  Fresh
-# results are written to a temp dir and compared against the committed
-# quick-mode baselines (BENCH_engine.quick.json / BENCH_delivery.quick.json)
-# by scripts/check_bench_regression.py, which fails on a >10% wall-clock
-# regression (plus a small absolute noise floor; see that script's
-# docstring).  Set BENCH_REGRESSION_SKIP=1 to run the benchmarks without
-# the gate.  Run from anywhere:
+# results are written to a temp dir and swept against *every* committed
+# quick-mode baseline (BENCH_*.quick.json) in one pass by
+# scripts/check_bench_regression.py --all, which prints a single summary
+# table and fails on a >10% wall-clock regression (plus a small absolute
+# noise floor; see that script's docstring).  Set BENCH_REGRESSION_SKIP=1
+# to run the benchmarks without the gate.  Run from anywhere:
 #
 #   scripts/perf_smoke.sh
 set -euo pipefail
@@ -21,5 +21,5 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 python -m pytest -x -q
 python benchmarks/bench_engine.py --quick --json "$SMOKE_DIR/BENCH_engine.quick.json"
 python benchmarks/bench_delivery.py --quick --json "$SMOKE_DIR/BENCH_delivery.quick.json"
-python scripts/check_bench_regression.py BENCH_engine.quick.json "$SMOKE_DIR/BENCH_engine.quick.json"
-python scripts/check_bench_regression.py BENCH_delivery.quick.json "$SMOKE_DIR/BENCH_delivery.quick.json"
+python benchmarks/bench_columnar.py --quick --json "$SMOKE_DIR/BENCH_columnar.quick.json"
+python scripts/check_bench_regression.py --all "$SMOKE_DIR"

@@ -158,8 +158,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     import time
 
     from repro.congest import Trial, run_many
-    from repro.congest.algorithms import BFSTreeAlgorithm
+    from repro.congest.algorithms import BFSTreeAlgorithm, ColumnarBFSTree
     from repro.congest.classic import (
+        ColumnarLubyMIS,
+        ColumnarTrialColoring,
         LubyMISAlgorithm,
         ProposalMatchingAlgorithm,
         TrialColoringAlgorithm,
@@ -167,14 +169,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     graph = build_instance(args.instance)
     n = graph.number_of_nodes()
+    columnar = getattr(args, "plane", "dict") == "columnar"
     needs_inputs = True
     if args.problem == "mis":
         horizon = 20 * max(4, n.bit_length() ** 2)
-        algorithm = LubyMISAlgorithm(horizon)
+        algorithm = (
+            ColumnarLubyMIS(horizon) if columnar
+            else LubyMISAlgorithm(horizon)
+        )
 
         def summarize(outputs):
             return f"|IS| = {sum(1 for flag in outputs.values() if flag)}"
     elif args.problem == "matching":
+        if columnar:
+            raise SystemExit(
+                "matching has no columnar port; use --plane dict"
+            )
         horizon = 40 * max(4, n.bit_length() ** 2)
         algorithm = ProposalMatchingAlgorithm(horizon)
 
@@ -186,14 +196,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     elif args.problem == "coloring":
         delta = max((d for _, d in graph.degree), default=0)
         horizon = 40 * max(4, n.bit_length() ** 2)
-        algorithm = TrialColoringAlgorithm(delta + 1, horizon)
+        algorithm = (
+            ColumnarTrialColoring(delta + 1, horizon) if columnar
+            else TrialColoringAlgorithm(delta + 1, horizon)
+        )
 
         def summarize(outputs):
             return f"colors = {len(set(outputs.values()))}"
     else:  # bfs
         root = min(graph.nodes, key=repr)
         horizon = n + 2
-        algorithm = BFSTreeAlgorithm(root, horizon)
+        algorithm = (
+            ColumnarBFSTree(root, horizon) if columnar
+            else BFSTreeAlgorithm(root, horizon)
+        )
         needs_inputs = False
 
         def summarize(outputs):
@@ -286,6 +302,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=["congest", "local"], default="congest")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed deriving the per-trial vertex seeds")
+    p.add_argument("--plane", choices=["dict", "columnar"], default="dict",
+                   help="delivery plane: per-message dicts or the "
+                        "round-vectorized columnar ports (mis/coloring/bfs)")
     p.set_defaults(func=cmd_simulate)
     return parser
 

@@ -27,14 +27,34 @@ Public API
     The engine's one-time topology compilation and the batched benchmark
     runner: ``run_many(algorithm, trials, processes=N)`` fans a sweep of
     graphs/seeds out over a multiprocessing pool.
+``ColumnarSpec`` / ``ColumnarAlgorithm`` / ``ColumnarContext`` / ``ColumnarInbox``
+    The columnar message plane (``repro.congest.columnar``): algorithms
+    that declare a typed fixed-width schema are written as
+    round-vectorized programs; the engine delivers each round as numpy
+    columns over the compiled CSR topology (per-vertex inboxes are array
+    segments) and computes metrics as array reductions — zero
+    per-message Python objects on the fast path.  ``Network.run``
+    dispatches on ``ColumnarAlgorithm`` automatically.
 ``RoundLedger``
     Cost accounting for composite cluster-level algorithms whose primitives
     have measured CONGEST costs (see DESIGN.md section 3).
 """
 
-from repro.congest.engine import CompiledTopology, Trial, run_many
+from repro.congest.columnar import (
+    ColumnarAlgorithm,
+    ColumnarContext,
+    ColumnarInbox,
+    execute_columnar,
+)
+from repro.congest.engine import (
+    CompiledTopology,
+    Trial,
+    release_round_buffers,
+    run_many,
+)
 from repro.congest.message import (
     Broadcast,
+    ColumnarSpec,
     Message,
     bits_for_int,
     bits_for_payload,
@@ -47,10 +67,14 @@ from repro.congest.network import (
     NodeAlgorithm,
 )
 from repro.congest.cluster_sim import (
+    ColumnarClusterAnnounce,
     HeaviestNeighborAggregation,
+    distributed_boundary_tables,
     measure_step1_message_bits,
 )
 from repro.congest.classic import (
+    ColumnarLubyMIS,
+    ColumnarTrialColoring,
     delta_plus_one_coloring,
     distributed_greedy_matching,
     luby_mis,
@@ -59,6 +83,9 @@ from repro.congest.algorithms import (
     BFSTreeAlgorithm,
     BroadcastAlgorithm,
     ColorReductionAlgorithm,
+    ColumnarBFSTree,
+    ColumnarConvergecastSum,
+    ColumnarFloodValue,
     ConvergecastSumAlgorithm,
     FloodMaxLeaderElection,
     bfs_tree,
@@ -73,8 +100,21 @@ __all__ = [
     "CompiledTopology",
     "Trial",
     "run_many",
+    "release_round_buffers",
     "Broadcast",
     "Message",
+    "ColumnarSpec",
+    "ColumnarAlgorithm",
+    "ColumnarContext",
+    "ColumnarInbox",
+    "ColumnarLubyMIS",
+    "ColumnarTrialColoring",
+    "ColumnarBFSTree",
+    "ColumnarConvergecastSum",
+    "ColumnarFloodValue",
+    "ColumnarClusterAnnounce",
+    "distributed_boundary_tables",
+    "execute_columnar",
     "bits_for_int",
     "bits_for_payload",
     "NetworkMetrics",

@@ -16,6 +16,25 @@ node algorithms so their round counts are *measured*:
 
 Each takes an explicit ``seed``: the *paper's* algorithms are
 deterministic; these baselines are the randomized competition.
+
+Columnar ports
+--------------
+:class:`ColumnarLubyMIS` and :class:`ColumnarTrialColoring` are
+round-vectorized ports of the MIS and colouring baselines onto the
+columnar delivery plane (:mod:`repro.congest.columnar`).  They replicate
+the object-plane algorithms *exactly* — same per-vertex RNG streams,
+same transitions, same payload values — so outputs **and**
+``NetworkMetrics`` counters are byte-identical to
+:class:`LubyMISAlgorithm` / :class:`TrialColoringAlgorithm`
+(``tests/test_columnar.py`` asserts this differentially); what changes
+is the cost model: priority comparison and conflict detection are single
+segmented reductions instead of per-vertex Python inbox loops.  The
+per-vertex RNG draws remain Python (O(active) per phase — matching the
+originals' streams requires ``random.Random``), which is off the
+per-edge hot path.  Tie-breaks use ``repr``-rank, so vertex reprs must
+be distinct (true for every graph family in this repository).
+``luby_mis``/``delta_plus_one_coloring`` take ``plane="columnar"`` to
+run the ported implementations through the same verified wrappers.
 """
 
 from __future__ import annotations
@@ -24,8 +43,10 @@ import random
 from typing import Any, Hashable, Mapping
 
 import networkx as nx
+import numpy as np
 
-from repro.congest.message import Broadcast, Message
+from repro.congest.columnar import ColumnarAlgorithm, ColumnarContext
+from repro.congest.message import Broadcast, ColumnarSpec, Message
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
 
@@ -124,20 +145,98 @@ class LubyMISAlgorithm(NodeAlgorithm):
         return self.in_set
 
 
+class ColumnarLubyMIS(ColumnarAlgorithm):
+    """Luby's MIS as a round-vectorized columnar program.
+
+    Exact port of :class:`LubyMISAlgorithm` (same RNG streams, same
+    2-round DRAW/RESOLVE lockstep, same ``(kind, value)`` payloads), with
+    the per-edge work — priority comparison against every active
+    neighbour, join detection — as segmented reductions.  Priorities and
+    ``repr``-rank pack into one 62-bit key, so "some neighbour beats me"
+    is a single segmented ``max``.
+    """
+
+    spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+
+    _DRAW, _RESOLVE = 0, 1
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+
+    def spawn(self) -> "ColumnarLubyMIS":
+        return ColumnarLubyMIS(self.horizon)
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        self.rngs = [random.Random(seed) for seed in ctx.inputs]
+        self.active = np.ones(n, dtype=bool)
+        self.in_set = np.zeros(n, dtype=bool)
+        self.priority = np.zeros(n, dtype=np.int64)
+        self.rank = ctx.repr_rank
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        if ctx.round_number > self.horizon:
+            raise RuntimeError("Luby MIS exceeded horizon")
+        stepped = ~ctx.halted
+        if ctx.round_number % 2 == 1:  # DRAW (odd rounds, lockstep)
+            # Resolve the previous phase's notifications: any kind-1
+            # message means a neighbour joined the IS.
+            kinds = ctx.inbox.column("kind")
+            joined_neighbor = ctx.reduce_neighbors("any", kinds == 1)
+            retire = stepped & self.active & joined_neighbor
+            self.active &= ~retire
+            # Isolated vertices have no one to beat: join immediately.
+            isolated = stepped & self.active & (ctx.degrees == 0)
+            self.in_set |= isolated
+            self.active &= ~isolated
+            ctx.halt(retire | isolated)
+            survivors = np.flatnonzero(stepped & self.active)
+            if survivors.size:
+                rngs = self.rngs
+                priority = self.priority
+                for i in survivors.tolist():
+                    priority[i] = rngs[i].randrange(1 << 30)
+                ctx.emit_columns(survivors, kind=0, value=priority[survivors])
+        else:  # RESOLVE: the inbox holds the draws of active neighbours.
+            values = ctx.inbox.column("value").astype(np.int64)
+            kinds = ctx.inbox.column("kind")
+            keys = (values << 32) | self.rank[ctx.inbox.senders]
+            best = ctx.reduce_neighbors(
+                "max", keys, where=(kinds == 0), empty=np.int64(-1)
+            )
+            my_key = (self.priority << 32) | self.rank
+            wins = stepped & self.active & (best < my_key)
+            winners = np.flatnonzero(wins)
+            if winners.size:
+                self.in_set[winners] = True
+                self.active[winners] = False
+                ctx.emit_columns(winners, kind=1, value=0)
+                ctx.halt(wins)
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [bool(flag) for flag in self.in_set]
+
+
 def luby_mis(
-    graph: nx.Graph, seed: int = 0, model: str = "congest"
+    graph: nx.Graph, seed: int = 0, model: str = "congest",
+    plane: str = "dict",
 ) -> tuple[set, NetworkMetrics]:
     """Run Luby's MIS; returns (independent set, metrics).
 
-    The result is verified maximal and independent before returning.
+    ``plane="columnar"`` runs the vectorized :class:`ColumnarLubyMIS`
+    port (identical outputs and metrics).  The result is verified maximal
+    and independent before returning.
     """
     n = graph.number_of_nodes()
     horizon = 20 * max(4, n.bit_length() ** 2)
     rng = random.Random(seed)
     inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
     net = Network(graph, model=model)
-    outputs = net.run(LubyMISAlgorithm(horizon), max_rounds=horizon + 2,
-                      inputs=inputs)
+    algorithm = (
+        ColumnarLubyMIS(horizon) if plane == "columnar"
+        else LubyMISAlgorithm(horizon)
+    )
+    outputs = net.run(algorithm, max_rounds=horizon + 2, inputs=inputs)
     independent = {v for v, flag in outputs.items() if flag}
     for u, v in graph.edges:
         if u in independent and v in independent:
@@ -312,12 +411,103 @@ class TrialColoringAlgorithm(NodeAlgorithm):
         return self.color
 
 
+class ColumnarTrialColoring(ColumnarAlgorithm):
+    """Trial-colouring as a round-vectorized columnar program.
+
+    Exact port of :class:`TrialColoringAlgorithm` — same RNG streams
+    (``rng.choice`` over the ascending available-colour list), same
+    ``(kind, colour)`` payloads, same finalize/draw transitions.  The
+    per-edge work is vectorized: finalized neighbour colours land in an
+    ``n × palette`` bitmask with one fancy-indexed scatter, and the
+    same-trial conflict check is a segmented ``any`` — no Python inbox
+    iteration.  The per-vertex trial draw stays Python (O(uncoloured ×
+    palette) per round, like the original's local computation).
+    """
+
+    spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+
+    def __init__(self, palette_size: int, horizon: int) -> None:
+        self.palette_size = palette_size
+        self.horizon = horizon
+
+    def spawn(self) -> "ColumnarTrialColoring":
+        return ColumnarTrialColoring(self.palette_size, self.horizon)
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        self.rngs = [random.Random(seed) for seed in ctx.inputs]
+        self.color = np.full(n, -1, dtype=np.int64)
+        self.trial = np.full(n, -1, dtype=np.int64)
+        # taken[v, c] — a neighbour of v has *finalized* colour c;
+        # taken_count tracks distinct finalized colours per row so
+        # conflict-free vertices can draw from the shared full palette
+        # without scanning their row.
+        self.taken = np.zeros((n, max(1, self.palette_size)), dtype=bool)
+        self.taken_count = np.zeros(n, dtype=np.int64)
+        self.full_palette = list(range(self.palette_size))
+        self.vertex_ids = np.arange(n)
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        if ctx.round_number > self.horizon:
+            raise RuntimeError("coloring exceeded horizon")
+        stepped = ~ctx.halted
+        kinds = ctx.inbox.column("kind")
+        values = ctx.inbox.column("value").astype(np.int64)
+        finalized = kinds == 1
+        if finalized.any():
+            receivers = ctx.inbox.receivers()
+            touched = receivers[finalized]
+            self.taken[touched, values[finalized]] = True
+            rows = np.unique(touched)
+            self.taken_count[rows] = self.taken[rows].sum(axis=1)
+        has_trial = self.trial >= 0
+        # Conflict (a): an uncoloured neighbour tried the same colour.
+        trial_of_receiver = self.trial[ctx.inbox.receivers()]
+        conflict = ctx.reduce_neighbors(
+            "any", (kinds == 0) & (values == trial_of_receiver)
+        )
+        # Conflict (b): a neighbour finalized our trial colour.
+        guarded_trial = np.where(has_trial, self.trial, 0)
+        conflict |= has_trial & self.taken[self.vertex_ids, guarded_trial]
+        uncolored = self.color < 0
+        finalize = stepped & uncolored & has_trial & ~conflict
+        if finalize.any():
+            idx = np.flatnonzero(finalize)
+            self.color[idx] = self.trial[idx]
+            ctx.emit_columns(idx, kind=1, value=self.color[idx])
+            ctx.halt(finalize)
+        drawers = np.flatnonzero(stepped & (self.color < 0))
+        if drawers.size:
+            rngs = self.rngs
+            trial = self.trial
+            taken = self.taken
+            full = self.full_palette
+            constrained = self.taken_count
+            # Vertices with no finalized neighbour colour draw from the
+            # shared full palette — identical RNG stream to the object
+            # plane's per-vertex ``[c for c in range(palette) …]`` list
+            # (same length ⇒ same ``choice`` draw), without a row scan.
+            for i in drawers.tolist():
+                if constrained[i]:
+                    available = np.flatnonzero(~taken[i]).tolist()
+                else:
+                    available = full
+                trial[i] = rngs[i].choice(available)
+            ctx.emit_columns(drawers, kind=0, value=trial[drawers])
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [None if c < 0 else int(c) for c in self.color]
+
+
 def delta_plus_one_coloring(
-    graph: nx.Graph, seed: int = 0, model: str = "congest"
+    graph: nx.Graph, seed: int = 0, model: str = "congest",
+    plane: str = "dict",
 ) -> tuple[dict, NetworkMetrics]:
     """Randomized (Δ+1)-colouring; returns ({v: colour}, metrics).
 
-    Verified proper before returning.
+    ``plane="columnar"`` runs the vectorized :class:`ColumnarTrialColoring`
+    port (identical outputs and metrics).  Verified proper before
+    returning.
     """
     delta = max((d for _, d in graph.degree), default=0)
     n = graph.number_of_nodes()
@@ -325,11 +515,11 @@ def delta_plus_one_coloring(
     rng = random.Random(seed)
     inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
     net = Network(graph, model=model)
-    outputs = net.run(
-        TrialColoringAlgorithm(delta + 1, horizon),
-        max_rounds=horizon + 2,
-        inputs=inputs,
+    algorithm = (
+        ColumnarTrialColoring(delta + 1, horizon) if plane == "columnar"
+        else TrialColoringAlgorithm(delta + 1, horizon)
     )
+    outputs = net.run(algorithm, max_rounds=horizon + 2, inputs=inputs)
     for u, v in graph.edges:
         if outputs[u] == outputs[v]:
             raise AssertionError("coloring not proper")

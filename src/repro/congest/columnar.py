@@ -1,0 +1,690 @@
+"""The columnar message plane: typed payload columns over the CSR topology.
+
+The object plane (:mod:`repro.congest.engine`) materializes every round's
+traffic as per-vertex dicts of :class:`~repro.congest.message.Message`
+objects — flexible, but each message costs dict writes, payload sizing,
+and Python-level inbox iteration.  The algorithms this repository actually
+benchmarks exchange *small fixed-width numeric payloads* (ids, colors,
+levels, coin flips).  The columnar plane exploits that:
+
+* an algorithm declares a typed schema
+  (:class:`~repro.congest.message.ColumnarSpec`, e.g.
+  ``(("kind", uint8), ("value", uint32))``) and is written as a
+  *round-vectorized* program (:class:`ColumnarAlgorithm`): one
+  ``on_round(ctx)`` call per round for the whole graph, not one per
+  vertex;
+* emission is ``ctx.emit_columns(senders, **fields)`` (broadcast over the
+  compiled CSR neighbour segments) or
+  ``ctx.emit_columns(senders, receivers, **fields)`` (unicast) — numpy
+  arrays in, no per-message Python objects;
+* the engine delivers the entire round as structured columns laid out
+  over the CSR topology: a sender column, one column per payload field,
+  and segment offsets per receiver (``inbox.indptr``) — the *per-vertex
+  numpy inboxes* are slices of those global arrays
+  (:meth:`ColumnarInbox.for_vertex`);
+* per-round metric accounting (message count, ``deg × bits``, peak edge
+  load) is computed as array reductions over the same columns, with the
+  bit-sizing rule shared with :func:`~repro.congest.message.bits_for_payload`
+  so the counters stay byte-identical to the object plane;
+* inbox consumption is :meth:`ColumnarContext.reduce_neighbors`
+  (``min | max | sum | argmin | argmax | any | count``) — single
+  segmented-numpy operations, so MIS coin comparison, Luby priority
+  argmin, coloring conflict detection, and BFS level relaxation never
+  iterate an inbox in Python.
+
+Differential reference
+----------------------
+:func:`execute_columnar` has a ``reference=True`` mode — the *dict plane*
+for columnar programs.  It runs the same round-vectorized algorithm but
+expands every emission into per-message Python
+:class:`~repro.congest.message.Message` objects (payload = the field
+tuple, or the bare value for single-field specs), validates and counts
+each one exactly as the seed executor would (``bits_for_payload``
+sizing, per-message ``record_message``/``record_edge_load``), and
+rebuilds the next inbox the slow way.  ``tests/test_columnar.py`` and
+``tests/test_delivery_soak.py`` assert the fast path byte-identical to
+it — and the ported classics additionally byte-identical to their
+object-plane originals (``LubyMISAlgorithm`` et al.) end to end.
+
+Ordering contract: a round's inbox arrays are grouped by receiver
+(CSR-segment order) and, within a receiver, ordered by emission order —
+a stable sort of the round's traffic by receiver.  All reductions except
+``argmin``/``argmax`` are order-insensitive; the arg reductions break
+ties toward the earliest emitted message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.congest.message import ColumnarSpec, Message
+
+_INT64_MAX = np.iinfo(np.int64).max
+_INT64_MIN = np.iinfo(np.int64).min
+
+
+def _cumsum0(counts: np.ndarray) -> np.ndarray:
+    out = np.empty(len(counts) + 1, dtype=np.int64)
+    out[0] = 0
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _segment_reduce(values, indptr, ufunc, empty, out_dtype=None):
+    """Reduce ``values`` over the segments ``[indptr[i], indptr[i+1])``.
+
+    Handles empty segments (they get ``empty``), which bare
+    ``ufunc.reduceat`` silently corrupts: passing only the non-empty
+    starts makes each reduceat slice span exactly one segment, because
+    empty segments contribute no elements between consecutive starts.
+    """
+    n = len(indptr) - 1
+    counts = indptr[1:] - indptr[:-1]
+    nonempty = counts > 0
+    out = np.full(n, empty, dtype=out_dtype if out_dtype is not None else values.dtype)
+    if values.size and nonempty.any():
+        out[nonempty] = ufunc.reduceat(values, indptr[:-1][nonempty])
+    return out
+
+
+class ColumnarInbox:
+    """One round's delivered traffic as receiver-segmented columns.
+
+    ``senders[indptr[i]:indptr[i+1]]`` are the dense sender ids of vertex
+    ``i``'s messages; each payload field is a parallel column in the
+    spec's declared dtype.  This *is* the per-vertex numpy inbox — a
+    vertex's view is a zero-copy slice (:meth:`for_vertex`), and whole
+    rounds reduce in one segmented op (:meth:`reduce`).
+    """
+
+    __slots__ = ("n", "senders", "indptr", "columns", "_receivers")
+
+    def __init__(self, n, senders, indptr, columns) -> None:
+        self.n = n
+        self.senders = senders
+        self.indptr = indptr
+        self.columns = columns
+        self._receivers = None
+
+    @classmethod
+    def empty(cls, n: int, spec: ColumnarSpec) -> "ColumnarInbox":
+        return cls(
+            n,
+            np.empty(0, dtype=np.int64),
+            np.zeros(n + 1, dtype=np.int64),
+            {name: np.empty(0, dtype=dtype) for name, dtype in spec.fields},
+        )
+
+    def __len__(self) -> int:
+        return len(self.senders)
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-vertex message counts (``np.diff(indptr)``)."""
+        return self.indptr[1:] - self.indptr[:-1]
+
+    def receivers(self) -> np.ndarray:
+        """Per-message receiver ids (the segment each message lies in)."""
+        if self._receivers is None:
+            self._receivers = np.repeat(
+                np.arange(self.n, dtype=np.int64), self.counts
+            )
+        return self._receivers
+
+    def for_vertex(self, i: int) -> dict:
+        """Vertex ``i``'s inbox as zero-copy array slices."""
+        start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
+        view = {"senders": self.senders[start:stop]}
+        for name, column in self.columns.items():
+            view[name] = column[start:stop]
+        return view
+
+    def reduce(self, op, values=None, where=None, empty=None):
+        """One segmented reduction over every vertex's inbox at once.
+
+        Parameters
+        ----------
+        op:
+            ``"min" | "max" | "sum" | "argmin" | "argmax" | "any" |
+            "count"``.
+        values:
+            A field name, or a per-message array (e.g. a derived
+            combined key).  Unused for ``"count"``.
+        where:
+            Optional per-message bool mask; masked-out messages are
+            invisible to the reduction.
+        empty:
+            Value for vertices with no (selected) messages.  Defaults:
+            ``sum`` → 0, ``any`` → False, ``min`` → int64 max,
+            ``max`` → int64 min, ``argmin``/``argmax`` → -1.
+
+        ``argmin``/``argmax`` return *message indices into this inbox*
+        (usable to index ``senders`` or any column), -1 where empty;
+        ties break toward the earliest emitted message.
+        """
+        n = self.n
+        indptr = self.indptr
+        original = None
+        if where is not None:
+            where = np.asarray(where, dtype=bool)
+            selected = self.receivers()[where]
+            indptr = _cumsum0(np.bincount(selected, minlength=n))
+            original = np.flatnonzero(where)
+        if op == "count":
+            return indptr[1:] - indptr[:-1]
+        if isinstance(values, str):
+            values = self.columns[values]
+        values = np.asarray(values)
+        if original is not None:
+            values = values[original]
+        if op == "any":
+            out = _segment_reduce(
+                values.astype(bool), indptr, np.logical_or,
+                False if empty is None else empty, np.bool_,
+            )
+            return out
+        promoted = values.astype(np.int64) if values.dtype != np.int64 else values
+        if op == "sum":
+            return _segment_reduce(
+                promoted, indptr, np.add, 0 if empty is None else empty
+            )
+        if op == "min":
+            return _segment_reduce(
+                promoted, indptr, np.minimum,
+                _INT64_MAX if empty is None else empty,
+            )
+        if op == "max":
+            return _segment_reduce(
+                promoted, indptr, np.maximum,
+                _INT64_MIN if empty is None else empty,
+            )
+        if op in ("argmin", "argmax"):
+            ufunc = np.minimum if op == "argmin" else np.maximum
+            sentinel = _INT64_MAX if op == "argmin" else _INT64_MIN
+            extreme = _segment_reduce(promoted, indptr, ufunc, sentinel)
+            count = len(promoted)
+            if count == 0:
+                return np.full(n, -1 if empty is None else empty, dtype=np.int64)
+            seg = (
+                self.receivers() if original is None
+                else self.receivers()[original]
+            )
+            hit = promoted == extreme[seg]
+            candidate = np.where(hit, np.arange(count, dtype=np.int64), count)
+            arg = _segment_reduce(candidate, indptr, np.minimum, count)
+            missing = arg >= count
+            if original is not None:
+                arg = np.where(missing, 0, arg)
+                arg = original[arg]
+            arg = np.where(missing, -1 if empty is None else empty, arg)
+            return arg
+        raise ValueError(f"unknown reduction {op!r}")
+
+
+class ColumnarContext:
+    """The whole-graph view handed to a :class:`ColumnarAlgorithm`.
+
+    Attributes
+    ----------
+    n, vertices:
+        Vertex count and the dense-index → vertex-id table (``graph.nodes``
+        order, like the object plane's output keying).
+    indptr, indices, degrees:
+        The compiled CSR adjacency (``int64``); ``degrees`` is the numpy
+        degree table.
+    repr_rank:
+        Per dense index, the vertex's rank in ``sorted(vertices, key=repr)``
+        — the vectorized stand-in for the object plane's
+        ``repr``-comparison tie-breaks (identical outcomes whenever vertex
+        reprs are distinct, which holds for every graph in this
+        repository).
+    inputs:
+        Per-vertex inputs aligned to dense indices (``None`` where absent).
+    round_number, inbox, halted:
+        Current round (1-based), this round's :class:`ColumnarInbox`, and
+        the halt mask (read it freely; mutate only via :meth:`halt`).
+    """
+
+    __slots__ = (
+        "n", "vertices", "indptr", "indices", "degrees", "repr_rank",
+        "inputs", "round_number", "inbox", "halted",
+        "_index_of", "_spec", "_emissions", "_halted_count",
+    )
+
+    def __init__(self, topology, plane, spec, inputs_list) -> None:
+        self.n = topology.n
+        self.vertices = topology.vertices
+        self.indptr = topology.indptr
+        self.indices = topology.indices
+        self.degrees = plane.degrees
+        self.repr_rank = plane.repr_rank
+        self.inputs = inputs_list
+        self.round_number = 0
+        self.inbox = ColumnarInbox.empty(topology.n, spec)
+        self.halted = np.zeros(topology.n, dtype=bool)
+        self._index_of = topology.index_of
+        self._spec = spec
+        self._emissions: list = []
+        self._halted_count = 0
+
+    def index_of(self, vertex: Any) -> int:
+        """Dense index of a vertex id."""
+        return self._index_of[vertex]
+
+    def halt(self, which) -> None:
+        """Halt vertices (bool mask over ``n``, or dense indices).  The
+        run ends when every vertex has halted.  Transitions are one-way."""
+        which = np.asarray(which)
+        if which.dtype == np.bool_:
+            self.halted |= which
+        else:
+            self.halted[which] = True
+        self._halted_count = int(np.count_nonzero(self.halted))
+
+    def reduce_neighbors(self, op, values=None, where=None, empty=None):
+        """Segmented reduction over this round's inbox — see
+        :meth:`ColumnarInbox.reduce`."""
+        return self.inbox.reduce(op, values, where=where, empty=empty)
+
+    # -- emission ------------------------------------------------------------
+    def emit_columns(self, senders, receivers=None, **fields) -> None:
+        """Queue this round's outgoing messages as columns.
+
+        ``senders`` is a bool mask over all vertices or an array of dense
+        indices.  With ``receivers=None`` every sender broadcasts one
+        message to each of its neighbours (field values are per *sender*
+        and fan out over the CSR segment); with ``receivers`` given (an
+        array aligned with ``senders``) each (sender, receiver) pair is
+        one unicast message and field values are per *message*.  Fields
+        must match the algorithm's :class:`ColumnarSpec` exactly; values
+        are range-checked against the declared dtypes here — silent
+        overflow truncation is rejected at emit time.
+        """
+        spec = self._spec
+        senders = np.asarray(senders)
+        if senders.dtype == np.bool_:
+            if senders.shape != (self.n,):
+                raise ValueError(
+                    "boolean sender mask must cover all vertices"
+                )
+            senders = np.flatnonzero(senders)
+        else:
+            senders = senders.astype(np.int64, copy=False)
+            if senders.size and (
+                int(senders.min()) < 0 or int(senders.max()) >= self.n
+            ):
+                raise ValueError("sender index out of range")
+        if senders.size and bool(self.halted[senders].any()):
+            raise ValueError("columnar emission from a halted vertex")
+        if receivers is not None:
+            receivers = np.asarray(receivers).astype(np.int64, copy=False)
+            if receivers.shape != senders.shape:
+                raise ValueError(
+                    "receivers must align one-to-one with senders"
+                )
+            if receivers.size and (
+                int(receivers.min()) < 0 or int(receivers.max()) >= self.n
+            ):
+                raise ValueError("receiver index out of range")
+        unknown = set(fields) - set(spec.names)
+        missing = set(spec.names) - set(fields)
+        if unknown or missing:
+            raise ValueError(
+                f"emission fields {sorted(fields)} do not match spec "
+                f"fields {list(spec.names)}"
+            )
+        count = len(senders)
+        if count == 0:
+            return
+        columns = {}
+        for name in spec.names:
+            value = np.asarray(fields[name])
+            if value.dtype.kind not in "iub":
+                raise TypeError(
+                    f"columnar field {name!r}: values must be integers or "
+                    f"bools, got dtype {value.dtype}"
+                )
+            value = value.astype(np.int64, copy=False)
+            if value.ndim == 0:
+                value = np.full(count, int(value), dtype=np.int64)
+            elif len(value) != count:
+                raise ValueError(
+                    f"columnar field {name!r}: expected {count} values, "
+                    f"got {len(value)}"
+                )
+            spec.check_range(name, value)
+            columns[name] = value
+        self._emissions.append((senders, receivers, columns))
+
+
+class ColumnarAlgorithm:
+    """Base class for round-vectorized algorithms on the columnar plane.
+
+    Subclasses set ``spec`` (a :class:`ColumnarSpec`) and implement:
+
+    * :meth:`setup` — allocate per-vertex state arrays on ``self``;
+    * :meth:`on_round` — one call per round for the *whole graph*:
+      consume ``ctx.inbox`` (via :meth:`ColumnarContext.reduce_neighbors`),
+      update state, emit via :meth:`ColumnarContext.emit_columns`, and
+      :meth:`ColumnarContext.halt` finished vertices;
+    * :meth:`outputs` — the per-vertex outputs, aligned to dense indices.
+
+    Like the object plane, configured subclasses override :meth:`spawn`
+    so each run gets a fresh instance.  ``Network.run`` dispatches on
+    this base class, so a columnar algorithm drops into every existing
+    harness (``run_many`` sweeps, the CLI, benchmarks) unchanged.
+    """
+
+    spec: ColumnarSpec
+
+    def spawn(self) -> "ColumnarAlgorithm":
+        return type(self)()
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        """Allocate state.  Called once, before round 1."""
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        raise NotImplementedError
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [None] * ctx.n
+
+
+class CompiledDeliveryPlane:
+    """Columnar-plane arrays compiled lazily per topology (cached on the
+    :class:`~repro.congest.engine.CompiledTopology`, so they share its
+    per-graph memoization and invalidation)."""
+
+    __slots__ = (
+        "degrees", "edge_senders", "edge_keys", "repr_rank",
+        "neighbor_index_sets",
+    )
+
+    def __init__(self, topology) -> None:
+        n = topology.n
+        self.degrees = (topology.indptr[1:] - topology.indptr[:-1]).astype(
+            np.int64
+        )
+        self.edge_senders = np.repeat(
+            np.arange(n, dtype=np.int64), self.degrees
+        )
+        # Sorted (sender * n + receiver) keys: vectorized adjacency checks
+        # for unicast emissions are one binary search over this table.
+        self.edge_keys = np.sort(self.edge_senders * n + topology.indices)
+        order = sorted(range(n), key=lambda i: repr(topology.vertices[i]))
+        rank = np.empty(n, dtype=np.int64)
+        rank[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+        self.repr_rank = rank
+        # Reference-mode adjacency sets over dense indices.
+        self.neighbor_index_sets = [
+            frozenset(t) for t in topology.neighbor_index_tuples
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+def _raise_bandwidth(topology, sender, receiver, bits, bandwidth_bits):
+    from repro.congest.network import BandwidthExceededError
+
+    raise BandwidthExceededError(
+        f"message of {bits} bits from {topology.vertices[sender]!r} to "
+        f"{topology.vertices[receiver]!r} exceeds CONGEST bandwidth "
+        f"{bandwidth_bits} bits"
+    )
+
+
+def _account(acc: list, bits: np.ndarray) -> None:
+    acc[0] += len(bits)
+    acc[1] += int(bits.sum())
+    peak = int(bits.max())
+    if peak > acc[2]:
+        acc[2] = peak
+
+
+def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
+    """Validate, account, and deliver one round's emissions — pure array
+    ops, zero per-message Python objects.  On a validation failure the
+    messages validated before the offending one are accounted (matching
+    the reference executor's partial-round counting) before the raise."""
+    n = topology.n
+    names = spec.names
+    senders_parts: list = []
+    receivers_parts: list = []
+    column_parts: dict = {name: [] for name in names}
+    indptr = topology.indptr
+    indices = topology.indices
+    degrees = plane.degrees
+    for senders, receivers, columns in groups:
+        if receivers is None:
+            # Broadcast: fan each sender's field values over its CSR
+            # neighbour segment.  Adjacency holds by construction.
+            deg = degrees[senders]
+            total = int(deg.sum())
+            if total == 0:
+                continue
+            seg_ids = np.repeat(
+                np.arange(len(senders), dtype=np.int64), deg
+            )
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                _cumsum0(deg)[:-1], deg
+            )
+            message_receivers = indices[indptr[senders][seg_ids] + offsets]
+            message_senders = senders[seg_ids]
+            message_columns = {
+                name: np.repeat(columns[name], deg) for name in names
+            }
+            # All of a sender's copies share one size: size per sender,
+            # then fan out (deg× less bit-length work than per message).
+            bits = np.repeat(spec.bits_of(columns), deg)
+            over = bits > limit
+            if over.any():
+                bad = int(np.argmax(over))
+                if bad:
+                    _account(acc, bits[:bad])
+                _raise_bandwidth(
+                    topology, int(message_senders[bad]),
+                    int(message_receivers[bad]), int(bits[bad]),
+                    bandwidth_bits,
+                )
+        else:
+            # Unicast: one binary search validates every (sender,
+            # receiver) pair against the sorted edge-key table.
+            message_senders = senders
+            message_receivers = receivers
+            message_columns = columns
+            bits = spec.bits_of(message_columns)
+            keys = message_senders * n + message_receivers
+            if plane.edge_keys.size:
+                positions = np.searchsorted(plane.edge_keys, keys)
+                positions = np.minimum(positions, plane.edge_keys.size - 1)
+                ok = plane.edge_keys[positions] == keys
+            else:
+                ok = np.zeros(len(keys), dtype=bool)
+            over = bits > limit
+            bad_adjacency = int(np.argmin(ok)) if not ok.all() else len(keys)
+            bad_bandwidth = int(np.argmax(over)) if over.any() else len(keys)
+            if bad_adjacency <= bad_bandwidth and bad_adjacency < len(keys):
+                # Per-message validation order is adjacency first: count
+                # the fully validated prefix, then raise as the object
+                # plane would.
+                if bad_adjacency:
+                    _account(acc, bits[:bad_adjacency])
+                raise ValueError(
+                    f"node {topology.vertices[int(message_senders[bad_adjacency])]!r} "
+                    f"sent to non-neighbor "
+                    f"{topology.vertices[int(message_receivers[bad_adjacency])]!r}"
+                )
+            if bad_bandwidth < len(keys):
+                if bad_bandwidth:
+                    _account(acc, bits[:bad_bandwidth])
+                _raise_bandwidth(
+                    topology, int(message_senders[bad_bandwidth]),
+                    int(message_receivers[bad_bandwidth]),
+                    int(bits[bad_bandwidth]), bandwidth_bits,
+                )
+        _account(acc, bits)
+        senders_parts.append(message_senders)
+        receivers_parts.append(message_receivers)
+        for name in names:
+            column_parts[name].append(message_columns[name])
+    if not senders_parts:
+        return ColumnarInbox.empty(n, spec)
+    all_senders = (
+        senders_parts[0] if len(senders_parts) == 1
+        else np.concatenate(senders_parts)
+    )
+    all_receivers = (
+        receivers_parts[0] if len(receivers_parts) == 1
+        else np.concatenate(receivers_parts)
+    )
+    # Stable sort by receiver: CSR-segmented inbox, emission order within
+    # each receiver (the ordering contract of the module docstring).
+    # Receivers are < n, so small graphs sort 16-bit keys — numpy's
+    # stable sort is an O(M) radix sort for ≤16-bit ints but a
+    # comparison sort for wider types (~9× slower at these sizes).
+    sort_keys = (
+        all_receivers.astype(np.uint16) if n <= 0xFFFF else all_receivers
+    )
+    order = np.argsort(sort_keys, kind="stable")
+    inbox_indptr = _cumsum0(np.bincount(all_receivers, minlength=n))
+    inbox_columns = {}
+    for (name, dtype) in spec.fields:
+        parts = column_parts[name]
+        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        inbox_columns[name] = merged[order].astype(dtype, copy=False)
+    return ColumnarInbox(n, all_senders[order], inbox_indptr, inbox_columns)
+
+
+def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
+                       metrics):
+    """The dict plane for columnar programs: every emission expanded to a
+    per-message :class:`Message` (payload = field tuple / bare value),
+    validated, sized via ``bits_for_payload``, and counted one message at
+    a time — the executable spec the fast path is tested against."""
+    from repro.congest.network import BandwidthExceededError
+
+    n = topology.n
+    names = spec.names
+    single = len(names) == 1
+    vertices = topology.vertices
+    neighbor_sets = plane.neighbor_index_sets
+    buckets: list = [None] * n
+    for senders, receivers, columns in groups:
+        sender_list = senders.tolist()
+        value_lists = [columns[name].tolist() for name in names]
+        receiver_list = None if receivers is None else receivers.tolist()
+        for k, s in enumerate(sender_list):
+            row = tuple(values[k] for values in value_lists)
+            message = Message(row[0] if single else row)
+            targets = (
+                topology.neighbor_index_tuples[s]
+                if receiver_list is None else (receiver_list[k],)
+            )
+            for r in targets:
+                if receiver_list is not None and r not in neighbor_sets[s]:
+                    raise ValueError(
+                        f"node {vertices[s]!r} sent to non-neighbor "
+                        f"{vertices[r]!r}"
+                    )
+                bits = message.bit_size
+                if bits > limit:
+                    raise BandwidthExceededError(
+                        f"message of {bits} bits from {vertices[s]!r} to "
+                        f"{vertices[r]!r} exceeds CONGEST bandwidth "
+                        f"{bandwidth_bits} bits"
+                    )
+                metrics.record_message(bits)
+                metrics.record_edge_load(bits)
+                bucket = buckets[r]
+                if bucket is None:
+                    bucket = buckets[r] = []
+                bucket.append((s, row))
+    sender_out: list = []
+    value_out: list = [[] for _ in names]
+    inbox_indptr = np.empty(n + 1, dtype=np.int64)
+    inbox_indptr[0] = 0
+    for r in range(n):
+        bucket = buckets[r]
+        if bucket:
+            for s, row in bucket:
+                sender_out.append(s)
+                for j, value in enumerate(row):
+                    value_out[j].append(value)
+        inbox_indptr[r + 1] = len(sender_out)
+    inbox_columns = {
+        name: np.array(value_out[j], dtype=spec.dtypes[j])
+        for j, name in enumerate(names)
+    }
+    return ColumnarInbox(
+        n, np.array(sender_out, dtype=np.int64), inbox_indptr, inbox_columns
+    )
+
+
+def execute_columnar(
+    topology,
+    algorithm: ColumnarAlgorithm,
+    *,
+    model: str,
+    bandwidth_bits: int,
+    metrics,
+    max_rounds: int = 10_000,
+    inputs: Mapping[Any, Any] | None = None,
+    reference: bool = False,
+) -> dict[Any, Any]:
+    """Run a :class:`ColumnarAlgorithm` over a compiled topology.
+
+    Same observable contract as the object-plane executor: outputs keyed
+    in ``graph.nodes`` order, ``NetworkMetrics`` counters identical to
+    sending the equivalent ``Message`` objects, the same exception types
+    and texts on non-neighbour sends / bandwidth violations /
+    ``max_rounds`` exhaustion.  ``reference=True`` selects the
+    per-message dict plane (see :func:`_deliver_reference`).
+    """
+    spec = getattr(algorithm, "spec", None)
+    if not isinstance(spec, ColumnarSpec):
+        raise TypeError(
+            f"{type(algorithm).__name__}.spec must be a ColumnarSpec"
+        )
+    plane = topology.columnar_plane()
+    instance = algorithm.spawn()
+    vertices = topology.vertices
+    inputs_list = (
+        [None] * topology.n if inputs is None
+        else [inputs.get(v) for v in vertices]
+    )
+    ctx = ColumnarContext(topology, plane, spec, inputs_list)
+    instance.setup(ctx)
+    limit = bandwidth_bits if model == "congest" else (1 << 62)
+    acc = [0, 0, 0]  # deferred fast-path counters: messages, bits, peak
+    round_number = 0
+    try:
+        while ctx._halted_count < ctx.n:
+            round_number += 1
+            if round_number > max_rounds:
+                raise RuntimeError(
+                    f"algorithm did not halt within {max_rounds} rounds"
+                )
+            metrics.record_round()
+            ctx.round_number = round_number
+            ctx._emissions = []
+            instance.on_round(ctx)
+            groups = ctx._emissions
+            if reference:
+                ctx.inbox = _deliver_reference(
+                    topology, plane, spec, groups, limit, bandwidth_bits,
+                    metrics,
+                )
+            else:
+                ctx.inbox = _deliver_fast(
+                    topology, plane, spec, groups, limit, bandwidth_bits, acc
+                )
+    finally:
+        metrics.record_batch(acc[0], acc[1], acc[2])
+    results = instance.outputs(ctx)
+    return {vertices[i]: results[i] for i in range(ctx.n)}

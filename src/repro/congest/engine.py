@@ -79,6 +79,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -133,6 +134,7 @@ class CompiledTopology:
         "indptr",
         "indices",
         "degrees",
+        "_columnar_plane",
         "__weakref__",
     )
 
@@ -182,6 +184,20 @@ class CompiledTopology:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self.degrees = [len(nbrs) for nbrs in neighbor_tuples]
+        self._columnar_plane = None
+
+    def columnar_plane(self):
+        """Lazily compiled arrays for the columnar delivery plane
+        (:mod:`repro.congest.columnar`): per-out-edge sender ids, the
+        sorted edge-key table for O(log m) vectorized adjacency checks,
+        numpy degree/rank tables.  Built on the first columnar run over
+        this topology and cached alongside the CSR arrays."""
+        plane = self._columnar_plane
+        if plane is None:
+            from repro.congest.columnar import CompiledDeliveryPlane
+
+            plane = self._columnar_plane = CompiledDeliveryPlane(self)
+        return plane
 
 
 def _topology_fresh(topology: CompiledTopology, graph: nx.Graph) -> bool:
@@ -201,6 +217,27 @@ def _topology_fresh(topology: CompiledTopology, graph: nx.Graph) -> bool:
 _topology_cache = PerGraphCache(
     CompiledTopology, _topology_fresh, name="compiled-topology"
 )
+
+
+# Reusable double-buffered inbox lists, keyed weakly by topology.  A run
+# checks a buffer pair out of the pool (or allocates one) and returns it
+# *empty* on the way out, so serial sweeps over one graph stop paying the
+# per-trial reallocation of n list slots plus every per-vertex dict that
+# the previous trials already grew.  ``release_round_buffers`` drops the
+# cached pair(s); :func:`run_many` calls it between trials on different
+# graphs and after a sweep so a long batch never holds one trial's
+# peak-round inboxes for the lifetime of the whole batch.
+_INBOX_POOL: "weakref.WeakKeyDictionary[CompiledTopology, tuple]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def release_round_buffers(topology: CompiledTopology | None = None) -> None:
+    """Drop pooled inbox buffers — for ``topology``, or all of them."""
+    if topology is None:
+        _INBOX_POOL.clear()
+    else:
+        _INBOX_POOL.pop(topology, None)
 
 
 def _validate_pedantic(sender, message, receivers, neighbor_set, limit,
@@ -292,9 +329,15 @@ def execute(
     # vertex's first-ever delivery (``None`` until then — vertices that
     # never receive never allocate) and reused across rounds; only dirty
     # dicts are ever cleared.  Vertices with no pending messages read the
-    # shared immutable empty inbox.
-    read: list[dict[Any, Message] | None] = [None] * n
-    fill: list[dict[Any, Message] | None] = [None] * n
+    # shared immutable empty inbox.  The buffer pair itself is pooled per
+    # topology (checked out here, returned empty in the ``finally``), so
+    # back-to-back runs on one graph reuse the grown dicts.
+    pooled = _INBOX_POOL.pop(topology, None)
+    if pooled is not None:
+        read, fill = pooled
+    else:
+        read = [None] * n
+        fill = [None] * n
     empty_inbox: dict[Any, Message] = {}
     dirty_read: list[int] = []
     dirty_fill: list[int] = []
@@ -500,9 +543,18 @@ def execute(
                 c * b for c, b in zip(bcast_counts, bcast_sizes)
             )
             max_edge = max(max_edge, max(bcast_sizes))
-        metrics.messages += message_count
-        metrics.total_bits += total_bits
-        metrics.max_edge_bits_in_round = max_edge
+        metrics.record_batch(message_count, total_bits, max_edge)
+        # Return the buffers to the pool *empty*: both dirty sets (an
+        # exception can leave messages on either side mid-round, and a
+        # normal exit leaves the final round's undelivered sends in
+        # ``read`` after the swap) are cleared before check-in.
+        for j in dirty_read:
+            read[j].clear()
+        for j in dirty_fill:
+            fill[j].clear()
+        dirty_read.clear()
+        dirty_fill.clear()
+        _INBOX_POOL[topology] = (read, fill)
     return {vertices[i]: instances[i].output() for i in range(n)}
 
 
@@ -603,7 +655,21 @@ def run_many(
         processes = os.cpu_count() or 1
     processes = max(1, min(processes, len(payloads)))
     if processes == 1 or len(payloads) <= 1:
-        return [_run_trial(payload) for payload in payloads]
+        # Serial sweep: consecutive trials on one graph reuse the pooled
+        # double-buffered inboxes; moving to a different graph (and
+        # finishing the sweep) releases them, so a long batch never pins
+        # the peak-round inbox memory of every topology it visited.
+        results = []
+        previous_graph = None
+        try:
+            for payload in payloads:
+                if previous_graph is not None and payload[1] is not previous_graph:
+                    release_round_buffers()
+                previous_graph = payload[1]
+                results.append(_run_trial(payload))
+        finally:
+            release_round_buffers()
+        return results
     # Common sweep shape: every trial runs on the same graph.  Ship that
     # graph once per worker (pool initializer) rather than per trial.
     graphs = {id(payload[1]): payload[1] for payload in payloads}

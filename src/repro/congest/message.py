@@ -5,11 +5,27 @@ enforcement meaningful the simulator requires every message to carry an
 explicit bit size.  The helpers here provide a conservative, deterministic
 encoding-size estimate for the payload shapes used by the algorithms in this
 repository (ints, vertex identifiers, short tuples of those).
+
+Two payload representations share one sizing rule:
+
+* :class:`Message` — an arbitrary Python payload, sized lazily by
+  :func:`bits_for_payload` (the object plane);
+* :class:`ColumnarSpec` — a declared tuple of fixed-width integer fields,
+  sized in bulk by :meth:`ColumnarSpec.bits_of` over numpy columns (the
+  columnar plane, :mod:`repro.congest.columnar`).
+
+The two agree bit-for-bit: a columnar message with field values
+``(v1, …, vk)`` costs exactly what ``Message((v1, …, vk))`` (or
+``Message(v1)`` for a single field) costs, which is what lets the
+columnar executor's array-reduction accounting be differentially tested
+against the per-message reference.
 """
 
 from __future__ import annotations
 
 from typing import Any
+
+import numpy as np
 
 
 def bits_for_int(value: int) -> int:
@@ -73,6 +89,143 @@ def bits_for_payload(payload: Any) -> int:
             for key, value in payload.items()
         )
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
+
+
+def bit_length_array(values: "np.ndarray") -> "np.ndarray":
+    """Exact per-element ``int.bit_length`` of a non-negative int64 array.
+
+    Pure shift-and-mask binary reduction — no floating point, so it is
+    exact on every value (``np.log2`` would misround near powers of two).
+    ``0`` maps to ``0``, like ``(0).bit_length()``.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0):
+        raise ValueError("bit_length_array takes non-negative values")
+    work = values.copy()
+    out = np.zeros(values.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = work >= (np.int64(1) << shift)
+        out[mask] += shift
+        work[mask] >>= shift
+    out += work > 0
+    return out
+
+
+def bits_for_int_array(values: "np.ndarray") -> "np.ndarray":
+    """Vectorized :func:`bits_for_int`: signed encoding size per element.
+
+    Agrees elementwise with the scalar helper — ``0`` costs one bit,
+    negatives cost one sign bit extra — over the full int64 range
+    (``np.abs`` overflows on int64 min, so that one value is patched to
+    the scalar answer, 65 bits).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    negative = values < 0
+    magnitude = np.abs(values)
+    int64_min = magnitude < 0  # np.abs(int64 min) wraps to itself
+    magnitude[int64_min] = 0
+    bits = bit_length_array(magnitude)
+    bits[values == 0] = 1
+    bits += negative
+    bits[int64_min] = 65
+    return bits
+
+
+class ColumnarSpec:
+    """A typed fixed-width message schema for the columnar delivery plane.
+
+    ``fields`` is a tuple of ``(name, dtype)`` pairs; every dtype must be a
+    fixed-width numpy integer (or bool) type — the CONGEST payloads the
+    repository's algorithms exchange (ids, colors, levels, coin flips) are
+    all of this shape.  A columnar message with field values
+    ``(v1, …, vk)`` is *semantically* ``Message((v1, …, vk))`` — or
+    ``Message(v1)`` when the spec has a single field — and
+    :meth:`bits_of` charges exactly what :func:`bits_for_payload` charges
+    that payload, so columnar metric reductions stay byte-identical to the
+    per-message object plane.
+
+    >>> spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+    >>> spec.names
+    ('kind', 'value')
+    """
+
+    __slots__ = ("fields", "names", "dtypes", "bounds")
+
+    def __init__(self, *fields: tuple) -> None:
+        if not fields:
+            raise ValueError("ColumnarSpec needs at least one field")
+        names = []
+        dtypes = []
+        bounds = []
+        for entry in fields:
+            try:
+                name, dtype = entry
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"ColumnarSpec fields are (name, dtype) pairs, "
+                    f"got {entry!r}"
+                ) from None
+            dtype = np.dtype(dtype)
+            if dtype.kind == "b":
+                low, high = 0, 1
+            elif dtype.kind in "iu":
+                info = np.iinfo(dtype)
+                low, high = int(info.min), int(info.max)
+            else:
+                raise TypeError(
+                    f"columnar field {name!r}: dtype {dtype} is not a "
+                    f"fixed-width integer or bool"
+                )
+            if name in names:
+                raise ValueError(f"duplicate columnar field {name!r}")
+            names.append(str(name))
+            dtypes.append(dtype)
+            bounds.append((low, high))
+        self.fields = tuple((n, d) for n, d in zip(names, dtypes))
+        self.names = tuple(names)
+        self.dtypes = tuple(dtypes)
+        self.bounds = tuple(bounds)
+
+    def check_range(self, name: str, values: "np.ndarray") -> None:
+        """Reject values that overflow the declared dtype *before* any
+        silent cast could truncate them."""
+        position = self.names.index(name)
+        low, high = self.bounds[position]
+        if values.size == 0:
+            return
+        lo = int(values.min())
+        hi = int(values.max())
+        if lo < low or hi > high:
+            bad = lo if lo < low else hi
+            raise ValueError(
+                f"columnar field {name!r}: value {bad} overflows "
+                f"{self.dtypes[position]} (range [{low}, {high}])"
+            )
+
+    def payload_of(self, row: tuple) -> Any:
+        """The object-plane payload equivalent to one columnar message."""
+        if len(self.names) == 1:
+            return row[0]
+        return tuple(row)
+
+    def bits_of(self, columns: "dict[str, np.ndarray]") -> "np.ndarray":
+        """Per-message bit sizes as one array reduction.
+
+        Matches :func:`bits_for_payload` on the equivalent payload: a
+        bare signed int for single-field specs, a tuple (2 framing bits
+        per element) otherwise.
+        """
+        if len(self.names) == 1:
+            return bits_for_int_array(columns[self.names[0]])
+        total = None
+        for name in self.names:
+            bits = bits_for_int_array(columns[name]) + 2
+            total = bits if total is None else total + bits
+        return total
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}:{d}" for n, d in self.fields)
+        return f"ColumnarSpec({inner})"
 
 
 class Broadcast:

@@ -40,6 +40,17 @@ class NetworkMetrics:
         if bits > self.max_edge_bits_in_round:
             self.max_edge_bits_in_round = bits
 
+    def record_batch(self, messages: int, total_bits: int, peak_bits: int) -> None:
+        """Fold one batch of deferred counters in a single update — the
+        flush path of the engine's per-round (and the columnar plane's
+        per-array) reductions.  Equivalent to ``messages`` interleaved
+        ``record_message``/``record_edge_load`` calls whose sizes sum to
+        ``total_bits`` and peak at ``peak_bits``."""
+        self.messages += messages
+        self.total_bits += total_bits
+        if peak_bits > self.max_edge_bits_in_round:
+            self.max_edge_bits_in_round = peak_bits
+
     def merge(self, other: "NetworkMetrics") -> None:
         """Accumulate another execution's counters into this one (sequential
         composition: rounds add, edge peak takes the max)."""

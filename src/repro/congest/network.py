@@ -64,6 +64,7 @@ from typing import Any, Callable, Mapping
 import networkx as nx
 
 from repro.congest import engine as _engine
+from repro.congest.columnar import ColumnarAlgorithm, execute_columnar
 from repro.congest.message import Broadcast, Message
 from repro.congest.metrics import NetworkMetrics
 
@@ -223,7 +224,24 @@ class Network:
         compiled-topology active-set engine (see the module docstring and
         :mod:`repro.congest.engine`); semantics are identical to the
         reference loop in :meth:`_run_reference`.
+
+        A :class:`~repro.congest.columnar.ColumnarAlgorithm` (a
+        round-vectorized program with a typed
+        :class:`~repro.congest.message.ColumnarSpec`) dispatches to the
+        columnar delivery plane instead — same output keying, metrics
+        accounting, and validation errors, with the round's traffic
+        delivered as numpy columns over the compiled CSR topology.
         """
+        if isinstance(algorithm, ColumnarAlgorithm):
+            return execute_columnar(
+                self._topology,
+                algorithm,
+                model=self.model,
+                bandwidth_bits=self.bandwidth_bits,
+                metrics=self.metrics,
+                max_rounds=max_rounds,
+                inputs=inputs,
+            )
         return _engine.execute(
             self._topology,
             algorithm,
@@ -251,7 +269,24 @@ class Network:
         and ``tests/test_delivery_soak.py`` for differential checks and by
         the benchmarks as the speedup baseline.  Do not optimize this
         method; optimize the engine.
+
+        A :class:`~repro.congest.columnar.ColumnarAlgorithm` dispatches to
+        the columnar plane's per-message reference executor — every
+        emission expanded to ``Message`` objects, validated and counted
+        one at a time — which plays the same executable-spec role for the
+        columnar fast path that this loop plays for the object plane.
         """
+        if isinstance(algorithm, ColumnarAlgorithm):
+            return execute_columnar(
+                self._topology,
+                algorithm,
+                model=self.model,
+                bandwidth_bits=self.bandwidth_bits,
+                metrics=self.metrics,
+                max_rounds=max_rounds,
+                inputs=inputs,
+                reference=True,
+            )
         n = self.graph.number_of_nodes()
         nodes: dict[Any, NodeAlgorithm] = {}
         contexts: dict[Any, NodeContext] = {}
