@@ -1,0 +1,244 @@
+"""Before/after benchmark for trial-major columnar grid execution.
+
+"Before" is **per-trial columnar execution**: each seeded trial runs
+through ``Network.run`` on the columnar plane (``run_many(...,
+plane="columnar")``) — the PR-3 fast path, paying every round's numpy
+dispatch once per round *per trial*.
+
+"After" is the **trial-major grid** (``run_many(..., plane="grid")``,
+:mod:`repro.congest.runtime.batch`): all T trials composed into one
+block-diagonal ``(T·n)``-row CSR and executed as a single columnar
+program, so each round's dispatch — column concatenation, the stable
+receiver radix sort, segmented reductions, metric accounting — is paid
+once per round for the whole sweep.
+
+Outputs (values *and* vertex order) and per-trial ``NetworkMetrics``
+counters of the two paths are asserted identical for **every trial**
+before any number is reported, and each workload's first trial is also
+replayed through the per-message columnar reference executor as an
+in-bench differential check.  Workloads are 64-trial seed sweeps over
+the classic CONGEST primitives at 512–2048 nodes: Luby MIS and
+(Δ+1)-colouring (per-vertex Python RNG streams dominate — the grid's
+floor), BFS trees on diameter-heavy grids and an expander, and flooding
+on a cycle (pure round dispatch — the grid's ceiling).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_grid.py [--quick] [--json PATH]
+
+``--quick`` shrinks the sweep so the whole run finishes well under 30 s
+(the perf-smoke budget in ``scripts/perf_smoke.sh``).  Results are
+written to ``BENCH_grid.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import networkx as nx
+
+from _common import bench_payload, fmt, print_table, write_bench_json
+
+from repro.congest import Network, Trial, run_many
+from repro.congest.algorithms import ColumnarBFSTree, ColumnarFloodValue
+from repro.congest.classic import ColumnarLubyMIS, ColumnarTrialColoring
+from repro.graphs import random_regular_expander, triangulated_grid
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def counters(metrics):
+    return (metrics.rounds, metrics.messages, metrics.total_bits,
+            metrics.max_edge_bits_in_round)
+
+
+def _best_of(repeats, runner):
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = runner()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, results)
+    return best
+
+
+def bench_workload(name, graph, make_algorithm, trial_count, needs_inputs,
+                   horizon, repeats, seed_base=0):
+    trials = [
+        Trial(
+            graph,
+            inputs=seeded_inputs(graph, seed_base + index)
+            if needs_inputs else None,
+            max_rounds=horizon + 2,
+        )
+        for index in range(trial_count)
+    ]
+
+    columnar_s, columnar_results = _best_of(
+        repeats,
+        lambda: run_many(make_algorithm(), trials, processes=1,
+                         plane="columnar"),
+    )
+    grid_s, grid_results = _best_of(
+        repeats,
+        lambda: run_many(make_algorithm(), trials, processes=1,
+                         plane="grid"),
+    )
+
+    # Every trial byte-identical: outputs, output keying, and metrics.
+    for (out_c, met_c), (out_g, met_g) in zip(columnar_results, grid_results):
+        if out_c != out_g or list(out_c) != list(out_g):
+            raise AssertionError(f"{name}: grid outputs diverged")
+        if counters(met_c) != counters(met_g):
+            raise AssertionError(f"{name}: grid metrics diverged")
+    # First trial replayed through the per-message reference executor.
+    reference_net = Network(graph)
+    reference_out = reference_net._run_reference(
+        make_algorithm(), max_rounds=trials[0].max_rounds,
+        inputs=trials[0].inputs,
+    )
+    if reference_out != grid_results[0][0] or counters(
+        reference_net.metrics
+    ) != counters(grid_results[0][1]):
+        raise AssertionError(f"{name}: reference executor diverged")
+
+    total_rounds = sum(metrics.rounds for _, metrics in grid_results)
+    total_messages = sum(metrics.messages for _, metrics in grid_results)
+    total_bits = sum(metrics.total_bits for _, metrics in grid_results)
+    return {
+        "workload": name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "trials": trial_count,
+        "wall_clock_s": grid_s,
+        "rounds": total_rounds,
+        "messages": total_messages,
+        "bits": total_bits,
+        "columnar_per_trial_s": columnar_s,
+        "engine_s": grid_s,
+        "speedup_vs_columnar": columnar_s / grid_s
+        if grid_s > 0 else float("inf"),
+        "messages_per_sec_grid":
+            total_messages / grid_s if grid_s else 0.0,
+    }
+
+
+def build_workloads(quick):
+    """(name, graph, make_algorithm, trials, needs_inputs, horizon, repeats)"""
+    workloads = []
+
+    def mis(name, graph, trial_count, repeats):
+        n = graph.number_of_nodes()
+        horizon = 20 * max(4, n.bit_length() ** 2)
+        workloads.append(
+            (name, graph, lambda: ColumnarLubyMIS(horizon), trial_count,
+             True, horizon, repeats)
+        )
+
+    def coloring(name, graph, trial_count, repeats):
+        n = graph.number_of_nodes()
+        delta = max(d for _, d in graph.degree)
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        workloads.append(
+            (name, graph,
+             lambda: ColumnarTrialColoring(delta + 1, horizon),
+             trial_count, True, horizon, repeats)
+        )
+
+    def bfs(name, graph, trial_count, repeats):
+        root = next(iter(graph.nodes))
+        horizon = nx.eccentricity(graph, v=root) + 3
+        workloads.append(
+            (name, graph, lambda: ColumnarBFSTree(root, horizon),
+             trial_count, False, horizon, repeats)
+        )
+
+    def flood(name, graph, trial_count, repeats):
+        root = next(iter(graph.nodes))
+        horizon = nx.eccentricity(graph, v=root) + 3
+        workloads.append(
+            (name, graph, lambda: ColumnarFloodValue(root, 12345, horizon),
+             trial_count, False, horizon, repeats)
+        )
+
+    if quick:
+        mis("mis_expander_256x16",
+            random_regular_expander(256, 8, seed=2), 16, 3)
+        bfs("bfs_grid_256x16", triangulated_grid(16, 16), 16, 3)
+        flood("flood_cycle_320x16", nx.cycle_graph(320), 16, 3)
+    else:
+        mis("mis_expander_512x64",
+            random_regular_expander(512, 8, seed=2), 64, 2)
+        coloring("coloring_grid_1024x64", triangulated_grid(32, 32), 64, 2)
+        bfs("bfs_grid_529x64", triangulated_grid(23, 23), 64, 2)
+        bfs("bfs_grid_2025x64", triangulated_grid(45, 45), 64, 2)
+        bfs("bfs_expander_2048x64",
+            random_regular_expander(2048, 8, seed=3), 64, 2)
+        flood("flood_cycle_768x64", nx.cycle_graph(768), 64, 2)
+    return workloads
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sweep; finishes in well under 30 s",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="where to write the results JSON "
+             "(default: BENCH_grid.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    for (name, graph, make_algorithm, trial_count, needs_inputs, horizon,
+         repeats) in build_workloads(args.quick):
+        results.append(bench_workload(
+            name, graph, make_algorithm, trial_count, needs_inputs,
+            horizon, repeats,
+        ))
+
+    print_table(
+        "Trial-major grid vs per-trial columnar execution "
+        "(per-trial outputs and metrics asserted byte-identical, incl. "
+        "the per-message reference)",
+        ["workload", "n", "trials", "msgs", "per-trial s", "grid s",
+         "speedup", "msgs/s"],
+        [
+            [r["workload"], r["n"], r["trials"], r["messages"],
+             fmt(r["columnar_per_trial_s"], 4), fmt(r["engine_s"], 4),
+             fmt(r["speedup_vs_columnar"], 2),
+             int(r["messages_per_sec_grid"])]
+            for r in results
+        ],
+    )
+
+    geo_mean = statistics.geometric_mean(
+        [r["speedup_vs_columnar"] for r in results]
+    )
+    payload = bench_payload(
+        "grid",
+        results,
+        quick=args.quick,
+        geomean_speedup_vs_columnar=geo_mean,
+    )
+    path = write_bench_json("grid", payload, args.json)
+    print(f"geomean speedup vs per-trial columnar: {geo_mean:.2f}x")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -22,4 +22,5 @@ python -m pytest -x -q
 python benchmarks/bench_engine.py --quick --json "$SMOKE_DIR/BENCH_engine.quick.json"
 python benchmarks/bench_delivery.py --quick --json "$SMOKE_DIR/BENCH_delivery.quick.json"
 python benchmarks/bench_columnar.py --quick --json "$SMOKE_DIR/BENCH_columnar.quick.json"
+python benchmarks/bench_grid.py --quick --json "$SMOKE_DIR/BENCH_grid.quick.json"
 python scripts/check_bench_regression.py --all "$SMOKE_DIR"

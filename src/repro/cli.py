@@ -14,10 +14,12 @@ Commands
     (Lemmas 2.2 / 2.5).
 ``simulate``
     Sweep a classic CONGEST baseline (Luby MIS, proposal matching,
-    (Δ+1)-colouring, BFS) over ``--trials N`` seeds through the engine's
-    batched :func:`repro.congest.run_many` runner — optionally fanned out
-    over ``--processes N`` worker processes — instead of a serial
-    Python loop.
+    (Δ+1)-colouring, BFS) over ``--trials N`` seeds through the
+    runtime's batched :func:`repro.congest.run_many` runner.  ``--plane``
+    picks the execution plane by runtime-registry name (``auto`` resolves
+    per problem and grid-batches serial columnar sweeps into one
+    trial-major grid; ``grid`` forces that batching), and
+    ``--processes N`` fans per-trial execution over worker processes.
 
 Instances are specified as ``family:size[:seed]`` with families
 ``grid``, ``tri-grid``, ``planar``, ``tree``, ``outerplanar``, ``cactus``,
@@ -166,27 +168,27 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ProposalMatchingAlgorithm,
         TrialColoringAlgorithm,
     )
+    from repro.congest.runtime import variant_for_plane
 
     graph = build_instance(args.instance)
     n = graph.number_of_nodes()
-    columnar = getattr(args, "plane", "dict") == "columnar"
     needs_inputs = True
+    # Each problem declares its implementations per plane *family*; the
+    # runtime registry maps the requested --plane name to a family (and
+    # raises with the registry-derived supported list when a problem has
+    # no implementation for it — no hand-maintained error text).
     if args.problem == "mis":
         horizon = 20 * max(4, n.bit_length() ** 2)
-        algorithm = (
-            ColumnarLubyMIS(horizon) if columnar
-            else LubyMISAlgorithm(horizon)
-        )
+        variants = {
+            "object": lambda: LubyMISAlgorithm(horizon),
+            "columnar": lambda: ColumnarLubyMIS(horizon),
+        }
 
         def summarize(outputs):
             return f"|IS| = {sum(1 for flag in outputs.values() if flag)}"
     elif args.problem == "matching":
-        if columnar:
-            raise SystemExit(
-                "matching has no columnar port; use --plane dict"
-            )
         horizon = 40 * max(4, n.bit_length() ** 2)
-        algorithm = ProposalMatchingAlgorithm(horizon)
+        variants = {"object": lambda: ProposalMatchingAlgorithm(horizon)}
 
         def summarize(outputs):
             matched = sum(
@@ -196,25 +198,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     elif args.problem == "coloring":
         delta = max((d for _, d in graph.degree), default=0)
         horizon = 40 * max(4, n.bit_length() ** 2)
-        algorithm = (
-            ColumnarTrialColoring(delta + 1, horizon) if columnar
-            else TrialColoringAlgorithm(delta + 1, horizon)
-        )
+        variants = {
+            "object": lambda: TrialColoringAlgorithm(delta + 1, horizon),
+            "columnar": lambda: ColumnarTrialColoring(delta + 1, horizon),
+        }
 
         def summarize(outputs):
             return f"colors = {len(set(outputs.values()))}"
     else:  # bfs
         root = min(graph.nodes, key=repr)
         horizon = n + 2
-        algorithm = (
-            ColumnarBFSTree(root, horizon) if columnar
-            else BFSTreeAlgorithm(root, horizon)
-        )
+        variants = {
+            "object": lambda: BFSTreeAlgorithm(root, horizon),
+            "columnar": lambda: ColumnarBFSTree(root, horizon),
+        }
         needs_inputs = False
 
         def summarize(outputs):
             reached = sum(1 for out in outputs.values() if out is not None)
             return f"reached = {reached}/{n}"
+
+    try:
+        algorithm = variant_for_plane(variants, args.plane)()
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
     rng = random.Random(args.seed)
     trials = []
@@ -230,13 +237,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
 
     start = time.perf_counter()
-    results = run_many(algorithm, trials, processes=args.processes)
+    results = run_many(
+        algorithm, trials, processes=args.processes, plane=args.plane
+    )
     elapsed = time.perf_counter() - start
 
     print(f"instance: {args.instance} "
           f"(n={n}, m={graph.number_of_edges()})  problem: {args.problem}")
     print(f"trials: {args.trials}  processes: {args.processes}  "
-          f"available cpus: {os.cpu_count() or 1}  model: {args.model}")
+          f"available cpus: {os.cpu_count() or 1}  model: {args.model}  "
+          f"plane: {args.plane}")
     for index, (outputs, metrics) in enumerate(results):
         print(f"  trial {index}: rounds = {metrics.rounds}  "
               f"messages = {metrics.messages}  bits = {metrics.total_bits}  "
@@ -291,7 +301,8 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "simulate",
-        help="sweep a classic CONGEST baseline through engine.run_many",
+        help="sweep a classic CONGEST baseline through the runtime's "
+             "batched run_many",
     )
     p.add_argument("problem", choices=["mis", "matching", "coloring", "bfs"])
     p.add_argument("instance")
@@ -302,9 +313,16 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=["congest", "local"], default="congest")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed deriving the per-trial vertex seeds")
-    p.add_argument("--plane", choices=["dict", "columnar"], default="dict",
-                   help="delivery plane: per-message dicts or the "
-                        "round-vectorized columnar ports (mis/coloring/bfs)")
+    from repro.congest.runtime import plane_names
+
+    p.add_argument("--plane", choices=("auto", *plane_names(), "dict"),
+                   default="auto",
+                   help="execution plane (runtime registry name); 'auto' "
+                        "resolves the fastest plane of the problem's "
+                        "implementation family and grid-batches serial "
+                        "columnar sweeps; 'grid' forces trial-major grid "
+                        "batching; 'dict' is the legacy alias of "
+                        "'broadcast'")
     p.set_defaults(func=cmd_simulate)
     return parser
 

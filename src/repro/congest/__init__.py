@@ -25,8 +25,16 @@ Public API
     compiled-topology active-set engine (``repro.congest.engine``).
 ``CompiledTopology`` / ``run_many`` / ``Trial``
     The engine's one-time topology compilation and the batched benchmark
-    runner: ``run_many(algorithm, trials, processes=N)`` fans a sweep of
-    graphs/seeds out over a multiprocessing pool.
+    runner: ``run_many(algorithm, trials, processes=N)`` grid-batches
+    grid-safe columnar sweeps into one block-diagonal trial-major
+    execution (``repro.congest.runtime.batch``) and otherwise fans a
+    sweep of graphs/seeds out over a multiprocessing pool.
+``runtime`` (``repro.congest.runtime``)
+    The unified execution runtime: the ``ExecutionPlane`` registry
+    (``reference`` / ``object`` / ``broadcast`` / ``columnar`` /
+    ``columnar-reference`` / ``grid``) that ``Network.run`` resolves
+    planes through by name, the shared round scheduler, the compilation
+    entries, and trial-major grid execution.
 ``ColumnarSpec`` / ``ColumnarAlgorithm`` / ``ColumnarContext`` / ``ColumnarInbox``
     The columnar message plane (``repro.congest.columnar``): algorithms
     that declare a typed fixed-width schema are written as
@@ -34,7 +42,8 @@ Public API
     columns over the compiled CSR topology (per-vertex inboxes are array
     segments) and computes metrics as array reductions — zero
     per-message Python objects on the fast path.  ``Network.run``
-    dispatches on ``ColumnarAlgorithm`` automatically.
+    resolves the plane automatically through the runtime registry
+    (``plane_kind``), never by ``isinstance``.
 ``RoundLedger``
     Cost accounting for composite cluster-level algorithms whose primitives
     have measured CONGEST costs (see DESIGN.md section 3).
@@ -46,11 +55,17 @@ from repro.congest.columnar import (
     ColumnarInbox,
     execute_columnar,
 )
-from repro.congest.engine import (
-    CompiledTopology,
+from repro.congest.engine import CompiledTopology
+from repro.congest.runtime import (
+    ExecutionPlane,
+    GridTopology,
     Trial,
+    execute_grid,
+    plane_names,
     release_round_buffers,
+    resolve_plane,
     run_many,
+    supported_planes,
 )
 from repro.congest.message import (
     Broadcast,
@@ -98,8 +113,14 @@ from repro.congest.algorithms import (
 
 __all__ = [
     "CompiledTopology",
+    "ExecutionPlane",
+    "GridTopology",
     "Trial",
     "run_many",
+    "execute_grid",
+    "plane_names",
+    "resolve_plane",
+    "supported_planes",
     "release_round_buffers",
     "Broadcast",
     "Message",

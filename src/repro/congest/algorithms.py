@@ -42,6 +42,7 @@ from repro.congest.columnar import ColumnarAlgorithm, ColumnarContext
 from repro.congest.message import Broadcast, ColumnarSpec, Message
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
+from repro.congest.runtime import variant_for_plane
 
 
 # ---------------------------------------------------------------------------
@@ -103,6 +104,9 @@ class ColumnarBFSTree(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("depth", np.uint32))
+    # Root initialization goes through ctx.index_of, whose grid form
+    # fans out to every trial block — safe for trial-major batching.
+    grid_safe = True
 
     def __init__(self, root: Hashable, horizon: int) -> None:
         self.root = root
@@ -151,23 +155,24 @@ class ColumnarBFSTree(ColumnarAlgorithm):
         ]
 
 
+_BFS_VARIANTS = {"object": BFSTreeAlgorithm, "columnar": ColumnarBFSTree}
+
+
 def bfs_tree(
     graph: nx.Graph, root: Hashable, model: str = "congest",
     plane: str = "dict",
 ) -> tuple[dict[Hashable, tuple[Hashable, int]], NetworkMetrics]:
     """Run distributed BFS from ``root``; returns ``{v: (parent, depth)}``.
 
-    ``plane="columnar"`` runs the vectorized :class:`ColumnarBFSTree`
-    port (identical outputs and metrics).  Unreached vertices (other
-    components) are absent from the result.
+    ``plane`` is a runtime registry name (``"columnar"`` runs the
+    vectorized :class:`ColumnarBFSTree` port — identical outputs and
+    metrics).  Unreached vertices (other components) are absent from the
+    result.
     """
     horizon = graph.number_of_nodes() + 1
     net = Network(graph, model=model)
-    algorithm = (
-        ColumnarBFSTree(root, horizon) if plane == "columnar"
-        else BFSTreeAlgorithm(root, horizon)
-    )
-    outputs = net.run(algorithm, max_rounds=horizon + 2)
+    algorithm = variant_for_plane(_BFS_VARIANTS, plane)(root, horizon)
+    outputs = net.run(algorithm, max_rounds=horizon + 2, plane=plane)
     tree = {v: out for v, out in outputs.items() if out is not None}
     return tree, net.metrics
 
@@ -229,6 +234,8 @@ class ColumnarFloodValue(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("value", np.uint32))
+    # Root initialization via ctx.index_of; state is dense arrays only.
+    grid_safe = True
 
     def __init__(self, root: Hashable, value: int, horizon: int) -> None:
         self.root = root
@@ -364,6 +371,10 @@ class ColumnarConvergecastSum(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("total", np.int64))
+    # NOT grid_safe: per-vertex inputs embed parent vertex *ids* that
+    # setup resolves row-by-row via ctx.index_of — ambiguous when the
+    # same id names one replica row per trial block.
+    grid_safe = False
 
     def __init__(self, horizon: int) -> None:
         self.horizon = horizon

@@ -49,6 +49,7 @@ from repro.congest.columnar import ColumnarAlgorithm, ColumnarContext
 from repro.congest.message import Broadcast, ColumnarSpec, Message
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
+from repro.congest.runtime import variant_for_plane
 
 
 # Constant-payload notifications shared by every vertex and every run:
@@ -157,6 +158,9 @@ class ColumnarLubyMIS(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+    # Vertex state lives only in dense arrays (inputs/ranks/masks), so T
+    # trials run as one block-diagonal grid (runtime.batch.run_many).
+    grid_safe = True
 
     _DRAW, _RESOLVE = 0, 1
 
@@ -217,26 +221,32 @@ class ColumnarLubyMIS(ColumnarAlgorithm):
         return [bool(flag) for flag in self.in_set]
 
 
+# Plane capabilities declared once per wrapper: the runtime registry maps
+# a requested plane name to the implementation family (never isinstance),
+# so new planes extend these wrappers without touching them.
+_MIS_VARIANTS = {"object": LubyMISAlgorithm, "columnar": ColumnarLubyMIS}
+
+
 def luby_mis(
     graph: nx.Graph, seed: int = 0, model: str = "congest",
     plane: str = "dict",
 ) -> tuple[set, NetworkMetrics]:
     """Run Luby's MIS; returns (independent set, metrics).
 
-    ``plane="columnar"`` runs the vectorized :class:`ColumnarLubyMIS`
-    port (identical outputs and metrics).  The result is verified maximal
-    and independent before returning.
+    ``plane`` is a runtime registry name (``"columnar"`` runs the
+    vectorized :class:`ColumnarLubyMIS` port — identical outputs and
+    metrics; ``"dict"`` is the legacy alias of ``"broadcast"``).  The
+    result is verified maximal and independent before returning.
     """
     n = graph.number_of_nodes()
     horizon = 20 * max(4, n.bit_length() ** 2)
     rng = random.Random(seed)
     inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
     net = Network(graph, model=model)
-    algorithm = (
-        ColumnarLubyMIS(horizon) if plane == "columnar"
-        else LubyMISAlgorithm(horizon)
+    algorithm = variant_for_plane(_MIS_VARIANTS, plane)(horizon)
+    outputs = net.run(
+        algorithm, max_rounds=horizon + 2, inputs=inputs, plane=plane
     )
-    outputs = net.run(algorithm, max_rounds=horizon + 2, inputs=inputs)
     independent = {v for v, flag in outputs.items() if flag}
     for u, v in graph.edges:
         if u in independent and v in independent:
@@ -425,6 +435,9 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+    # All state is dense arrays keyed by grid row (the taken-colour
+    # bitmask included), so trial-major grid batching applies.
+    grid_safe = True
 
     def __init__(self, palette_size: int, horizon: int) -> None:
         self.palette_size = palette_size
@@ -499,15 +512,21 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
         return [None if c < 0 else int(c) for c in self.color]
 
 
+_COLORING_VARIANTS = {
+    "object": TrialColoringAlgorithm,
+    "columnar": ColumnarTrialColoring,
+}
+
+
 def delta_plus_one_coloring(
     graph: nx.Graph, seed: int = 0, model: str = "congest",
     plane: str = "dict",
 ) -> tuple[dict, NetworkMetrics]:
     """Randomized (Δ+1)-colouring; returns ({v: colour}, metrics).
 
-    ``plane="columnar"`` runs the vectorized :class:`ColumnarTrialColoring`
-    port (identical outputs and metrics).  Verified proper before
-    returning.
+    ``plane`` is a runtime registry name (``"columnar"`` runs the
+    vectorized :class:`ColumnarTrialColoring` port — identical outputs
+    and metrics).  Verified proper before returning.
     """
     delta = max((d for _, d in graph.degree), default=0)
     n = graph.number_of_nodes()
@@ -515,11 +534,12 @@ def delta_plus_one_coloring(
     rng = random.Random(seed)
     inputs = {v: rng.randrange(1 << 30) for v in graph.nodes}
     net = Network(graph, model=model)
-    algorithm = (
-        ColumnarTrialColoring(delta + 1, horizon) if plane == "columnar"
-        else TrialColoringAlgorithm(delta + 1, horizon)
+    algorithm = variant_for_plane(_COLORING_VARIANTS, plane)(
+        delta + 1, horizon
     )
-    outputs = net.run(algorithm, max_rounds=horizon + 2, inputs=inputs)
+    outputs = net.run(
+        algorithm, max_rounds=horizon + 2, inputs=inputs, plane=plane
+    )
     for u, v in graph.edges:
         if outputs[u] == outputs[v]:
             raise AssertionError("coloring not proper")

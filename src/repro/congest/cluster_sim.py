@@ -129,6 +129,9 @@ class ColumnarClusterAnnounce(ColumnarAlgorithm):
     """
 
     spec = ColumnarSpec(("cluster", np.uint32),)
+    # Inputs are dense cluster ranks, state is row-keyed lists/arrays —
+    # trial-major grid batching applies.
+    grid_safe = True
 
     def setup(self, ctx: ColumnarContext) -> None:
         self.cluster = np.array(

@@ -60,6 +60,8 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.congest.message import ColumnarSpec, Message
+from repro.congest.metrics import ScalarAccountant
+from repro.congest.runtime.scheduler import run_rounds
 
 _INT64_MAX = np.iinfo(np.int64).max
 _INT64_MIN = np.iinfo(np.int64).min
@@ -375,12 +377,37 @@ class ColumnarAlgorithm:
     * :meth:`outputs` — the per-vertex outputs, aligned to dense indices.
 
     Like the object plane, configured subclasses override :meth:`spawn`
-    so each run gets a fresh instance.  ``Network.run`` dispatches on
-    this base class, so a columnar algorithm drops into every existing
-    harness (``run_many`` sweeps, the CLI, benchmarks) unchanged.
+    so each run gets a fresh instance.  ``Network.run`` resolves the
+    plane through the runtime registry via :attr:`plane_kind`, so a
+    columnar algorithm drops into every existing harness (``run_many``
+    sweeps, the CLI, benchmarks) unchanged.
+
+    Plane capabilities
+    ------------------
+    ``plane_kind = "columnar"`` is what the runtime registry
+    (:mod:`repro.congest.runtime.planes`) keys on — no ``isinstance``
+    dispatch anywhere.  ``grid_safe`` opts a subclass into **trial-major
+    grid batching** (:mod:`repro.congest.runtime.batch`): the whole
+    program then also runs as one block-diagonal ``(T·n)``-row grid over
+    T independent trials.  A subclass is grid-safe when its ``setup`` /
+    ``on_round`` / ``outputs`` touch vertices only through the context's
+    arrays (``ctx.inputs``, ``ctx.degrees``, ``ctx.repr_rank``, masks
+    over ``ctx.n``, fancy-indexable ``ctx.index_of`` results) — i.e. it
+    never assumes a vertex id resolves to exactly one dense row — AND
+    every emission is gated on ``~ctx.halted`` (e.g. via a
+    ``stepped = ~ctx.halted`` mask, as all ports here do), never on a
+    private liveness mask alone.  The second condition is what lets the
+    grid executor *freeze* a trial that exceeded its per-trial round cap
+    by halting its rows: an algorithm that keeps emitting from
+    externally-halted rows would raise the halted-sender error instead
+    of the serial run's round-cap error.  It is *not* grid-safe when
+    per-vertex inputs embed vertex ids that are resolved row-by-row
+    (see ``ColumnarConvergecastSum``).
     """
 
     spec: ColumnarSpec
+    plane_kind = "columnar"
+    grid_safe = False
 
     def spawn(self) -> "ColumnarAlgorithm":
         return type(self)()
@@ -432,6 +459,10 @@ class CompiledDeliveryPlane:
 def _raise_bandwidth(topology, sender, receiver, bits, bandwidth_bits):
     from repro.congest.network import BandwidthExceededError
 
+    if not isinstance(bandwidth_bits, int):
+        # Per-vertex budget table (grid execution over uneven blocks):
+        # the error names the offending sender's own trial budget.
+        bandwidth_bits = int(bandwidth_bits[sender])
     raise BandwidthExceededError(
         f"message of {bits} bits from {topology.vertices[sender]!r} to "
         f"{topology.vertices[receiver]!r} exceeds CONGEST bandwidth "
@@ -439,21 +470,21 @@ def _raise_bandwidth(topology, sender, receiver, bits, bandwidth_bits):
     )
 
 
-def _account(acc: list, bits: np.ndarray) -> None:
-    acc[0] += len(bits)
-    acc[1] += int(bits.sum())
-    peak = int(bits.max())
-    if peak > acc[2]:
-        acc[2] = peak
-
-
 def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
     """Validate, account, and deliver one round's emissions — pure array
     ops, zero per-message Python objects.  On a validation failure the
     messages validated before the offending one are accounted (matching
-    the reference executor's partial-round counting) before the raise."""
+    the reference executor's partial-round counting) before the raise.
+
+    ``acc`` is an accountant (``add(senders, bits)`` — e.g.
+    :class:`~repro.congest.metrics.ScalarAccountant`, or the per-trial
+    grid accountant).  ``limit``/``bandwidth_bits`` are scalars for a
+    single run, or per-*vertex* int64 tables for grid execution (each
+    trial block carries its own budget).
+    """
     n = topology.n
     names = spec.names
+    scalar_limit = isinstance(limit, int)
     senders_parts: list = []
     receivers_parts: list = []
     column_parts: dict = {name: [] for name in names}
@@ -482,11 +513,12 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
             # All of a sender's copies share one size: size per sender,
             # then fan out (deg× less bit-length work than per message).
             bits = np.repeat(spec.bits_of(columns), deg)
-            over = bits > limit
+            cap = limit if scalar_limit else limit[message_senders]
+            over = bits > cap
             if over.any():
                 bad = int(np.argmax(over))
                 if bad:
-                    _account(acc, bits[:bad])
+                    acc.add(message_senders[:bad], bits[:bad])
                 _raise_bandwidth(
                     topology, int(message_senders[bad]),
                     int(message_receivers[bad]), int(bits[bad]),
@@ -506,7 +538,8 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
                 ok = plane.edge_keys[positions] == keys
             else:
                 ok = np.zeros(len(keys), dtype=bool)
-            over = bits > limit
+            cap = limit if scalar_limit else limit[message_senders]
+            over = bits > cap
             bad_adjacency = int(np.argmin(ok)) if not ok.all() else len(keys)
             bad_bandwidth = int(np.argmax(over)) if over.any() else len(keys)
             if bad_adjacency <= bad_bandwidth and bad_adjacency < len(keys):
@@ -514,7 +547,10 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
                 # the fully validated prefix, then raise as the object
                 # plane would.
                 if bad_adjacency:
-                    _account(acc, bits[:bad_adjacency])
+                    acc.add(
+                        message_senders[:bad_adjacency],
+                        bits[:bad_adjacency],
+                    )
                 raise ValueError(
                     f"node {topology.vertices[int(message_senders[bad_adjacency])]!r} "
                     f"sent to non-neighbor "
@@ -522,13 +558,16 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
                 )
             if bad_bandwidth < len(keys):
                 if bad_bandwidth:
-                    _account(acc, bits[:bad_bandwidth])
+                    acc.add(
+                        message_senders[:bad_bandwidth],
+                        bits[:bad_bandwidth],
+                    )
                 _raise_bandwidth(
                     topology, int(message_senders[bad_bandwidth]),
                     int(message_receivers[bad_bandwidth]),
                     int(bits[bad_bandwidth]), bandwidth_bits,
                 )
-        _account(acc, bits)
+        acc.add(message_senders, bits)
         senders_parts.append(message_senders)
         receivers_parts.append(message_receivers)
         for name in names:
@@ -548,10 +587,18 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
     # Receivers are < n, so small graphs sort 16-bit keys — numpy's
     # stable sort is an O(M) radix sort for ≤16-bit ints but a
     # comparison sort for wider types (~9× slower at these sizes).
-    sort_keys = (
-        all_receivers.astype(np.uint16) if n <= 0xFFFF else all_receivers
-    )
-    order = np.argsort(sort_keys, kind="stable")
+    # Grids past 2**16 rows (trial-major batches) keep the radix cost by
+    # LSD-composing two stable 16-bit passes.
+    if n <= 0xFFFF:
+        order = np.argsort(all_receivers.astype(np.uint16), kind="stable")
+    elif n <= 0xFFFFFFFF:
+        order = np.argsort(
+            (all_receivers & 0xFFFF).astype(np.uint16), kind="stable"
+        )
+        high = (all_receivers >> 16)[order].astype(np.uint16)
+        order = order[np.argsort(high, kind="stable")]
+    else:  # pragma: no cover - graphs beyond 2**32 vertices
+        order = np.argsort(all_receivers, kind="stable")
     inbox_indptr = _cumsum0(np.bincount(all_receivers, minlength=n))
     inbox_columns = {}
     for (name, dtype) in spec.fields:
@@ -661,30 +708,29 @@ def execute_columnar(
     ctx = ColumnarContext(topology, plane, spec, inputs_list)
     instance.setup(ctx)
     limit = bandwidth_bits if model == "congest" else (1 << 62)
-    acc = [0, 0, 0]  # deferred fast-path counters: messages, bits, peak
-    round_number = 0
-    try:
-        while ctx._halted_count < ctx.n:
-            round_number += 1
-            if round_number > max_rounds:
-                raise RuntimeError(
-                    f"algorithm did not halt within {max_rounds} rounds"
-                )
-            metrics.record_round()
-            ctx.round_number = round_number
-            ctx._emissions = []
-            instance.on_round(ctx)
-            groups = ctx._emissions
-            if reference:
-                ctx.inbox = _deliver_reference(
-                    topology, plane, spec, groups, limit, bandwidth_bits,
-                    metrics,
-                )
-            else:
-                ctx.inbox = _deliver_fast(
-                    topology, plane, spec, groups, limit, bandwidth_bits, acc
-                )
-    finally:
-        metrics.record_batch(acc[0], acc[1], acc[2])
+    acc = ScalarAccountant()  # deferred fast-path counters
+
+    def done() -> bool:
+        return ctx._halted_count >= ctx.n
+
+    def advance(round_number: int) -> None:
+        ctx.round_number = round_number
+        ctx._emissions = []
+        instance.on_round(ctx)
+        groups = ctx._emissions
+        if reference:
+            ctx.inbox = _deliver_reference(
+                topology, plane, spec, groups, limit, bandwidth_bits,
+                metrics,
+            )
+        else:
+            ctx.inbox = _deliver_fast(
+                topology, plane, spec, groups, limit, bandwidth_bits, acc
+            )
+
+    run_rounds(
+        metrics=metrics, max_rounds=max_rounds,
+        done=done, advance=advance, flush=lambda: acc.flush(metrics),
+    )
     results = instance.outputs(ctx)
     return {vertices[i]: results[i] for i in range(ctx.n)}

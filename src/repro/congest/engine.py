@@ -1,14 +1,17 @@
-"""Compiled-topology execution engine for the CONGEST/LOCAL simulator.
+"""Compiled topology for the CONGEST/LOCAL simulator (+ compat re-exports).
 
-The seed executor in :mod:`repro.congest.network` re-derived everything per
-round: a fresh ``{v: {} for v in nodes}`` inbox table, an ``all(halted)``
-scan over every vertex, and an O(deg) tuple-membership check per message.
-This module compiles the topology once and schedules only the vertices that
-can still act, so large benchmark sweeps pay for the work the algorithm
-actually does rather than for the size of the graph.
+The seed executor re-derived everything per round; this module owns the
+one-time **compilation** of a ``networkx.Graph`` into dense-int form —
+:class:`CompiledTopology` — that every execution plane runs over.  The
+executors themselves live in the runtime package
+(:mod:`repro.congest.runtime`): the shared round scheduler and the
+object-plane engine in :mod:`repro.congest.runtime.scheduler`, the plane
+registry in :mod:`repro.congest.runtime.planes`, and the trial-batched
+``run_many``/grid executor in :mod:`repro.congest.runtime.batch`.  The
+historical entry points (``execute``, ``release_round_buffers``,
+``run_many``, ``Trial``) are re-exported here unchanged for callers that
+grew up against the pre-runtime layout.
 
-Architecture
-------------
 :class:`CompiledTopology`
     Built once per :class:`~repro.congest.network.Network`.  Vertices are
     indexed to dense ints ``0..n-1`` (in ``graph.nodes`` order, so outputs
@@ -19,80 +22,32 @@ Architecture
     * ``neighbor_sets[i]`` — a ``frozenset`` for O(1) send validation;
     * CSR arrays ``indptr``/``indices`` — **numpy** ``int64`` arrays over
       dense ints: the canonical compiled adjacency, exposed for
-      vectorized whole-graph analyses (degree/volume reductions,
-      future array-typed inboxes);
+      vectorized whole-graph analyses (degree/volume reductions, the
+      columnar plane's delivery arrays, block-diagonal grid composition);
     * ``neighbor_index_tuples[i]`` — the CSR slice
       ``indices[indptr[i]:indptr[i+1]]`` materialized once as a tuple of
-      Python ints, which is what the delivery loop iterates (inbox-dict
-      writes need Python ints; unboxing numpy scalars per round would
-      give the speedup back).
+      Python ints, which is what the object plane's delivery loop
+      iterates (inbox-dict writes need Python ints; unboxing numpy
+      scalars per round would give the speedup back).
 
     Compilations are memoized per graph through the shared
     :class:`~repro.graphs.cache.PerGraphCache` protocol — the same
     staleness probe and registry as :class:`~repro.graphs.stats.GraphStats`,
     so one ``invalidate`` drops both and a degree-preserving rewire can
     never serve a stale topology next to fresh stats.
-
-:func:`execute`
-    The active-set scheduler with a broadcast-aware delivery plane.
-    Per round it steps only not-yet-halted vertices (halting is tracked by
-    membership in the active list, not an O(n) scan) and delivers messages
-    directly into the *next* round's inbox dicts, double-buffered across
-    rounds — only dicts that actually received a message are cleared.
-
-    **Broadcast path.**  An ``on_round`` may return
-    :class:`~repro.congest.message.Broadcast` instead of a dict: one shared
-    message for all neighbours (or an explicit subset).  The engine then
-    validates the payload *once per broadcast* — not once per edge — counts
-    ``deg × bits`` with one multiply, and runs a delivery loop that does
-    nothing but inbox-dict writes over the precompiled dense neighbour
-    ids.  Semantics are exactly the expanded dict's: same inbox contents
-    and insertion order, same metrics, same exceptions (slow paths replay
-    the reference executor's per-receiver validation order to raise
-    byte-identical errors).
-
-    **Unicast path.**  Explicit dict outboxes take a dense-int fast path:
-    per-message work is the neighbour check, the cached bit size, one
-    bandwidth compare, and the inbox write; message/bit counters are
-    deferred to *per-round* reductions (numpy for large rounds) instead of
-    per-message counter updates, and flushed to
-    :class:`~repro.congest.metrics.NetworkMetrics` once at the end so the
-    final counters stay identical to the seed executor's.
-
-    Contract change vs the seed: the inbox mapping passed to ``on_round``
-    is owned by the engine and is only valid for the duration of the call
-    (it is cleared and reused two rounds later).  No algorithm in this
-    repository retains it.
-
-:func:`run_many`
-    Batch API for benchmark sweeps: runs one algorithm over many trials
-    (graphs, or graphs with per-vertex inputs) across a ``multiprocessing``
-    pool, returning ``(outputs, metrics)`` per trial in input order.
-
-Semantics are byte-identical to the seed executor (same outputs, same
-``NetworkMetrics`` counters, same exceptions); ``tests/test_engine.py`` and
-``tests/test_delivery_soak.py`` assert this differentially against the
-retained reference implementation ``Network._run_reference``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import weakref
-from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
-
 import networkx as nx
 import numpy as np
 
-from repro.congest.message import Broadcast, Message
-from repro.congest.metrics import NetworkMetrics
+from repro.congest.runtime.scheduler import (  # noqa: F401  (compat re-exports)
+    _INBOX_POOL,
+    execute,
+    release_round_buffers,
+)
 from repro.graphs.cache import PerGraphCache, invalidate_graph_caches
-
-# Below this many entries a per-round reduction uses the Python builtins;
-# at or above it, numpy's fused int64 reductions win over interpreter sums.
-_VECTOR_MIN = 1024
 
 
 class CompiledTopology:
@@ -114,8 +69,8 @@ class CompiledTopology:
         CSR adjacency over dense indices as numpy ``int64`` arrays
         (``indices[indptr[i]:indptr[i+1]]`` are ``i``'s neighbours) —
         the canonical compiled adjacency, for vectorized whole-graph
-        analyses; the round loop itself iterates the materialized
-        Python-int tuples below.
+        analyses; the object plane's round loop itself iterates the
+        materialized Python-int tuples below.
     neighbor_index_tuples:
         The CSR slices materialized once as tuples of Python ints — the
         broadcast delivery loop's iteration order.
@@ -219,470 +174,14 @@ _topology_cache = PerGraphCache(
 )
 
 
-# Reusable double-buffered inbox lists, keyed weakly by topology.  A run
-# checks a buffer pair out of the pool (or allocates one) and returns it
-# *empty* on the way out, so serial sweeps over one graph stop paying the
-# per-trial reallocation of n list slots plus every per-vertex dict that
-# the previous trials already grew.  ``release_round_buffers`` drops the
-# cached pair(s); :func:`run_many` calls it between trials on different
-# graphs and after a sweep so a long batch never holds one trial's
-# peak-round inboxes for the lifetime of the whole batch.
-_INBOX_POOL: "weakref.WeakKeyDictionary[CompiledTopology, tuple]" = (
-    weakref.WeakKeyDictionary()
-)
+def __getattr__(name: str):
+    # ``run_many``/``Trial`` moved to the runtime's batch module; lazy
+    # re-export here avoids an import cycle (batch composes grids out of
+    # this module's CompiledTopology).
+    if name in ("run_many", "Trial", "execute_grid"):
+        from repro.congest.runtime import batch
 
-
-def release_round_buffers(topology: CompiledTopology | None = None) -> None:
-    """Drop pooled inbox buffers — for ``topology``, or all of them."""
-    if topology is None:
-        _INBOX_POOL.clear()
-    else:
-        _INBOX_POOL.pop(topology, None)
-
-
-def _validate_pedantic(sender, message, receivers, neighbor_set, limit,
-                       bandwidth_bits, count_append, size_append):
-    """Replay the reference executor's per-receiver validation order.
-
-    The broadcast fast paths validate once per broadcast; when that quick
-    guard fails (non-neighbour receiver, non-``Message`` payload,
-    ``Message`` subclass, bandwidth overflow) this function re-checks in
-    the exact order ``Network._validate_and_count`` would, so the raised
-    exception — type, message, and which receiver it names — is
-    byte-identical.  It also *counts* per receiver as it validates
-    (appending ``(1, bits)`` pairs to the deferred broadcast lists):
-    the reference counts every copy validated before the offending one,
-    and an exception must leave exactly those counted here too.  Returns
-    the message's bit size when the broadcast is legal after all (e.g. a
-    ``Message`` subclass); the caller must then *not* count it again.
-    """
-    from repro.congest.network import BandwidthExceededError
-
-    bits = 0
-    for receiver in receivers:
-        if receiver not in neighbor_set:
-            raise ValueError(
-                f"node {sender!r} sent to non-neighbor {receiver!r}"
-            )
-        if not isinstance(message, Message):
-            raise TypeError(
-                f"node {sender!r} sent a non-Message object: {message!r}"
-            )
-        bits = message.bit_size
-        if bits > limit:
-            raise BandwidthExceededError(
-                f"message of {bits} bits from {sender!r} to {receiver!r} "
-                f"exceeds CONGEST bandwidth {bandwidth_bits} bits"
-            )
-        count_append(1)
-        size_append(bits)
-    return bits
-
-
-def execute(
-    topology: CompiledTopology,
-    algorithm: "NodeAlgorithm",
-    *,
-    model: str,
-    bandwidth_bits: int,
-    metrics: NetworkMetrics,
-    max_rounds: int = 10_000,
-    inputs: Mapping[Any, Any] | None = None,
-) -> dict[Any, Any]:
-    """Run ``algorithm`` on ``topology`` with the active-set scheduler.
-
-    Same observable semantics as the seed executor: outputs keyed in
-    ``graph.nodes`` order, identical metrics counters, identical
-    exceptions on non-neighbor sends, non-``Message`` objects, bandwidth
-    violations, and ``max_rounds`` exhaustion.  ``Broadcast`` outboxes are
-    delivered by the vectorized broadcast plane (see the module
-    docstring); dict outboxes take the dense-int unicast path.
-    """
-    from repro.congest.network import BandwidthExceededError, NodeContext
-
-    n = topology.n
-    vertices = topology.vertices
-    instances = []
-    contexts = []
-    step_fns = []
-    for i in range(n):
-        instance = algorithm.spawn()
-        instance.input = None if inputs is None else inputs.get(vertices[i])
-        ctx = NodeContext(
-            node=vertices[i], neighbors=topology.neighbor_tuples[i], n=n
-        )
-        instance.initialize(ctx)
-        instances.append(instance)
-        contexts.append(ctx)
-        step_fns.append(instance.on_round)
-
-    index_of = topology.index_of
-    neighbor_sets = topology.neighbor_sets
-    neighbor_tuples = topology.neighbor_tuples
-    neighbor_index_tuples = topology.neighbor_index_tuples
-    congest = model == "congest"
-    # Single comparison per payload: in LOCAL mode the limit is unreachable.
-    limit = bandwidth_bits if congest else (1 << 62)
-
-    # Double-buffered inboxes: ``read`` is consumed this round, ``fill``
-    # receives next round's messages.  Dicts are allocated lazily on a
-    # vertex's first-ever delivery (``None`` until then — vertices that
-    # never receive never allocate) and reused across rounds; only dirty
-    # dicts are ever cleared.  Vertices with no pending messages read the
-    # shared immutable empty inbox.  The buffer pair itself is pooled per
-    # topology (checked out here, returned empty in the ``finally``), so
-    # back-to-back runs on one graph reuse the grown dicts.
-    pooled = _INBOX_POOL.pop(topology, None)
-    if pooled is not None:
-        read, fill = pooled
-    else:
-        read = [None] * n
-        fill = [None] * n
-    empty_inbox: dict[Any, Message] = {}
-    dirty_read: list[int] = []
-    dirty_fill: list[int] = []
-
-    active = [i for i in range(n) if not instances[i].halted]
-    message_count = 0
-    total_bits = 0
-    max_edge = metrics.max_edge_bits_in_round
-    round_number = 0
-    # Per-round deferred accounting, reduced once per round (the vector
-    # check): one bits entry per unicast message; one (copies, bits) pair
-    # per broadcast.
-    round_bits: list[int] = []
-    bcast_counts: list[int] = []
-    bcast_sizes: list[int] = []
-    try:
-        while active:
-            round_number += 1
-            if round_number > max_rounds:
-                raise RuntimeError(
-                    f"algorithm did not halt within {max_rounds} rounds"
-                )
-            metrics.record_round()
-            still_active: list[int] = []
-            still_append = still_active.append
-            dirty_append = dirty_fill.append
-            bits_append = round_bits.append
-            count_append = bcast_counts.append
-            size_append = bcast_sizes.append
-            for i in active:
-                ctx = contexts[i]
-                ctx.round_number = round_number
-                inbox = read[i]
-                sent = step_fns[i](
-                    ctx, inbox if inbox is not None else empty_inbox
-                )
-                if sent:
-                    if sent.__class__ is Broadcast:
-                        message = sent.message
-                        receivers = sent.to
-                        if receivers is None:
-                            # Full broadcast: receivers are the compiled
-                            # neighbour list — membership holds by
-                            # construction; validate the payload once.
-                            targets = neighbor_index_tuples[i]
-                            if targets:
-                                if message.__class__ is Message:
-                                    bits = message._bit_size
-                                    if bits < 0:
-                                        bits = message.bit_size
-                                    if bits > limit:
-                                        raise BandwidthExceededError(
-                                            f"message of {bits} bits from "
-                                            f"{ctx.node!r} to "
-                                            f"{neighbor_tuples[i][0]!r} "
-                                            f"exceeds CONGEST bandwidth "
-                                            f"{bandwidth_bits} bits"
-                                        )
-                                    count_append(len(targets))
-                                    size_append(bits)
-                                else:
-                                    # Counts per receiver internally.
-                                    _validate_pedantic(
-                                        ctx.node, message,
-                                        neighbor_tuples[i], neighbor_sets[i],
-                                        limit, bandwidth_bits,
-                                        count_append, size_append,
-                                    )
-                                sender = ctx.node
-                                for j in targets:
-                                    box = fill[j]
-                                    if box:
-                                        box[sender] = message
-                                    else:
-                                        if box is None:
-                                            box = fill[j] = {}
-                                        dirty_append(j)
-                                        box[sender] = message
-                        elif receivers:
-                            # Subset broadcast: one C-level superset check
-                            # replaces the per-receiver membership loop.
-                            nbrs = neighbor_sets[i]
-                            if (message.__class__ is Message
-                                    and nbrs.issuperset(receivers)):
-                                bits = message._bit_size
-                                if bits < 0:
-                                    bits = message.bit_size
-                                if bits > limit:
-                                    raise BandwidthExceededError(
-                                        f"message of {bits} bits from "
-                                        f"{ctx.node!r} to "
-                                        f"{next(iter(receivers))!r} exceeds "
-                                        f"CONGEST bandwidth "
-                                        f"{bandwidth_bits} bits"
-                                    )
-                                count_append(len(receivers))
-                                size_append(bits)
-                            else:
-                                # Counts per receiver internally.
-                                _validate_pedantic(
-                                    ctx.node, message, receivers, nbrs,
-                                    limit, bandwidth_bits,
-                                    count_append, size_append,
-                                )
-                            sender = ctx.node
-                            for u in receivers:
-                                j = index_of[u]
-                                box = fill[j]
-                                if box:
-                                    box[sender] = message
-                                else:
-                                    if box is None:
-                                        box = fill[j] = {}
-                                    dirty_append(j)
-                                    box[sender] = message
-                    else:
-                        # Unicast path: explicit dict outbox.
-                        sender = ctx.node
-                        nbrs = neighbor_sets[i]
-                        for receiver, message in sent.items():
-                            if receiver not in nbrs:
-                                raise ValueError(
-                                    f"node {sender!r} sent to non-neighbor "
-                                    f"{receiver!r}"
-                                )
-                            if message.__class__ is not Message:
-                                if not isinstance(message, Message):
-                                    raise TypeError(
-                                        f"node {sender!r} sent a non-Message "
-                                        f"object: {message!r}"
-                                    )
-                            # Fast path past the lazy property: shared
-                            # messages hit the cached slot after the first
-                            # read.
-                            bits = message._bit_size
-                            if bits < 0:
-                                bits = message.bit_size
-                            if bits > limit:
-                                raise BandwidthExceededError(
-                                    f"message of {bits} bits from {sender!r} "
-                                    f"to {receiver!r} exceeds CONGEST "
-                                    f"bandwidth {bandwidth_bits} bits"
-                                )
-                            bits_append(bits)
-                            j = index_of[receiver]
-                            box = fill[j]
-                            if box:
-                                box[sender] = message
-                            else:
-                                if box is None:
-                                    box = fill[j] = {}
-                                dirty_append(j)
-                                box[sender] = message
-                if not instances[i]._halted:
-                    still_append(i)
-            active = still_active
-            # Per-round vector reduction of the deferred counters.
-            if round_bits:
-                message_count += len(round_bits)
-                if len(round_bits) >= _VECTOR_MIN:
-                    arr = np.array(round_bits, dtype=np.int64)
-                    total_bits += int(arr.sum())
-                    peak = int(arr.max())
-                else:
-                    total_bits += sum(round_bits)
-                    peak = max(round_bits)
-                if peak > max_edge:
-                    max_edge = peak
-                round_bits.clear()
-            if bcast_sizes:
-                if len(bcast_sizes) >= _VECTOR_MIN:
-                    counts = np.array(bcast_counts, dtype=np.int64)
-                    sizes = np.array(bcast_sizes, dtype=np.int64)
-                    message_count += int(counts.sum())
-                    total_bits += int(counts @ sizes)
-                    peak = int(sizes.max())
-                else:
-                    message_count += sum(bcast_counts)
-                    total_bits += sum(
-                        c * b for c, b in zip(bcast_counts, bcast_sizes)
-                    )
-                    peak = max(bcast_sizes)
-                if peak > max_edge:
-                    max_edge = peak
-                bcast_counts.clear()
-                bcast_sizes.clear()
-            for j in dirty_read:
-                read[j].clear()
-            dirty_read.clear()
-            read, fill = fill, read
-            dirty_read, dirty_fill = dirty_fill, dirty_read
-    finally:
-        # Fold an interrupted round's deferred counters (an exception can
-        # fire mid-round, after some messages were already validated — the
-        # reference executor counts exactly those) and flush once.
-        if round_bits:
-            message_count += len(round_bits)
-            total_bits += sum(round_bits)
-            max_edge = max(max_edge, max(round_bits))
-        if bcast_sizes:
-            message_count += sum(bcast_counts)
-            total_bits += sum(
-                c * b for c, b in zip(bcast_counts, bcast_sizes)
-            )
-            max_edge = max(max_edge, max(bcast_sizes))
-        metrics.record_batch(message_count, total_bits, max_edge)
-        # Return the buffers to the pool *empty*: both dirty sets (an
-        # exception can leave messages on either side mid-round, and a
-        # normal exit leaves the final round's undelivered sends in
-        # ``read`` after the swap) are cleared before check-in.
-        for j in dirty_read:
-            read[j].clear()
-        for j in dirty_fill:
-            fill[j].clear()
-        dirty_read.clear()
-        dirty_fill.clear()
-        _INBOX_POOL[topology] = (read, fill)
-    return {vertices[i]: instances[i].output() for i in range(n)}
-
-
-# ---------------------------------------------------------------------------
-# Batched execution across trials (benchmark sweeps)
-# ---------------------------------------------------------------------------
-@dataclass
-class Trial:
-    """One job for :func:`run_many`: a topology plus optional per-vertex
-    inputs (e.g. RNG seeds) and per-trial overrides."""
-
-    graph: nx.Graph
-    inputs: Mapping[Any, Any] | None = None
-    max_rounds: int | None = None
-    model: str | None = None
-    bandwidth_factor: int | None = None
-
-
-_POOL_SHARED: dict[str, Any] = {}
-
-
-def _pool_init(shared_graph) -> None:
-    """Pool initializer: receive a sweep's common graph once per worker
-    instead of re-pickling it with every trial payload."""
-    _POOL_SHARED["graph"] = shared_graph
-
-
-def _run_trial(payload: tuple) -> tuple[dict, NetworkMetrics]:
-    """Top-level worker (must be picklable for multiprocessing)."""
-    from repro.congest.network import Network
-
-    algorithm, graph, inputs, model, bandwidth_factor, max_rounds = payload
-    if graph is None:
-        graph = _POOL_SHARED["graph"]
-    net = Network(graph, model=model, bandwidth_factor=bandwidth_factor)
-    outputs = net.run(algorithm, max_rounds=max_rounds, inputs=inputs)
-    return outputs, net.metrics
-
-
-def run_many(
-    algorithm: "NodeAlgorithm",
-    trials: Iterable[nx.Graph | Trial | tuple],
-    processes: int | None = None,
-    *,
-    model: str = "congest",
-    bandwidth_factor: int = 32,
-    max_rounds: int = 10_000,
-) -> list[tuple[dict, NetworkMetrics]]:
-    """Run ``algorithm`` over many trials, optionally in parallel.
-
-    Parameters
-    ----------
-    algorithm:
-        The prototype :class:`~repro.congest.network.NodeAlgorithm`; each
-        trial spawns fresh per-vertex instances from it.  Must be picklable
-        when ``processes > 1`` (every algorithm in this repository is).
-    trials:
-        Iterable of jobs.  Each may be a bare ``networkx.Graph``, a
-        ``(graph, inputs)`` pair, or a :class:`Trial` with per-trial
-        overrides (the common benchmark shape: same graph, many seeds).
-    processes:
-        Worker-process count.  ``None`` uses ``os.cpu_count()`` capped at
-        the trial count; ``1`` (or a single trial) runs serially in this
-        process with zero multiprocessing overhead.
-
-    Returns
-    -------
-    ``[(outputs, metrics), ...]`` in trial order — exactly what running
-    each trial through :meth:`Network.run` serially would produce.
-    """
-    payloads = []
-    for spec in trials:
-        if isinstance(spec, Trial):
-            payloads.append(
-                (
-                    algorithm,
-                    spec.graph,
-                    spec.inputs,
-                    spec.model if spec.model is not None else model,
-                    spec.bandwidth_factor
-                    if spec.bandwidth_factor is not None
-                    else bandwidth_factor,
-                    spec.max_rounds
-                    if spec.max_rounds is not None
-                    else max_rounds,
-                )
-            )
-        elif isinstance(spec, tuple):
-            graph, inputs = spec
-            payloads.append(
-                (algorithm, graph, inputs, model, bandwidth_factor, max_rounds)
-            )
-        else:
-            payloads.append(
-                (algorithm, spec, None, model, bandwidth_factor, max_rounds)
-            )
-    if processes is None:
-        processes = os.cpu_count() or 1
-    processes = max(1, min(processes, len(payloads)))
-    if processes == 1 or len(payloads) <= 1:
-        # Serial sweep: consecutive trials on one graph reuse the pooled
-        # double-buffered inboxes; moving to a different graph (and
-        # finishing the sweep) releases them, so a long batch never pins
-        # the peak-round inbox memory of every topology it visited.
-        results = []
-        previous_graph = None
-        try:
-            for payload in payloads:
-                if previous_graph is not None and payload[1] is not previous_graph:
-                    release_round_buffers()
-                previous_graph = payload[1]
-                results.append(_run_trial(payload))
-        finally:
-            release_round_buffers()
-        return results
-    # Common sweep shape: every trial runs on the same graph.  Ship that
-    # graph once per worker (pool initializer) rather than per trial.
-    graphs = {id(payload[1]): payload[1] for payload in payloads}
-    shared_graph = next(iter(graphs.values())) if len(graphs) == 1 else None
-    if shared_graph is not None:
-        payloads = [
-            (payload[0], None, *payload[2:]) for payload in payloads
-        ]
-    start_methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context(
-        "fork" if "fork" in start_methods else "spawn"
+        return getattr(batch, name)
+    raise AttributeError(
+        f"module 'repro.congest.engine' has no attribute {name!r}"
     )
-    with ctx.Pool(
-        processes, initializer=_pool_init, initargs=(shared_graph,)
-    ) as pool:
-        return pool.map(_run_trial, payloads)

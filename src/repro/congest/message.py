@@ -23,6 +23,7 @@ against the per-message reference.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 import numpy as np
@@ -44,6 +45,20 @@ def bits_for_int(value: int) -> int:
         return 1
     magnitude = abs(value)
     return magnitude.bit_length() + (1 if value < 0 else 0)
+
+
+def bandwidth_bits_for(n: int, bandwidth_factor: int) -> int:
+    """The CONGEST per-edge per-round budget for an ``n``-vertex network:
+    ``bandwidth_factor * ceil(log2 n)`` bits (the constant in the model's
+    ``O(log n)``).  One definition shared by :class:`~repro.congest.network.Network`
+    and the trial-batched grid executor, whose blocks each carry their
+    own ``n`` and therefore their own budget.
+
+    >>> bandwidth_bits_for(1024, 32)
+    320
+    """
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    return bandwidth_factor * log_n
 
 
 def bits_for_payload(payload: Any) -> int:

@@ -6,6 +6,14 @@ Two levels of accounting are used in this repository (see DESIGN.md §3):
   node algorithm executes: rounds, messages, bits, and the worst per-edge
   per-round load (which must never exceed the CONGEST bandwidth).
 
+* :class:`ScalarAccountant` — the deferred form of the first: executors
+  on the fast planes accumulate whole-round array reductions here and
+  fold them into a :class:`NetworkMetrics` exactly once (via
+  :meth:`NetworkMetrics.record_batch`) when the run ends, so per-message
+  counter updates never touch the hot path.  The trial-batched grid
+  executor (:mod:`repro.congest.runtime.batch`) uses a per-trial
+  sibling with the same ``add(senders, bits)`` interface.
+
 * :class:`RoundLedger` — accounting for composite *cluster-level* algorithms
   (the decomposition algorithms of Sections 4–5).  The paper analyses those
   algorithms as a sequence of primitives, each with a proven CONGEST round
@@ -60,6 +68,35 @@ class NetworkMetrics:
         self.max_edge_bits_in_round = max(
             self.max_edge_bits_in_round, other.max_edge_bits_in_round
         )
+
+
+class ScalarAccountant:
+    """Deferred message/bit counters for one execution.
+
+    The columnar executors call :meth:`add` with one int64 bit-size
+    array per validated emission batch (``senders`` rides along for
+    interface parity with the grid's per-trial accountant and is unused
+    here) and :meth:`flush` exactly once on the way out — equivalent to
+    the per-message ``record_message``/``record_edge_load`` interleaving
+    of the reference executor, in three scalar updates per batch.
+    """
+
+    __slots__ = ("messages", "total_bits", "peak_bits")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.total_bits = 0
+        self.peak_bits = 0
+
+    def add(self, senders, bits) -> None:
+        self.messages += len(bits)
+        self.total_bits += int(bits.sum())
+        peak = int(bits.max())
+        if peak > self.peak_bits:
+            self.peak_bits = peak
+
+    def flush(self, metrics: "NetworkMetrics") -> None:
+        metrics.record_batch(self.messages, self.total_bits, self.peak_bits)
 
 
 @dataclass

@@ -10,22 +10,27 @@ is created per vertex.  The executor delivers all messages sent in round r
 at the beginning of round r + 1 and stops when every node has halted (or
 ``max_rounds`` is hit, which raises).
 
-Execution engine
+Execution planes
 ----------------
-:meth:`Network.run` keeps this public API but delegates the round loop to
-the compiled-topology engine in :mod:`repro.congest.engine`: the topology
-is indexed to dense ints once in ``__init__`` (adjacency as CSR arrays
-plus per-vertex ``frozenset`` neighbour sets for O(1) send validation),
-and the engine steps only not-yet-halted vertices per round, reusing
-inbox dicts instead of reallocating ``{v: {} for v in nodes}`` each round.
-The pre-engine loop is retained verbatim as :meth:`Network._run_reference`
-— it is the executable specification that ``tests/test_engine.py`` checks
-the engine against and the baseline ``benchmarks/bench_engine.py`` measures
-speedups over.
+:meth:`Network.run` keeps this public API but is a thin facade over the
+**runtime plane registry** (:mod:`repro.congest.runtime.planes`): the
+topology is compiled to dense ints once in ``__init__`` (via the
+runtime's single compilation entry), and the plane that actually steps
+the rounds is resolved *by name* — ``run(algorithm, plane="broadcast")``
+— or automatically from the algorithm's declared ``plane_kind``
+(``plane=None``/``"auto"``).  There is no ``isinstance`` dispatch here:
+object-family algorithms (:class:`NodeAlgorithm`) resolve to the
+broadcast-aware active-set engine, columnar-family ones
+(:class:`~repro.congest.columnar.ColumnarAlgorithm`) to the columnar
+plane, and the per-message reference executors back both families as
+their executable specs (:meth:`Network._run_reference`, which
+``tests/test_engine.py`` and ``tests/test_columnar.py`` check the fast
+planes against and the benchmarks measure speedups over).
 
 Batch sweeps over many graphs/seeds should use
-:func:`repro.congest.engine.run_many`, which fans trials out over a
-``multiprocessing`` pool.
+:func:`repro.congest.run_many` (:mod:`repro.congest.runtime.batch`),
+which grid-batches grid-safe columnar sweeps into one block-diagonal
+execution and otherwise fans trials out over a ``multiprocessing`` pool.
 
 The broadcast protocol
 ----------------------
@@ -57,16 +62,15 @@ Engine-level contract notes:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 import networkx as nx
 
-from repro.congest import engine as _engine
-from repro.congest.columnar import ColumnarAlgorithm, execute_columnar
-from repro.congest.message import Broadcast, Message
+from repro.congest.message import Broadcast, Message, bandwidth_bits_for
 from repro.congest.metrics import NetworkMetrics
+from repro.congest.runtime.compile import compile_topology
+from repro.congest.runtime.planes import reference_plane_for, resolve_plane
 
 
 class BandwidthExceededError(RuntimeError):
@@ -121,7 +125,14 @@ class NodeAlgorithm:
 
     One instance of the subclass is created per vertex via ``spawn``;
     subclasses store per-vertex state on ``self``.
+
+    ``plane_kind = "object"`` declares the execution-plane family to the
+    runtime registry (:mod:`repro.congest.runtime.planes`): object-family
+    algorithms run on the ``reference``/``object``/``broadcast`` planes,
+    resolved by name — never by ``isinstance``.
     """
+
+    plane_kind = "object"
 
     def __init__(self) -> None:
         self._halted = False
@@ -194,19 +205,11 @@ class Network:
             raise ValueError("network must have at least one vertex")
         self.graph = graph
         self.model = model
-        n = graph.number_of_nodes()
-        log_n = max(1, math.ceil(math.log2(max(2, n))))
-        self.bandwidth_bits = bandwidth_factor * log_n
+        self.bandwidth_bits = bandwidth_bits_for(
+            graph.number_of_nodes(), bandwidth_factor
+        )
         self.metrics = NetworkMetrics()
-        self._topology = _engine.CompiledTopology.for_graph(graph)
-        self._neighbors = {
-            v: self._topology.neighbor_tuples[i]
-            for i, v in enumerate(self._topology.vertices)
-        }
-        self._neighbor_sets = {
-            v: self._topology.neighbor_sets[i]
-            for i, v in enumerate(self._topology.vertices)
-        }
+        self._topology = compile_topology(graph)
 
     # ------------------------------------------------------------------
     def run(
@@ -214,35 +217,25 @@ class Network:
         algorithm: NodeAlgorithm,
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
+        plane: str | None = None,
     ) -> dict[Any, Any]:
         """Execute ``algorithm`` at every vertex until all halt.
 
         ``inputs`` optionally provides a per-vertex input value, exposed to
         the node as ``self.input`` before :meth:`NodeAlgorithm.initialize`.
 
-        Returns the dict of per-vertex outputs.  Delegates to the
-        compiled-topology active-set engine (see the module docstring and
-        :mod:`repro.congest.engine`); semantics are identical to the
-        reference loop in :meth:`_run_reference`.
-
-        A :class:`~repro.congest.columnar.ColumnarAlgorithm` (a
-        round-vectorized program with a typed
-        :class:`~repro.congest.message.ColumnarSpec`) dispatches to the
-        columnar delivery plane instead — same output keying, metrics
-        accounting, and validation errors, with the round's traffic
-        delivered as numpy columns over the compiled CSR topology.
+        Returns the dict of per-vertex outputs.  ``plane`` selects the
+        execution plane by registry name
+        (:mod:`repro.congest.runtime.planes` — ``reference``, ``object``,
+        ``broadcast``, ``columnar``, ``columnar-reference``);
+        ``None``/``"auto"`` resolves the fastest plane of the algorithm's
+        declared family (``plane_kind``).  Every plane keeps the same
+        observable contract: output keying in ``graph.nodes`` order,
+        identical :class:`~repro.congest.metrics.NetworkMetrics`
+        counters, identical validation errors.
         """
-        if isinstance(algorithm, ColumnarAlgorithm):
-            return execute_columnar(
-                self._topology,
-                algorithm,
-                model=self.model,
-                bandwidth_bits=self.bandwidth_bits,
-                metrics=self.metrics,
-                max_rounds=max_rounds,
-                inputs=inputs,
-            )
-        return _engine.execute(
+        executor = resolve_plane(algorithm, plane)
+        return executor.execute(
             self._topology,
             algorithm,
             model=self.model,
@@ -259,95 +252,28 @@ class Network:
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
     ) -> dict[Any, Any]:
-        """The seed round loop, kept as the engine's executable spec.
+        """Run on the algorithm family's per-message reference plane.
 
-        Reallocates every inbox each round and scans all vertices for
-        halting — O(n) per round regardless of activity.  A ``Broadcast``
-        outbox is expanded to its equivalent dict up front (the protocol's
-        *definition*) and then validated, counted, and delivered exactly
-        as the seed executor did per edge.  Used by ``tests/test_engine.py``
-        and ``tests/test_delivery_soak.py`` for differential checks and by
-        the benchmarks as the speedup baseline.  Do not optimize this
-        method; optimize the engine.
-
-        A :class:`~repro.congest.columnar.ColumnarAlgorithm` dispatches to
-        the columnar plane's per-message reference executor — every
-        emission expanded to ``Message`` objects, validated and counted
-        one at a time — which plays the same executable-spec role for the
-        columnar fast path that this loop plays for the object plane.
+        Object-family algorithms get the retained seed loop
+        (:func:`repro.congest.runtime.scheduler.execute_reference` —
+        every inbox reallocated, every vertex scanned, every message
+        validated and counted one at a time); columnar programs get the
+        per-``Message`` columnar reference executor.  Both are the
+        executable specifications the fast planes are differentially
+        tested against (``tests/test_engine.py``,
+        ``tests/test_columnar.py``, ``tests/test_delivery_soak.py``) and
+        the baselines the benchmarks measure speedups over.
         """
-        if isinstance(algorithm, ColumnarAlgorithm):
-            return execute_columnar(
-                self._topology,
-                algorithm,
-                model=self.model,
-                bandwidth_bits=self.bandwidth_bits,
-                metrics=self.metrics,
-                max_rounds=max_rounds,
-                inputs=inputs,
-                reference=True,
-            )
-        n = self.graph.number_of_nodes()
-        nodes: dict[Any, NodeAlgorithm] = {}
-        contexts: dict[Any, NodeContext] = {}
-        for v in self.graph.nodes:
-            instance = algorithm.spawn()
-            instance.input = None if inputs is None else inputs.get(v)
-            ctx = NodeContext(node=v, neighbors=self._neighbors[v], n=n)
-            instance.initialize(ctx)
-            nodes[v] = instance
-            contexts[v] = ctx
-
-        inboxes: dict[Any, dict[Any, Message]] = {v: {} for v in self.graph.nodes}
-        for round_number in range(1, max_rounds + 1):
-            if all(node.halted for node in nodes.values()):
-                break
-            self.metrics.record_round()
-            outboxes: dict[Any, dict[Any, Message]] = {}
-            for v, node in nodes.items():
-                if node.halted:
-                    continue
-                ctx = contexts[v]
-                ctx.round_number = round_number
-                sent = node.on_round(ctx, inboxes[v])
-                if isinstance(sent, Broadcast):
-                    sent = sent.expand(ctx.neighbors)
-                if sent:
-                    self._validate_and_count(v, sent)
-                    outboxes[v] = sent
-            inboxes = {v: {} for v in self.graph.nodes}
-            for sender, sent in outboxes.items():
-                for receiver, message in sent.items():
-                    inboxes[receiver][sender] = message
-        else:
-            if not all(node.halted for node in nodes.values()):
-                raise RuntimeError(
-                    f"algorithm did not halt within {max_rounds} rounds"
-                )
-        return {v: node.output() for v, node in nodes.items()}
-
-    # ------------------------------------------------------------------
-    def _validate_and_count(self, sender: Any, sent: Mapping[Any, Message]) -> None:
-        # Precomputed frozensets: membership is O(1) per message, not
-        # O(deg) as with the seed's neighbour tuples.
-        neighbor_set = self._neighbor_sets[sender]
-        for receiver, message in sent.items():
-            if receiver not in neighbor_set:
-                raise ValueError(
-                    f"node {sender!r} sent to non-neighbor {receiver!r}"
-                )
-            if not isinstance(message, Message):
-                raise TypeError(
-                    f"node {sender!r} sent a non-Message object: {message!r}"
-                )
-            if self.model == "congest" and message.bit_size > self.bandwidth_bits:
-                raise BandwidthExceededError(
-                    f"message of {message.bit_size} bits from {sender!r} to "
-                    f"{receiver!r} exceeds CONGEST bandwidth "
-                    f"{self.bandwidth_bits} bits"
-                )
-            self.metrics.record_message(message.bit_size)
-            self.metrics.record_edge_load(message.bit_size)
+        executor = reference_plane_for(algorithm)
+        return executor.execute(
+            self._topology,
+            algorithm,
+            model=self.model,
+            bandwidth_bits=self.bandwidth_bits,
+            metrics=self.metrics,
+            max_rounds=max_rounds,
+            inputs=inputs,
+        )
 
 
 class FunctionAlgorithm(NodeAlgorithm):

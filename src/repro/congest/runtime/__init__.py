@@ -1,0 +1,75 @@
+"""The unified CONGEST runtime: one execution spine for every plane.
+
+This package is the single home of *how rounds are physically executed*,
+matching the paper's framing of CONGEST algorithms as round-synchronous
+programs independent of the execution substrate:
+
+* :mod:`~repro.congest.runtime.scheduler` — the shared round scheduler:
+  the ``run_rounds`` spine (halting, round caps, per-run metric
+  flushing) every executor drives, the object-plane active-set engine,
+  the seed reference loop, and the pooled double-buffered inboxes
+  (``release_round_buffers``);
+* :mod:`~repro.congest.runtime.planes` — the :class:`ExecutionPlane`
+  protocol and the registry (``reference`` / ``object`` / ``broadcast``
+  / ``columnar`` / ``columnar-reference`` / ``grid``) that
+  ``Network.run``, ``run_many``, the algorithm wrappers, and the CLI all
+  resolve planes through — by name, never by ``isinstance``;
+* :mod:`~repro.congest.runtime.compile` — the single compilation entry
+  (per-graph :class:`~repro.congest.engine.CompiledTopology` and
+  delivery-plane caches) plus the block-diagonal
+  :class:`~repro.congest.runtime.compile.GridTopology`;
+* :mod:`~repro.congest.runtime.batch` — ``run_many`` and **trial-major
+  columnar grid execution**: T independent trials as one ``(Σ n_t)``-row
+  columnar program, byte-identical to per-trial runs with per-round
+  numpy dispatch amortized across the whole sweep.
+"""
+
+from repro.congest.runtime.batch import (
+    GridAccountant,
+    Trial,
+    execute_grid,
+    run_many,
+)
+from repro.congest.runtime.compile import (
+    GridTopology,
+    compile_topology,
+    delivery_plane,
+)
+from repro.congest.runtime.planes import (
+    ExecutionPlane,
+    get_plane,
+    plane_names,
+    reference_plane_for,
+    register_plane,
+    resolve_plane,
+    supported_planes,
+    variant_for_plane,
+)
+from repro.congest.runtime.scheduler import (
+    execute,
+    execute_reference,
+    release_round_buffers,
+    run_rounds,
+)
+
+__all__ = [
+    "ExecutionPlane",
+    "GridAccountant",
+    "GridTopology",
+    "Trial",
+    "compile_topology",
+    "delivery_plane",
+    "execute",
+    "execute_grid",
+    "execute_reference",
+    "get_plane",
+    "plane_names",
+    "reference_plane_for",
+    "register_plane",
+    "release_round_buffers",
+    "resolve_plane",
+    "run_many",
+    "run_rounds",
+    "supported_planes",
+    "variant_for_plane",
+]

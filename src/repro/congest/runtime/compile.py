@@ -1,0 +1,167 @@
+"""Compilation entry points for the unified CONGEST runtime.
+
+Single place every plane gets its compiled artifacts from:
+
+* :func:`compile_topology` — the per-graph :class:`CompiledTopology`
+  (CSR adjacency + deterministic neighbour tuples), served through the
+  shared per-graph cache (:mod:`repro.graphs.cache`) so sweeps compile
+  once per graph;
+* :func:`delivery_plane` — the lazily compiled columnar delivery arrays
+  (:class:`~repro.congest.columnar.CompiledDeliveryPlane`), cached on
+  the topology so they share its memoization and invalidation;
+* :class:`GridTopology` — the **trial-major columnar grid**: T
+  independent trials composed into one block-diagonal CSR over
+  ``sum(n_t)`` rows.  Block ``t`` occupies dense rows
+  ``offsets[t]:offsets[t+1]``; edges never cross blocks, per-block
+  ``repr`` ranks are preserved verbatim (reductions and tie-breaks
+  inside a block behave exactly as in a single-trial run), and
+  ``index_of[v]`` resolves to the *array* of ``v``'s replica rows — one
+  per block — so vertex-keyed setup code (``self.depth[root] = 0``)
+  transparently initializes every trial.  Built per sweep by
+  :func:`repro.congest.runtime.batch.run_many`; the per-block
+  compilations still come from the shared cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.congest.engine import CompiledTopology
+
+
+def compile_topology(graph) -> CompiledTopology:
+    """Memoized per-graph compilation (the runtime's single entry —
+    identical to ``CompiledTopology.for_graph``)."""
+    return CompiledTopology.for_graph(graph)
+
+
+def delivery_plane(topology: CompiledTopology):
+    """The topology's lazily compiled columnar delivery arrays."""
+    return topology.columnar_plane()
+
+
+class _GridIndex:
+    """``index_of`` for a grid: maps a vertex id to the int64 array of
+    its replica rows, one per block (fancy-indexable, so scalar
+    vertex-keyed initialization fans out over every trial).  Raises
+    ``KeyError`` when any block lacks the vertex — exactly the error a
+    per-trial run on that block would hit."""
+
+    __slots__ = ("_blocks", "_offsets")
+
+    def __init__(self, blocks, offsets) -> None:
+        self._blocks = blocks
+        self._offsets = offsets
+
+    def __getitem__(self, vertex: Any) -> np.ndarray:
+        offsets = self._offsets
+        return np.array(
+            [
+                offsets[t] + block.index_of[vertex]
+                for t, block in enumerate(self._blocks)
+            ],
+            dtype=np.int64,
+        )
+
+
+class _GridDeliveryPlane:
+    """The columnar delivery arrays of a block-diagonal grid — the same
+    shape :class:`~repro.congest.columnar.CompiledDeliveryPlane` exposes,
+    assembled from the per-block planes (per-block ``repr`` ranks are
+    kept as-is: rank comparisons only ever happen between neighbours,
+    which never cross blocks).  The sorted edge-key table is built lazily
+    on the first *unicast* emission: broadcast-only sweeps (every classic
+    in this repository) never pay the O(Σm) key sort."""
+
+    __slots__ = ("degrees", "repr_rank", "_grid", "_edge_keys")
+
+    def __init__(self, grid: "GridTopology") -> None:
+        self.degrees = grid.indptr[1:] - grid.indptr[:-1]
+        self.repr_rank = np.concatenate(
+            [delivery_plane(block).repr_rank for block in grid.blocks]
+        )
+        self._grid = grid
+        self._edge_keys = None
+
+    @property
+    def edge_keys(self) -> np.ndarray:
+        keys = self._edge_keys
+        if keys is None:
+            grid = self._grid
+            senders = np.repeat(
+                np.arange(grid.n, dtype=np.int64), self.degrees
+            )
+            keys = self._edge_keys = np.sort(
+                senders * grid.n + grid.indices
+            )
+        return keys
+
+
+class GridTopology:
+    """T compiled topologies as one block-diagonal CSR (trial-major rows).
+
+    Quacks like a :class:`CompiledTopology` for the columnar executor
+    (``n``, ``vertices``, ``indptr``, ``indices``, ``index_of``) and
+    carries its own delivery plane (:attr:`plane`).  Blocks may have
+    different sizes — per-trial bandwidth limits and round caps are the
+    batch executor's job (:mod:`repro.congest.runtime.batch`), not the
+    topology's.
+    """
+
+    __slots__ = (
+        "blocks", "trials", "offsets", "block_sizes", "n", "m",
+        "vertices", "index_of", "indptr", "indices", "plane",
+    )
+
+    def __init__(self, blocks: Sequence[CompiledTopology]) -> None:
+        if not blocks:
+            raise ValueError("grid needs at least one trial block")
+        self.blocks = list(blocks)
+        self.trials = len(self.blocks)
+        sizes = np.array([block.n for block in self.blocks], dtype=np.int64)
+        self.block_sizes = sizes
+        offsets = np.zeros(self.trials + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        self.offsets = offsets
+        self.n = int(offsets[-1])
+        self.m = sum(block.m for block in self.blocks)
+        vertices: list = []
+        for block in self.blocks:
+            vertices.extend(block.vertices)
+        self.vertices = vertices
+        self.index_of = _GridIndex(self.blocks, offsets)
+        indptr_parts = [np.zeros(1, dtype=np.int64)]
+        indices_parts = []
+        edge_offset = 0
+        for t, block in enumerate(self.blocks):
+            indptr_parts.append(block.indptr[1:] + edge_offset)
+            indices_parts.append(block.indices + offsets[t])
+            edge_offset += int(block.indptr[-1])
+        self.indptr = np.concatenate(indptr_parts)
+        self.indices = np.concatenate(indices_parts)
+        self.plane = _GridDeliveryPlane(self)
+
+    def columnar_plane(self):
+        """Delivery-plane accessor, mirroring ``CompiledTopology``."""
+        return self.plane
+
+    def trial_of(self, rows: np.ndarray) -> np.ndarray:
+        """The trial index of each dense grid row.  Uniform block sizes
+        (the common same-graph seed sweep) take an integer division; the
+        general case binary-searches the offset table."""
+        sizes = self.block_sizes
+        if self.trials == 1:
+            return np.zeros(len(rows), dtype=np.int64)
+        if int(sizes.min()) == int(sizes.max()):
+            return rows // int(sizes[0])
+        return np.searchsorted(self.offsets[1:], rows, side="right")
+
+    def split(self, values: Sequence) -> list:
+        """Slice a grid-aligned sequence back into per-trial chunks."""
+        offsets = self.offsets
+        return [
+            values[int(offsets[t]):int(offsets[t + 1])]
+            for t in range(self.trials)
+        ]

@@ -1,0 +1,609 @@
+"""Tests for the unified CONGEST runtime (``repro.congest.runtime``).
+
+Four concerns:
+
+* the **plane registry** — names, aliases, capability-driven resolution
+  (``auto``), registry-derived error text, and the guarantee that
+  ``Network.run`` involves no ``isinstance`` plane dispatch;
+* **differential coverage enforcement** — every *registered* plane is
+  parametrized through a real differential run against its family's
+  per-message reference executor; registering a plane whose family has
+  no sample workload fails loudly here (this is the CI gate the runtime
+  docs promise);
+* the **buffer-pool contract** now owned by the scheduler — runs check
+  pooled double-buffered inboxes out and return them empty; ``run_many``
+  reuses them across same-graph trials and leaves the weak pool empty
+  afterwards;
+* **trial-major grid execution** — byte-identical outputs *and* metrics
+  vs per-trial columnar runs and the per-message reference, including
+  uneven block sizes, mixed models, early-halting trials, per-trial
+  round caps, and the CLI's ``--plane auto``/``grid`` paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.congest import (
+    Network,
+    Trial,
+    plane_names,
+    resolve_plane,
+    run_many,
+    supported_planes,
+)
+from repro.congest.algorithms import ColumnarBFSTree, ColumnarConvergecastSum
+from repro.congest.classic import (
+    ColumnarLubyMIS,
+    ColumnarTrialColoring,
+    LubyMISAlgorithm,
+    TrialColoringAlgorithm,
+)
+from repro.congest.runtime import (
+    get_plane,
+    reference_plane_for,
+    variant_for_plane,
+)
+from repro.congest.runtime import scheduler as scheduler_module
+from repro.graphs import triangulated_grid
+
+
+def metrics_tuple(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.total_bits,
+        metrics.max_edge_bits_in_round,
+    )
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def mis_horizon(graph):
+    n = graph.number_of_nodes()
+    return 20 * max(4, n.bit_length() ** 2)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_planes_registered(self):
+        names = plane_names()
+        for expected in ("reference", "object", "broadcast", "columnar",
+                         "columnar-reference", "grid"):
+            assert expected in names
+
+    def test_batch_only_excluded_from_single_run_names(self):
+        assert "grid" not in plane_names(batch=False)
+        assert "columnar" in plane_names(batch=False)
+
+    def test_legacy_aliases_resolve(self):
+        assert get_plane("dict") is get_plane("broadcast")
+        assert get_plane("engine") is get_plane("broadcast")
+
+    def test_unknown_plane_error_lists_registry(self):
+        with pytest.raises(ValueError, match="broadcast.*columnar"):
+            get_plane("hologram")
+
+    def test_auto_resolution_by_declared_kind(self):
+        assert resolve_plane(LubyMISAlgorithm(10), "auto").name == "broadcast"
+        assert resolve_plane(ColumnarLubyMIS(10), "auto").name == "columnar"
+        assert resolve_plane(LubyMISAlgorithm(10), None).name == "broadcast"
+
+    def test_reference_plane_per_family(self):
+        assert reference_plane_for(LubyMISAlgorithm(10)).name == "reference"
+        assert (
+            reference_plane_for(ColumnarLubyMIS(10)).name
+            == "columnar-reference"
+        )
+
+    def test_supported_planes_capability_driven(self):
+        assert supported_planes(LubyMISAlgorithm(10)) == (
+            "reference", "object", "broadcast",
+        )
+        assert supported_planes(ColumnarLubyMIS(10)) == (
+            "columnar", "columnar-reference", "grid",
+        )
+        # Not grid-safe: the grid must not claim it.
+        assert "grid" not in supported_planes(ColumnarConvergecastSum(10))
+
+    def test_mismatched_plane_error_derives_supported_list(self):
+        with pytest.raises(ValueError, match="supported planes: columnar"):
+            resolve_plane(ColumnarLubyMIS(10), "broadcast")
+        with pytest.raises(ValueError, match="supported planes: reference"):
+            resolve_plane(LubyMISAlgorithm(10), "columnar")
+
+    def test_batch_only_plane_refused_by_network_run(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError, match="batch-only"):
+            Network(graph).run(
+                ColumnarLubyMIS(mis_horizon(graph)),
+                inputs=seeded_inputs(graph, 0),
+                plane="grid",
+            )
+
+    def test_network_source_has_no_isinstance_plane_dispatch(self):
+        import inspect
+
+        import repro.congest.network as network_module
+
+        source = inspect.getsource(network_module)
+        assert "isinstance(algorithm" not in source
+
+    def test_variant_for_plane(self):
+        variants = {"object": "obj", "columnar": "col"}
+        assert variant_for_plane(variants, "auto") == "col"
+        assert variant_for_plane(variants, None) == "col"
+        assert variant_for_plane(variants, "dict") == "obj"
+        assert variant_for_plane(variants, "reference") == "obj"
+        assert variant_for_plane(variants, "grid") == "col"
+        assert variant_for_plane({"object": "obj"}, "auto") == "obj"
+        with pytest.raises(ValueError,
+                           match="supported planes: reference, object"):
+            variant_for_plane({"object": "obj"}, "columnar")
+
+
+# ---------------------------------------------------------------------------
+# Differential coverage enforcement: every registered plane, no exceptions
+# ---------------------------------------------------------------------------
+# One sample workload per plane *family*.  Registering a plane whose kind
+# has no entry here makes the parametrized test below fail loudly — the
+# contract that no plane ships without a differential test against the
+# reference executor.
+SAMPLE_WORKLOADS = {
+    "object": lambda graph: LubyMISAlgorithm(mis_horizon(graph)),
+    "columnar": lambda graph: ColumnarLubyMIS(mis_horizon(graph)),
+}
+
+
+@pytest.mark.parametrize("name", plane_names())
+def test_every_registered_plane_runs_differentially(name):
+    plane = get_plane(name)
+    factory = SAMPLE_WORKLOADS.get(plane.kind)
+    if factory is None:
+        pytest.fail(
+            f"registered plane {name!r} has kind {plane.kind!r} with no "
+            f"sample workload: add one to SAMPLE_WORKLOADS so the plane "
+            f"is differentially tested against a reference executor"
+        )
+    graph = triangulated_grid(5, 5)
+    horizon = mis_horizon(graph)
+    inputs = seeded_inputs(graph, 11)
+    if plane.batch_only:
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, seed),
+                  max_rounds=horizon + 2)
+            for seed in (11, 12, 13)
+        ]
+        batched = run_many(factory(graph), trials, processes=1, plane=name)
+        for trial, (outputs, metrics) in zip(trials, batched):
+            net = Network(trial.graph)
+            expected = net._run_reference(
+                factory(graph), max_rounds=trial.max_rounds,
+                inputs=trial.inputs,
+            )
+            assert outputs == expected
+            assert list(outputs) == list(expected)
+            assert metrics_tuple(metrics) == metrics_tuple(net.metrics)
+        return
+    net = Network(graph)
+    outputs = net.run(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs, plane=name
+    )
+    reference_net = Network(graph)
+    expected = reference_net._run_reference(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs
+    )
+    assert outputs == expected
+    assert list(outputs) == list(expected)
+    assert metrics_tuple(net.metrics) == metrics_tuple(reference_net.metrics)
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool: the release_round_buffers contract, owned by the scheduler
+# ---------------------------------------------------------------------------
+class TestInboxPool:
+    def test_run_checks_buffers_out_and_back_in(self):
+        graph = nx.path_graph(9)
+        horizon = mis_horizon(graph)
+        net = Network(graph)
+        topology = net._topology
+        scheduler_module.release_round_buffers(topology)
+        net.run(LubyMISAlgorithm(horizon), max_rounds=horizon + 2,
+                inputs=seeded_inputs(graph, 4))
+        pooled = scheduler_module._INBOX_POOL.get(topology)
+        assert pooled is not None
+        first_ids = {id(buffer) for buffer in pooled}
+        # Every checked-in buffer is empty.
+        for buffer in pooled:
+            assert all(not box for box in buffer if box is not None)
+        # A second run on the same topology reuses the same list objects.
+        Network(graph).run(
+            LubyMISAlgorithm(horizon), max_rounds=horizon + 2,
+            inputs=seeded_inputs(graph, 5),
+        )
+        reused = scheduler_module._INBOX_POOL.get(topology)
+        assert reused is not None
+        assert {id(buffer) for buffer in reused} == first_ids
+
+    def test_run_many_reuses_then_releases_pool(self):
+        graph = triangulated_grid(4, 4)
+        horizon = mis_horizon(graph)
+        topology = Network(graph)._topology
+        scheduler_module.release_round_buffers()
+        # Seed the pool with a first run so the sweep's reuse is
+        # observable by identity.
+        Network(graph).run(
+            LubyMISAlgorithm(horizon), max_rounds=horizon + 2,
+            inputs=seeded_inputs(graph, 0),
+        )
+        seeded = {
+            id(buffer)
+            for buffer in scheduler_module._INBOX_POOL[topology]
+        }
+
+        observed = []
+        original_execute = scheduler_module.execute
+
+        def spying_execute(topology_arg, algorithm, **kwargs):
+            pooled = scheduler_module._INBOX_POOL.get(topology_arg)
+            observed.append(
+                None if pooled is None
+                else {id(buffer) for buffer in pooled}
+            )
+            return original_execute(topology_arg, algorithm, **kwargs)
+
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, seed),
+                  max_rounds=horizon + 2)
+            for seed in range(4)
+        ]
+        plane = get_plane("broadcast")
+        original_runner = plane.runner
+        plane.runner = spying_execute
+        try:
+            run_many(LubyMISAlgorithm(horizon), trials, processes=1)
+        finally:
+            plane.runner = original_runner
+        # Trial 1 found the pool seeded; trials 2..n found the pair the
+        # previous trial returned — same list objects throughout.
+        assert observed[0] == seeded
+        for entry in observed[1:]:
+            assert entry == seeded
+        # The sweep's finally released every pooled pair (the weak pool
+        # ends empty — the regression this test guards).
+        assert len(scheduler_module._INBOX_POOL) == 0
+
+    def test_engine_compat_aliases_point_at_scheduler_pool(self):
+        from repro.congest import engine as engine_module
+
+        assert engine_module._INBOX_POOL is scheduler_module._INBOX_POOL
+        assert (
+            engine_module.release_round_buffers
+            is scheduler_module.release_round_buffers
+        )
+
+
+# ---------------------------------------------------------------------------
+# Trial-major grid execution: byte-identical to per-trial columnar runs
+# ---------------------------------------------------------------------------
+def assert_grid_matches_per_trial(algorithm_factory, trials):
+    """grid == per-trial columnar == per-message columnar reference, on
+    outputs, output keying, and every metrics counter."""
+    grid = run_many(algorithm_factory(), list(trials), processes=1,
+                    plane="grid")
+    per_trial = run_many(algorithm_factory(), list(trials), processes=1,
+                         plane="columnar")
+    assert len(grid) == len(per_trial) == len(trials)
+    for trial, (out_g, met_g), (out_c, met_c) in zip(
+        trials, grid, per_trial
+    ):
+        assert out_g == out_c
+        assert list(out_g) == list(out_c)
+        assert metrics_tuple(met_g) == metrics_tuple(met_c)
+        reference_net = Network(
+            trial.graph,
+            model=trial.model or "congest",
+            bandwidth_factor=trial.bandwidth_factor or 32,
+        )
+        expected = reference_net._run_reference(
+            algorithm_factory(), max_rounds=trial.max_rounds,
+            inputs=trial.inputs,
+        )
+        assert out_g == expected
+        assert metrics_tuple(met_g) == metrics_tuple(reference_net.metrics)
+    return grid
+
+
+class TestGridExecution:
+    def mis_trials(self, graphs, base_seed=0, **overrides):
+        trials = []
+        for index, graph in enumerate(graphs):
+            horizon = mis_horizon(graph)
+            trials.append(Trial(
+                graph,
+                inputs=seeded_inputs(graph, base_seed + index),
+                max_rounds=horizon + 2,
+                **overrides,
+            ))
+        return trials
+
+    def test_mis_same_graph_sweep(self):
+        graph = triangulated_grid(5, 5)
+        horizon = mis_horizon(graph)
+        trials = self.mis_trials([graph] * 6, base_seed=3)
+        grid = assert_grid_matches_per_trial(
+            lambda: ColumnarLubyMIS(horizon), trials
+        )
+        # Early-halting trials inside one grid: the sweep's per-trial
+        # round counts genuinely differ.
+        rounds = [metrics.rounds for _, metrics in grid]
+        assert len(set(rounds)) > 1
+
+    def test_mis_uneven_graph_sizes(self):
+        graphs = [
+            nx.path_graph(11),
+            triangulated_grid(5, 5),
+            nx.star_graph(7),
+            nx.cycle_graph(17),
+            nx.empty_graph(4),
+        ]
+        horizon = max(mis_horizon(graph) for graph in graphs)
+        trials = self.mis_trials(graphs, base_seed=8)
+        assert_grid_matches_per_trial(
+            lambda: ColumnarLubyMIS(horizon), trials
+        )
+
+    def test_mis_mixed_models_and_bandwidth(self):
+        graphs = [nx.path_graph(9), nx.cycle_graph(12)]
+        horizon = max(mis_horizon(graph) for graph in graphs)
+        trials = (
+            self.mis_trials(graphs, base_seed=2, model="congest")
+            + self.mis_trials(graphs, base_seed=4, model="local")
+            + self.mis_trials(graphs, base_seed=6, bandwidth_factor=64)
+        )
+        assert_grid_matches_per_trial(
+            lambda: ColumnarLubyMIS(horizon), trials
+        )
+
+    def test_coloring_grid(self):
+        graph = triangulated_grid(4, 5)
+        delta = max(d for _, d in graph.degree)
+        n = graph.number_of_nodes()
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, seed),
+                  max_rounds=horizon + 2)
+            for seed in range(5)
+        ]
+        assert_grid_matches_per_trial(
+            lambda: ColumnarTrialColoring(delta + 1, horizon), trials
+        )
+
+    def test_bfs_grid_with_vertex_keyed_root(self):
+        graph = triangulated_grid(5, 4)
+        root = next(iter(graph.nodes))
+        horizon = graph.number_of_nodes() + 1
+        trials = [
+            Trial(graph, max_rounds=horizon + 2) for _ in range(4)
+        ]
+        assert_grid_matches_per_trial(
+            lambda: ColumnarBFSTree(root, horizon), trials
+        )
+
+    def test_auto_plane_grids_serial_columnar_sweeps(self):
+        graph = triangulated_grid(4, 4)
+        horizon = mis_horizon(graph)
+        trials = self.mis_trials([graph] * 4, base_seed=1)
+        auto = run_many(ColumnarLubyMIS(horizon), trials, processes=1)
+        forced = run_many(ColumnarLubyMIS(horizon), trials, processes=1,
+                          plane="grid")
+        for (out_a, met_a), (out_f, met_f) in zip(auto, forced):
+            assert out_a == out_f
+            assert metrics_tuple(met_a) == metrics_tuple(met_f)
+
+    def test_per_trial_round_caps_raise_single_run_error(self):
+        graph = nx.path_graph(6)
+        horizon = mis_horizon(graph)
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, 0),
+                  max_rounds=horizon + 2),
+            Trial(graph, inputs=seeded_inputs(graph, 1), max_rounds=1),
+        ]
+        with pytest.raises(RuntimeError, match="did not halt within 1 "):
+            run_many(ColumnarLubyMIS(horizon), trials, processes=1,
+                     plane="grid")
+
+    def test_round_cap_error_attribution_matches_serial_order(self):
+        # Serial per-trial execution raises for the first trial in trial
+        # order that fails; the grid must attribute the error the same
+        # way even when a later trial has a tighter cap.
+        from repro.congest.columnar import ColumnarAlgorithm
+        from repro.congest.message import ColumnarSpec
+
+        class NeverHalts(ColumnarAlgorithm):
+            spec = ColumnarSpec(("value", np.uint8))
+            grid_safe = True
+
+            def on_round(self, ctx):
+                pass
+
+        graph = nx.path_graph(4)
+        trials = [
+            Trial(graph, max_rounds=5),
+            Trial(graph, max_rounds=3),
+        ]
+        with pytest.raises(RuntimeError, match="did not halt within 5 "):
+            run_many(NeverHalts(), trials, processes=1, plane="columnar")
+        with pytest.raises(RuntimeError, match="did not halt within 5 "):
+            run_many(NeverHalts(), trials, processes=1, plane="grid")
+
+    def test_backstop_never_preempts_cap_attribution(self):
+        # Trial 0 (cap 5) halts at exactly round 5; trial 1 (cap 3)
+        # never halts.  Serial raises trial 1's cap — the grid's generic
+        # round backstop (caps.max()) must not fire first with trial
+        # 0's.
+        from repro.congest.columnar import ColumnarAlgorithm
+        from repro.congest.message import ColumnarSpec
+
+        class HaltsAtInput(ColumnarAlgorithm):
+            spec = ColumnarSpec(("value", np.uint8))
+            grid_safe = True
+
+            def setup(self, ctx):
+                self.limit = np.array(
+                    [int(value) for value in ctx.inputs], dtype=np.int64
+                )
+
+            def on_round(self, ctx):
+                ctx.halt(~ctx.halted & (self.limit <= ctx.round_number))
+
+        graph = nx.path_graph(4)
+        trials = [
+            Trial(graph, inputs={v: 5 for v in graph.nodes}, max_rounds=5),
+            Trial(graph, inputs={v: 10 ** 6 for v in graph.nodes},
+                  max_rounds=3),
+        ]
+        for plane in ("columnar", "grid"):
+            with pytest.raises(RuntimeError,
+                               match="did not halt within 3 "):
+                run_many(HaltsAtInput(), trials, processes=1, plane=plane)
+
+    def test_frozen_trial_cannot_raise_beyond_cap_side_effects(self):
+        # A trial past its cap must execute no further rounds: its
+        # round-4 bandwidth violation would otherwise preempt the
+        # serial outcome (trial 0 finishes fine, trial 1 fails its
+        # 3-round cap) with a different exception type.
+        from repro.congest.columnar import ColumnarAlgorithm
+        from repro.congest.message import ColumnarSpec
+
+        class ShoutsAtFour(ColumnarAlgorithm):
+            spec = ColumnarSpec(("high", np.int64), ("low", np.int64))
+            grid_safe = True
+
+            def setup(self, ctx):
+                self.shouts = np.array(
+                    [bool(value) for value in ctx.inputs], dtype=bool
+                )
+
+            def on_round(self, ctx):
+                stepped = ~ctx.halted
+                if ctx.round_number == 4:
+                    loud = np.flatnonzero(stepped & self.shouts)
+                    if loud.size:
+                        ctx.emit_columns(loud, high=1 << 60, low=1 << 60)
+                if ctx.round_number >= 6:
+                    ctx.halt(stepped)
+
+        graph = nx.path_graph(4)
+        trials = [
+            Trial(graph, inputs={v: 0 for v in graph.nodes}, max_rounds=10),
+            Trial(graph, inputs={v: 1 for v in graph.nodes}, max_rounds=3),
+        ]
+        for plane in ("columnar", "grid"):
+            with pytest.raises(RuntimeError,
+                               match="did not halt within 3 "):
+                run_many(ShoutsAtFour(), trials, processes=1, plane=plane)
+
+    def test_grid_refuses_unsupported_algorithms(self):
+        graph = nx.path_graph(4)
+        with pytest.raises(ValueError, match="supported planes"):
+            run_many(
+                LubyMISAlgorithm(100),
+                [Trial(graph, inputs=seeded_inputs(graph, 0))],
+                processes=1,
+                plane="grid",
+            )
+        with pytest.raises(ValueError, match="supported planes"):
+            run_many(
+                ColumnarConvergecastSum(10),
+                [Trial(graph)],
+                processes=1,
+                plane="grid",
+            )
+
+    def test_grid_bandwidth_violation_names_trial_budget(self):
+        from repro.congest import BandwidthExceededError
+        from repro.congest.columnar import ColumnarAlgorithm
+        from repro.congest.message import ColumnarSpec
+
+        class Shouter(ColumnarAlgorithm):
+            spec = ColumnarSpec(("high", np.int64), ("low", np.int64))
+            grid_safe = True
+
+            def on_round(self, ctx):
+                senders = np.arange(ctx.n, dtype=np.int64)
+                ctx.emit_columns(senders, high=1 << 60, low=1 << 60)
+                ctx.halt(~ctx.halted)
+
+        graph = nx.path_graph(4)
+        single_net = Network(graph)
+        with pytest.raises(BandwidthExceededError) as single_error:
+            single_net.run(Shouter())
+        with pytest.raises(BandwidthExceededError) as grid_error:
+            run_many(Shouter(), [Trial(graph), Trial(graph)],
+                     processes=1, plane="grid")
+        assert str(grid_error.value) == str(single_error.value)
+
+
+# ---------------------------------------------------------------------------
+# CLI: --plane auto works for every wrapped problem; errors derive from
+# the registry
+# ---------------------------------------------------------------------------
+class TestCLIPlaneSelection:
+    @pytest.mark.parametrize("problem", ["mis", "matching", "coloring", "bfs"])
+    def test_plane_auto_every_problem(self, problem, capsys):
+        assert cli_main([
+            "simulate", problem, "planar:24:2", "--plane", "auto",
+            "--trials", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plane: auto" in out
+        assert "sweep total" in out
+
+    def test_plane_grid_matches_columnar(self, capsys):
+        assert cli_main([
+            "simulate", "mis", "planar:24:2", "--plane", "grid",
+            "--trials", "3", "--seed", "5",
+        ]) == 0
+        grid_out = capsys.readouterr().out
+        assert cli_main([
+            "simulate", "mis", "planar:24:2", "--plane", "columnar",
+            "--trials", "3", "--seed", "5",
+        ]) == 0
+        columnar_out = capsys.readouterr().out
+        grid_trials = [
+            line for line in grid_out.splitlines()
+            if line.startswith("  trial")
+        ]
+        columnar_trials = [
+            line for line in columnar_out.splitlines()
+            if line.startswith("  trial")
+        ]
+        assert grid_trials and grid_trials == columnar_trials
+
+    def test_unsupported_plane_error_derives_from_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main([
+                "simulate", "matching", "planar:24:2", "--plane", "columnar",
+            ])
+        message = str(excinfo.value)
+        assert "supported planes" in message
+        assert "broadcast" in message
+        # The stale hand-written hint is gone for good.
+        assert "use --plane dict" not in message
+
+    def test_legacy_dict_plane_still_accepted(self, capsys):
+        assert cli_main([
+            "simulate", "coloring", "cycle:12", "--plane", "dict",
+        ]) == 0
+        assert "colors =" in capsys.readouterr().out
