@@ -10,6 +10,13 @@ mirroring the paper's §2.3 discussion of their relative round
 complexities (the walk router saves a log factor when the schedule can be
 precomputed by a topology-holding leader).
 
+The second half demonstrates **execution-plane selection** (see
+docs/ARCHITECTURE.md): the winning walk schedule is *executed* as real
+message passing over the regularized split, once on the object plane
+(`plane="broadcast"`) and once on the variable-width columnar plane
+(`plane="columnar"` — walk-token lists as `VarColumn` pools), with
+byte-identical outcomes and the columnar wall-clock win printed.
+
 Usage::
 
     python examples/routing_comparison.py [n]
@@ -18,8 +25,47 @@ Usage::
 import sys
 import time
 
-from repro.gathering import gather_with_load_balancing, gather_with_random_walks
+from repro.gathering import (
+    build_regularized_split,
+    execute_walk_schedule,
+    find_walk_schedule,
+    gather_with_load_balancing,
+    gather_with_random_walks,
+)
+from repro.gathering.random_walks import _message_origins
 from repro.graphs import constant_degree_expander, random_planar_triangulation
+
+
+def run_plane_comparison(graph, f=0.4):
+    """Execute one walk schedule on two planes; print the speedup."""
+    sink = max(graph.nodes, key=lambda v: graph.degree[v])
+    schedule, _ = find_walk_schedule(
+        graph, sink, f=f, phi_hint=0.5, independence=8
+    )
+    regular = build_regularized_split(graph)
+    origins = _message_origins(graph, sink)
+
+    timings = {}
+    outcomes = {}
+    for plane in ("broadcast", "columnar"):
+        t0 = time.time()
+        outcomes[plane] = execute_walk_schedule(
+            regular, origins, schedule, plane=plane
+        )
+        timings[plane] = time.time() - t0
+
+    assert outcomes["broadcast"]["final"] == outcomes["columnar"]["final"]
+    metrics = outcomes["columnar"]["metrics"]
+    speedup = timings["broadcast"] / max(timings["columnar"], 1e-9)
+    print("walk-token routing, object plane vs columnar plane "
+          f"(n={graph.number_of_nodes()} → {regular.split.n_split} split "
+          f"vertices, {metrics.messages} messages):")
+    print(f"  object plane   (--plane broadcast): "
+          f"{timings['broadcast']:.3f}s wall")
+    print(f"  columnar plane (--plane columnar) : "
+          f"{timings['columnar']:.3f}s wall  ({speedup:.1f}x, identical "
+          f"outcome and metrics)")
+    print()
 
 
 def run_one(name, graph, f=0.25):
@@ -58,6 +104,8 @@ def main(n: int = 48) -> None:
     # A dense planar cluster: low conductance — the hard case both routers
     # pay φ powers for.
     run_one("planar triangulation", random_planar_triangulation(n, seed=9))
+    # Execution-plane ablation on the walk router itself.
+    run_plane_comparison(constant_degree_expander(max(24, n // 2)))
 
 
 if __name__ == "__main__":

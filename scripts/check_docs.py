@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Docs link-check: README ↔ docs/ARCHITECTURE.md stay wired and honest.
+
+Three checks, all static (no imports of the package):
+
+* ``README.md`` links ``docs/ARCHITECTURE.md`` (the execution-plane
+  handbook must stay reachable from the front page);
+* every markdown link target in README.md and docs/ARCHITECTURE.md that
+  points into the repository resolves to an existing file;
+* every backticked repository path mentioned in docs/ARCHITECTURE.md
+  (``src/...``, ``tests/...``, ``benchmarks/...``, ``scripts/...``,
+  ``.github/...``, ``BENCH_*.json``) exists — so the handbook's code
+  references cannot rot silently when files move.
+
+Exit code 1 lists every failure; run from anywhere::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+CHECKED_DOCS = ("README.md", "docs/ARCHITECTURE.md")
+# Backticked tokens that look like repository paths.
+PATH_PATTERN = re.compile(
+    r"`((?:src|tests|benchmarks|scripts|docs|examples|\.github)"
+    r"/[A-Za-z0-9_./-]+|BENCH_[A-Za-z0-9_.]+\.json)`"
+)
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+
+
+def check() -> list[str]:
+    failures: list[str] = []
+    readme = (REPO_ROOT / "README.md").read_text()
+    if "docs/ARCHITECTURE.md" not in readme:
+        failures.append("README.md does not link docs/ARCHITECTURE.md")
+    for doc in CHECKED_DOCS:
+        doc_path = REPO_ROOT / doc
+        if not doc_path.exists():
+            failures.append(f"{doc} is missing")
+            continue
+        text = doc_path.read_text()
+        for match in LINK_PATTERN.finditer(text):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (doc_path.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(f"{doc}: broken link target {target!r}")
+        for match in PATH_PATTERN.finditer(text):
+            target = match.group(1)
+            if not (REPO_ROOT / target).exists():
+                failures.append(
+                    f"{doc}: referenced path {target!r} does not exist"
+                )
+    return failures
+
+
+def main() -> int:
+    failures = check()
+    if failures:
+        for failure in failures:
+            print(f"docs-check: FAIL — {failure}")
+        return 1
+    print("docs-check: OK — README ↔ docs/ARCHITECTURE.md links and "
+          "path references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

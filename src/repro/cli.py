@@ -141,16 +141,30 @@ def cmd_gather(args: argparse.Namespace) -> int:
     total = 2 * graph.number_of_edges()
     print(f"instance: {args.instance}  sink: {sink!r}  messages: {total}")
     if args.backend in ("load-balancing", "both"):
-        outcome = gather_with_load_balancing(graph, sink, f=args.f)
+        outcome = gather_with_load_balancing(
+            graph, sink, f=args.f,
+            simulate_arrival_report=args.simulate_routing,
+            plane=args.plane,
+        )
         print(f"load balancing: delivered {outcome.delivered_fraction:.1%} "
               f"in {outcome.rounds} rounds")
+        if outcome.report_metrics is not None:
+            report = outcome.report_metrics
+            print(f"  arrival report ({args.plane} plane): "
+                  f"{report.rounds} rounds, {report.messages} messages, "
+                  f"{report.total_bits} bits")
     if args.backend in ("walks", "both"):
         delivered, rounds, schedule = gather_with_random_walks(
-            graph, sink, f=args.f, phi_hint=0.15
+            graph, sink, f=args.f, phi_hint=0.15,
+            simulate_walk_routing=args.simulate_routing,
+            plane=args.plane,
         )
         print(f"random walks:   delivered {len(delivered) / total:.1%} "
               f"in {rounds} rounds (seed {schedule.seed}, "
               f"{schedule.schedule_bits}-bit schedule)")
+        if args.simulate_routing:
+            print(f"  walk routing simulated on the {args.plane} plane: "
+                  f"token forwarding matched the leader's schedule search")
     return 0
 
 
@@ -292,11 +306,23 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--epsilon", type=float, default=0.2)
     p.set_defaults(func=cmd_test_property)
 
+    from repro.congest.runtime import plane_names
+
     p = sub.add_parser("gather", help="run an information-gathering backend")
     p.add_argument("instance")
     p.add_argument("--backend", choices=["load-balancing", "walks", "both"],
                    default="both")
     p.add_argument("--f", type=float, default=0.25)
+    p.add_argument("--simulate-routing", action="store_true",
+                   help="run the routers' communication steps (walk-token "
+                        "forwarding, arrival notification) through the "
+                        "simulator on the plane given by --plane")
+    p.add_argument("--plane", choices=("auto", *plane_names(batch=False),
+                                       "dict"),
+                   default="auto",
+                   help="execution plane for --simulate-routing (runtime "
+                        "registry name; 'auto' resolves the variable-width "
+                        "columnar routers)")
     p.set_defaults(func=cmd_gather)
 
     p = sub.add_parser(

@@ -21,8 +21,11 @@ Public API
     network (id, neighbours, round number).
 ``Network``
     The synchronous executor, with per-edge bandwidth enforcement and
-    round/message/bit metrics.  Delegates its round loop to the
-    compiled-topology active-set engine (``repro.congest.engine``).
+    round/message/bit metrics.  A thin facade over the runtime plane
+    registry: the round loop itself lives in
+    ``repro.congest.runtime.scheduler`` (``repro.congest.engine`` keeps
+    only the one-time ``CompiledTopology`` compilation plus compat
+    re-exports).
 ``CompiledTopology`` / ``run_many`` / ``Trial``
     The engine's one-time topology compilation and the batched benchmark
     runner: ``run_many(algorithm, trials, processes=N)`` grid-batches
@@ -35,9 +38,12 @@ Public API
     ``columnar-reference`` / ``grid``) that ``Network.run`` resolves
     planes through by name, the shared round scheduler, the compilation
     entries, and trial-major grid execution.
-``ColumnarSpec`` / ``ColumnarAlgorithm`` / ``ColumnarContext`` / ``ColumnarInbox``
+``ColumnarSpec`` / ``VarColumn`` / ``ColumnarAlgorithm`` / ``ColumnarContext`` / ``ColumnarInbox``
     The columnar message plane (``repro.congest.columnar``): algorithms
-    that declare a typed fixed-width schema are written as
+    that declare a typed schema — fixed-width integer fields, optionally
+    interleaved with variable-width ``VarColumn`` fields (ragged integer
+    sequences over a shared payload pool, emitted via ``ctx.emit_var``
+    and consumed via the zero-copy ``ctx.gather_var``) — are written as
     round-vectorized programs; the engine delivers each round as numpy
     columns over the compiled CSR topology (per-vertex inboxes are array
     segments) and computes metrics as array reductions — zero
@@ -71,6 +77,7 @@ from repro.congest.message import (
     Broadcast,
     ColumnarSpec,
     Message,
+    VarColumn,
     bits_for_int,
     bits_for_payload,
 )
@@ -101,6 +108,7 @@ from repro.congest.algorithms import (
     ColumnarBFSTree,
     ColumnarConvergecastSum,
     ColumnarFloodValue,
+    ColumnarVarFlood,
     ConvergecastSumAlgorithm,
     FloodMaxLeaderElection,
     bfs_tree,
@@ -109,6 +117,7 @@ from repro.congest.algorithms import (
     cole_vishkin_schedule_length,
     convergecast_sum,
     elect_leaders,
+    flood_values,
 )
 
 __all__ = [
@@ -125,6 +134,7 @@ __all__ = [
     "Broadcast",
     "Message",
     "ColumnarSpec",
+    "VarColumn",
     "ColumnarAlgorithm",
     "ColumnarContext",
     "ColumnarInbox",
@@ -133,6 +143,8 @@ __all__ = [
     "ColumnarBFSTree",
     "ColumnarConvergecastSum",
     "ColumnarFloodValue",
+    "ColumnarVarFlood",
+    "flood_values",
     "ColumnarClusterAnnounce",
     "distributed_boundary_tables",
     "execute_columnar",

@@ -39,7 +39,7 @@ import networkx as nx
 import numpy as np
 
 from repro.congest.columnar import ColumnarAlgorithm, ColumnarContext
-from repro.congest.message import Broadcast, ColumnarSpec, Message
+from repro.congest.message import Broadcast, ColumnarSpec, Message, VarColumn
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.network import Network, NodeAlgorithm, NodeContext
 from repro.congest.runtime import variant_for_plane
@@ -271,6 +271,99 @@ class ColumnarFloodValue(ColumnarAlgorithm):
 
     def outputs(self, ctx: ColumnarContext) -> list:
         return [None if v < 0 else int(v) for v in self.received]
+
+
+class ColumnarVarFlood(ColumnarAlgorithm):
+    """Flood a variable-length tuple of integers from ``root``.
+
+    The var-column port of :class:`BroadcastAlgorithm` for
+    integer-sequence payloads (routing-schedule descriptions, arrived-id
+    lists — the Lemma 2.2/2.5 gathering payloads the fixed-width plane
+    cannot type): the flooded value rides in one
+    :class:`~repro.congest.message.VarColumn`, so its length may differ
+    per run — including the empty tuple, which
+    :class:`ColumnarFloodValue` cannot express.  Byte-identical (outputs
+    **and** metrics) to ``BroadcastAlgorithm(root, tuple(values),
+    horizon)``: the var segment is sized exactly as
+    ``Message(tuple(values))``.
+    """
+
+    spec = ColumnarSpec(VarColumn("values"))
+    # Root initialization via ctx.index_of fans out per trial block;
+    # state is dense arrays plus the trial-invariant flooded tuple.
+    grid_safe = True
+
+    def __init__(self, root: Hashable, values, horizon: int) -> None:
+        self.root = root
+        self.values = tuple(int(v) for v in values)
+        self.horizon = horizon
+
+    def spawn(self) -> "ColumnarVarFlood":
+        return ColumnarVarFlood(self.root, self.values, self.horizon)
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        self.received = np.zeros(n, dtype=bool)
+        self.forwarded = np.zeros(n, dtype=bool)
+        self.received[ctx.index_of(self.root)] = True
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        stepped = ~ctx.halted
+        inbox = ctx.inbox
+        if len(inbox):
+            # Every copy of the flood carries the same sequence, so
+            # adoption is just the received flag (the payload itself is
+            # already known from any one message's var segment).
+            self.received |= stepped & (inbox.counts > 0)
+        forward = stepped & self.received & ~self.forwarded
+        if forward.any():
+            idx = np.flatnonzero(forward)
+            self.forwarded[idx] = True
+            payload = np.asarray(self.values, dtype=np.int64)
+            ctx.emit_var(idx, values=(
+                np.tile(payload, len(idx)),
+                np.full(len(idx), len(payload), dtype=np.int64),
+            ))
+        if ctx.round_number >= self.horizon:
+            ctx.halt(stepped)
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [
+            self.values if self.received[i] else None
+            for i in range(ctx.n)
+        ]
+
+
+_VAR_FLOOD_VARIANTS = {
+    "object": BroadcastAlgorithm,
+    "columnar": ColumnarVarFlood,
+}
+
+
+def flood_values(
+    graph: nx.Graph,
+    root: Hashable,
+    values,
+    model: str = "congest",
+    plane: str | None = "auto",
+) -> tuple[dict[Hashable, tuple], NetworkMetrics]:
+    """Flood an integer tuple from ``root`` on the requested plane.
+
+    ``plane`` is a runtime registry name (``"auto"`` prefers the
+    columnar :class:`ColumnarVarFlood`; any object-family name runs
+    :class:`BroadcastAlgorithm` — both byte-identical).  Returns each
+    vertex's received tuple (``None`` if unreached) and the metrics.
+    The gathering routers use this for the Lemma 2.5 schedule broadcast
+    and the Lemma 2.2 arrival notification.
+    """
+    values = tuple(int(v) for v in values)
+    horizon = graph.number_of_nodes() + 1
+    net = Network(graph, model=model)
+    algorithm = variant_for_plane(_VAR_FLOOD_VARIANTS, plane)(
+        root, values, horizon
+    )
+    outputs = net.run(algorithm, max_rounds=horizon + 2, plane=plane)
+    return outputs, net.metrics
 
 
 # ---------------------------------------------------------------------------

@@ -1,11 +1,15 @@
 """The columnar message plane: typed payload columns over the CSR topology.
 
-The object plane (:mod:`repro.congest.engine`) materializes every round's
-traffic as per-vertex dicts of :class:`~repro.congest.message.Message`
-objects — flexible, but each message costs dict writes, payload sizing,
-and Python-level inbox iteration.  The algorithms this repository actually
-benchmarks exchange *small fixed-width numeric payloads* (ids, colors,
-levels, coin flips).  The columnar plane exploits that:
+The object plane (:mod:`repro.congest.runtime.scheduler`) materializes
+every round's traffic as per-vertex dicts of
+:class:`~repro.congest.message.Message` objects — flexible, but each
+message costs dict writes, payload sizing, and Python-level inbox
+iteration.  The algorithms this repository actually benchmarks exchange
+*small fixed-width numeric payloads* (ids, colors, levels, coin flips) —
+or, for the Lemma 2.2/2.5 gathering routers, *ragged integer sequences*
+(walk-token lists, schedule descriptions) typed as
+:class:`~repro.congest.message.VarColumn` fields over a shared payload
+pool.  The columnar plane exploits that:
 
 * an algorithm declares a typed schema
   (:class:`~repro.congest.message.ColumnarSpec`, e.g.
@@ -17,6 +21,11 @@ levels, coin flips).  The columnar plane exploits that:
   compiled CSR neighbour segments) or
   ``ctx.emit_columns(senders, receivers, **fields)`` (unicast) — numpy
   arrays in, no per-message Python objects;
+* variable-width fields emit through ``ctx.emit_var(senders[, receivers],
+  name=(pool, lengths))``: each message's ragged sequence is one segment
+  of a shared int64 pool, fanned out / permuted / delivered by CSR
+  scatters (:func:`_ragged_gather`) and consumed per vertex by the
+  zero-copy :meth:`ColumnarContext.gather_var`;
 * the engine delivers the entire round as structured columns laid out
   over the CSR topology: a sender column, one column per payload field,
   and segment offsets per receiver (``inbox.indptr``) — the *per-vertex
@@ -59,7 +68,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from repro.congest.message import ColumnarSpec, Message
+from repro.congest.message import ColumnarSpec, Message, VarColumn
 from repro.congest.metrics import ScalarAccountant
 from repro.congest.runtime.scheduler import run_rounds
 
@@ -72,6 +81,24 @@ def _cumsum0(counts: np.ndarray) -> np.ndarray:
     out[0] = 0
     np.cumsum(counts, out=out[1:])
     return out
+
+
+def _ragged_gather(pool, starts, lengths):
+    """Concatenate the pool segments ``[starts[i], starts[i]+lengths[i])``
+    — the CSR scatter every variable-width delivery step reduces to
+    (broadcast fan-out, receiver-sort permutation, masked gathers).
+    Pure array ops: one arange minus a repeat of the output offsets plus
+    a repeat of the input offsets."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=pool.dtype)
+    out_starts = _cumsum0(lengths)
+    idx = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_starts[:-1], lengths)
+        + np.repeat(starts, lengths)
+    )
+    return pool[idx]
 
 
 def _segment_reduce(values, indptr, ufunc, empty, out_dtype=None):
@@ -99,15 +126,30 @@ class ColumnarInbox:
     spec's declared dtype.  This *is* the per-vertex numpy inbox — a
     vertex's view is a zero-copy slice (:meth:`for_vertex`), and whole
     rounds reduce in one segmented op (:meth:`reduce`).
+
+    Variable-width fields (:class:`~repro.congest.message.VarColumn`)
+    are stored ragged: ``var_pools[name]`` is one shared int64 payload
+    pool for the whole round and ``var_indptr[name]`` the per-*message*
+    offset index into it (message ``k``'s sequence is
+    ``pool[var_indptr[k]:var_indptr[k+1]]``).  Because messages are
+    receiver-sorted, every vertex's — and, on a grid, every trial
+    block's — var payload occupies one contiguous pool segment, which is
+    what makes :meth:`gather_var` a zero-copy re-index.
     """
 
-    __slots__ = ("n", "senders", "indptr", "columns", "_receivers")
+    __slots__ = (
+        "n", "senders", "indptr", "columns", "var_pools", "var_indptr",
+        "_receivers",
+    )
 
-    def __init__(self, n, senders, indptr, columns) -> None:
+    def __init__(self, n, senders, indptr, columns, var_pools=None,
+                 var_indptr=None) -> None:
         self.n = n
         self.senders = senders
         self.indptr = indptr
         self.columns = columns
+        self.var_pools = {} if var_pools is None else var_pools
+        self.var_indptr = {} if var_indptr is None else var_indptr
         self._receivers = None
 
     @classmethod
@@ -117,6 +159,8 @@ class ColumnarInbox:
             np.empty(0, dtype=np.int64),
             np.zeros(n + 1, dtype=np.int64),
             {name: np.empty(0, dtype=dtype) for name, dtype in spec.fields},
+            {name: np.empty(0, dtype=np.int64) for name in spec.var_names},
+            {name: np.zeros(1, dtype=np.int64) for name in spec.var_names},
         )
 
     def __len__(self) -> int:
@@ -139,12 +183,65 @@ class ColumnarInbox:
         return self._receivers
 
     def for_vertex(self, i: int) -> dict:
-        """Vertex ``i``'s inbox as zero-copy array slices."""
+        """Vertex ``i``'s inbox as zero-copy array slices.  Var fields
+        appear as a list of per-message value arrays."""
         start, stop = int(self.indptr[i]), int(self.indptr[i + 1])
         view = {"senders": self.senders[start:stop]}
         for name, column in self.columns.items():
             view[name] = column[start:stop]
+        for name, pool in self.var_pools.items():
+            indptr = self.var_indptr[name]
+            view[name] = [
+                pool[int(indptr[k]):int(indptr[k + 1])]
+                for k in range(start, stop)
+            ]
         return view
+
+    def var(self, name: str) -> tuple:
+        """Var field ``name`` as ``(pool, per-message indptr)`` — message
+        ``k``'s sequence is ``pool[indptr[k]:indptr[k+1]]``."""
+        return self.var_pools[name], self.var_indptr[name]
+
+    def var_lengths(self, name: str) -> np.ndarray:
+        """Per-message sequence lengths of var field ``name``."""
+        indptr = self.var_indptr[name]
+        return indptr[1:] - indptr[:-1]
+
+    def gather_var(self, name: str, where=None) -> tuple:
+        """Per-vertex concatenation of the received var sequences.
+
+        Returns ``(pool, vertex_indptr)``: vertex ``i``'s received
+        values, concatenated in message (emission) order, are
+        ``pool[vertex_indptr[i]:vertex_indptr[i+1]]``.  With no mask
+        this is **zero-copy** — messages are already receiver-sorted, so
+        the vertex boundaries are just the message-level offset index
+        sampled at each vertex's message boundaries.  ``where`` is an
+        optional per-message bool mask; masked-out messages contribute
+        no values (this path gathers).
+
+        >>> inbox = ColumnarInbox(
+        ...     2,
+        ...     np.array([1], dtype=np.int64),      # one message, to 0
+        ...     np.array([0, 1, 1], dtype=np.int64),
+        ...     {},
+        ...     {"ids": np.array([4, 5], dtype=np.int64)},
+        ...     {"ids": np.array([0, 2], dtype=np.int64)},
+        ... )
+        >>> pool, vertex_indptr = inbox.gather_var("ids")
+        >>> pool.tolist(), vertex_indptr.tolist()
+        ([4, 5], [0, 2, 2])
+        """
+        pool = self.var_pools[name]
+        indptr = self.var_indptr[name]
+        if where is None:
+            return pool, indptr[self.indptr]
+        where = np.asarray(where, dtype=bool)
+        keep = np.flatnonzero(where)
+        lengths = (indptr[1:] - indptr[:-1])[keep]
+        selected = _ragged_gather(pool, indptr[:-1][keep], lengths)
+        per_vertex = np.zeros(self.n, dtype=np.int64)
+        np.add.at(per_vertex, self.receivers()[keep], lengths)
+        return selected, _cumsum0(per_vertex)
 
     def reduce(self, op, values=None, where=None, empty=None):
         """One segmented reduction over every vertex's inbox at once.
@@ -168,6 +265,17 @@ class ColumnarInbox:
         ``argmin``/``argmax`` return *message indices into this inbox*
         (usable to index ``senders`` or any column), -1 where empty;
         ties break toward the earliest emitted message.
+
+        >>> inbox = ColumnarInbox(
+        ...     2,
+        ...     np.array([1, 1], dtype=np.int64),   # vertex 0 got 2 msgs
+        ...     np.array([0, 2, 2], dtype=np.int64),
+        ...     {"value": np.array([5, 3], dtype=np.int32)},
+        ... )
+        >>> inbox.reduce("min", "value", empty=-1).tolist()
+        [3, -1]
+        >>> inbox.reduce("count").tolist()
+        [2, 0]
         """
         n = self.n
         indptr = self.indptr
@@ -250,6 +358,18 @@ class ColumnarContext:
     round_number, inbox, halted:
         Current round (1-based), this round's :class:`ColumnarInbox`, and
         the halt mask (read it freely; mutate only via :meth:`halt`).
+
+    >>> import networkx as nx
+    >>> from repro.congest.runtime.compile import compile_topology
+    >>> topology = compile_topology(nx.path_graph(3))
+    >>> ctx = ColumnarContext(
+    ...     topology, topology.columnar_plane(),
+    ...     ColumnarSpec(("level", np.int64)), [None] * 3)
+    >>> ctx.index_of(2)
+    2
+    >>> ctx.halt(np.array([0, 2]))
+    >>> ctx.halted.tolist()
+    [True, False, True]
     """
 
     __slots__ = (
@@ -293,6 +413,11 @@ class ColumnarContext:
         :meth:`ColumnarInbox.reduce`."""
         return self.inbox.reduce(op, values, where=where, empty=empty)
 
+    def gather_var(self, name, where=None):
+        """Per-vertex concatenation of this round's received var-field
+        sequences — see :meth:`ColumnarInbox.gather_var`."""
+        return self.inbox.gather_var(name, where=where)
+
     # -- emission ------------------------------------------------------------
     def emit_columns(self, senders, receivers=None, **fields) -> None:
         """Queue this round's outgoing messages as columns.
@@ -305,8 +430,53 @@ class ColumnarContext:
         one unicast message and field values are per *message*.  Fields
         must match the algorithm's :class:`ColumnarSpec` exactly; values
         are range-checked against the declared dtypes here — silent
-        overflow truncation is rejected at emit time.
+        overflow truncation is rejected at emit time.  Specs with
+        variable-width fields must emit through :meth:`emit_var`.
+
+        >>> import networkx as nx
+        >>> from repro.congest.runtime.compile import compile_topology
+        >>> topology = compile_topology(nx.path_graph(3))
+        >>> ctx = ColumnarContext(
+        ...     topology, topology.columnar_plane(),
+        ...     ColumnarSpec(("level", np.int64)), [None] * 3)
+        >>> ctx.emit_columns(np.array([1]), level=7)  # 1 broadcasts 7
+        >>> len(ctx._emissions)
+        1
         """
+        if self._spec.var_names:
+            raise ValueError(
+                "spec declares variable-width fields "
+                f"{list(self._spec.var_names)}; emit with ctx.emit_var"
+            )
+        self._emit(senders, receivers, fields)
+
+    def emit_var(self, senders, receivers=None, **fields) -> None:
+        """Queue outgoing messages carrying variable-width fields.
+
+        Same sender/receiver semantics as :meth:`emit_columns`.  Each
+        var field's value is either ``(pool, lengths)`` — a 2-tuple of
+        *numpy arrays*: a flat int64 value pool plus one sequence length
+        per sender/message — or a plain list of per-row sequences
+        (converted to that form; a tuple of non-array sequences counts
+        as per-row sequences, not as a pool).  On a
+        broadcast, a sender's sequence fans out to each of its
+        neighbours; fixed fields, if the spec declares any, are passed
+        alongside exactly as in :meth:`emit_columns`.
+
+        >>> import networkx as nx
+        >>> from repro.congest.runtime.compile import compile_topology
+        >>> topology = compile_topology(nx.path_graph(3))
+        >>> ctx = ColumnarContext(
+        ...     topology, topology.columnar_plane(),
+        ...     ColumnarSpec(VarColumn("tokens")), [None] * 3)
+        >>> ctx.emit_var(  # vertex 1 unicasts (9, 9) to 0 and () to 2
+        ...     np.array([1, 1]), np.array([0, 2]), tokens=[[9, 9], []])
+        >>> len(ctx._emissions)
+        1
+        """
+        self._emit(senders, receivers, fields)
+
+    def _emit(self, senders, receivers, fields) -> None:
         spec = self._spec
         senders = np.asarray(senders)
         if senders.dtype == np.bool_:
@@ -333,12 +503,13 @@ class ColumnarContext:
                 int(receivers.min()) < 0 or int(receivers.max()) >= self.n
             ):
                 raise ValueError("receiver index out of range")
-        unknown = set(fields) - set(spec.names)
-        missing = set(spec.names) - set(fields)
+        declared = set(spec.names) | set(spec.var_names)
+        unknown = set(fields) - declared
+        missing = declared - set(fields)
         if unknown or missing:
             raise ValueError(
                 f"emission fields {sorted(fields)} do not match spec "
-                f"fields {list(spec.names)}"
+                f"fields {sorted(declared)}"
             )
         count = len(senders)
         if count == 0:
@@ -361,7 +532,52 @@ class ColumnarContext:
                 )
             spec.check_range(name, value)
             columns[name] = value
-        self._emissions.append((senders, receivers, columns))
+        var_data = {}
+        for name in spec.var_names:
+            value = fields[name]
+            # The (pool, lengths) fast-path form must be a pair of numpy
+            # arrays: a 2-tuple of plain sequences is two per-row
+            # sequences (a coincidentally balanced one would otherwise
+            # be silently misread as pool form).
+            if (
+                isinstance(value, tuple) and len(value) == 2
+                and isinstance(value[0], np.ndarray)
+                and isinstance(value[1], np.ndarray)
+            ):
+                pool, lengths = value
+            else:
+                rows = [np.asarray(row, dtype=np.int64).ravel()
+                        for row in value]
+                lengths = np.array([len(row) for row in rows],
+                                   dtype=np.int64)
+                pool = (np.concatenate(rows) if rows
+                        else np.empty(0, dtype=np.int64))
+            pool = np.asarray(pool)
+            if pool.dtype.kind not in "iub":
+                raise TypeError(
+                    f"columnar var field {name!r}: values must be "
+                    f"integers or bools, got dtype {pool.dtype}"
+                )
+            pool = pool.astype(np.int64, copy=False).ravel()
+            lengths = np.asarray(lengths).astype(np.int64, copy=False)
+            if len(lengths) != count:
+                raise ValueError(
+                    f"columnar var field {name!r}: expected {count} "
+                    f"sequence lengths, got {len(lengths)}"
+                )
+            if lengths.size and int(lengths.min()) < 0:
+                raise ValueError(
+                    f"columnar var field {name!r}: negative sequence "
+                    f"length"
+                )
+            if int(lengths.sum()) != len(pool):
+                raise ValueError(
+                    f"columnar var field {name!r}: pool holds "
+                    f"{len(pool)} values but lengths sum to "
+                    f"{int(lengths.sum())}"
+                )
+            var_data[name] = (pool, lengths)
+        self._emissions.append((senders, receivers, columns, var_data))
 
 
 class ColumnarAlgorithm:
@@ -484,14 +700,17 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
     """
     n = topology.n
     names = spec.names
+    var_names = spec.var_names
     scalar_limit = isinstance(limit, int)
     senders_parts: list = []
     receivers_parts: list = []
     column_parts: dict = {name: [] for name in names}
+    var_pool_parts: dict = {name: [] for name in var_names}
+    var_len_parts: dict = {name: [] for name in var_names}
     indptr = topology.indptr
     indices = topology.indices
     degrees = plane.degrees
-    for senders, receivers, columns in groups:
+    for senders, receivers, columns, var_data in groups:
         if receivers is None:
             # Broadcast: fan each sender's field values over its CSR
             # neighbour segment.  Adjacency holds by construction.
@@ -510,9 +729,26 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
             message_columns = {
                 name: np.repeat(columns[name], deg) for name in names
             }
+            # Var fields fan out as ragged segments: repeat each
+            # sender's (start, length) per neighbour, then one CSR
+            # scatter materializes every copy's values.
+            message_var = {}
+            per_sender_var = None
+            if var_names:
+                per_sender_var = {}
+                for name in var_names:
+                    pool, lengths = var_data[name]
+                    starts = _cumsum0(lengths)
+                    msg_lengths = np.repeat(lengths, deg)
+                    msg_starts = np.repeat(starts[:-1], deg)
+                    message_var[name] = (
+                        _ragged_gather(pool, msg_starts, msg_lengths),
+                        msg_lengths,
+                    )
+                    per_sender_var[name] = (pool, starts)
             # All of a sender's copies share one size: size per sender,
             # then fan out (deg× less bit-length work than per message).
-            bits = np.repeat(spec.bits_of(columns), deg)
+            bits = np.repeat(spec.bits_of(columns, per_sender_var), deg)
             cap = limit if scalar_limit else limit[message_senders]
             over = bits > cap
             if over.any():
@@ -530,7 +766,15 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
             message_senders = senders
             message_receivers = receivers
             message_columns = columns
-            bits = spec.bits_of(message_columns)
+            message_var = {name: var_data[name] for name in var_names}
+            per_message_var = (
+                {
+                    name: (pool, _cumsum0(lengths))
+                    for name, (pool, lengths) in message_var.items()
+                }
+                if var_names else None
+            )
+            bits = spec.bits_of(message_columns, per_message_var)
             keys = message_senders * n + message_receivers
             if plane.edge_keys.size:
                 positions = np.searchsorted(plane.edge_keys, keys)
@@ -572,6 +816,10 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
         receivers_parts.append(message_receivers)
         for name in names:
             column_parts[name].append(message_columns[name])
+        for name in var_names:
+            pool, lengths = message_var[name]
+            var_pool_parts[name].append(pool)
+            var_len_parts[name].append(lengths)
     if not senders_parts:
         return ColumnarInbox.empty(n, spec)
     all_senders = (
@@ -605,7 +853,23 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
         parts = column_parts[name]
         merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
         inbox_columns[name] = merged[order].astype(dtype, copy=False)
-    return ColumnarInbox(n, all_senders[order], inbox_indptr, inbox_columns)
+    var_pools = {}
+    var_indptrs = {}
+    for name in var_names:
+        pools = var_pool_parts[name]
+        lens = var_len_parts[name]
+        pool = pools[0] if len(pools) == 1 else np.concatenate(pools)
+        lengths = lens[0] if len(lens) == 1 else np.concatenate(lens)
+        # Permute the ragged segments with the receiver sort: the sorted
+        # message order's (start, length) pairs drive one CSR scatter.
+        sorted_lengths = lengths[order]
+        starts = _cumsum0(lengths)[:-1]
+        var_pools[name] = _ragged_gather(pool, starts[order], sorted_lengths)
+        var_indptrs[name] = _cumsum0(sorted_lengths)
+    return ColumnarInbox(
+        n, all_senders[order], inbox_indptr, inbox_columns,
+        var_pools, var_indptrs,
+    )
 
 
 def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
@@ -618,17 +882,27 @@ def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
 
     n = topology.n
     names = spec.names
-    single = len(names) == 1
+    var_names = spec.var_names
     vertices = topology.vertices
     neighbor_sets = plane.neighbor_index_sets
     buckets: list = [None] * n
-    for senders, receivers, columns in groups:
+    for senders, receivers, columns, var_data in groups:
         sender_list = senders.tolist()
         value_lists = [columns[name].tolist() for name in names]
+        var_lists = {}
+        for name in var_names:
+            pool, lengths = var_data[name]
+            values = pool.tolist()
+            offsets = _cumsum0(lengths).tolist()
+            var_lists[name] = [
+                tuple(values[offsets[k]:offsets[k + 1]])
+                for k in range(len(lengths))
+            ]
         receiver_list = None if receivers is None else receivers.tolist()
         for k, s in enumerate(sender_list):
             row = tuple(values[k] for values in value_lists)
-            message = Message(row[0] if single else row)
+            var_row = {name: var_lists[name][k] for name in var_names}
+            message = Message(spec.payload_of(row, var_row))
             targets = (
                 topology.neighbor_index_tuples[s]
                 if receiver_list is None else (receiver_list[k],)
@@ -651,25 +925,39 @@ def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
                 bucket = buckets[r]
                 if bucket is None:
                     bucket = buckets[r] = []
-                bucket.append((s, row))
+                bucket.append((s, row, var_row))
     sender_out: list = []
     value_out: list = [[] for _ in names]
+    var_out: dict = {name: ([], [0]) for name in var_names}
     inbox_indptr = np.empty(n + 1, dtype=np.int64)
     inbox_indptr[0] = 0
     for r in range(n):
         bucket = buckets[r]
         if bucket:
-            for s, row in bucket:
+            for s, row, var_row in bucket:
                 sender_out.append(s)
                 for j, value in enumerate(row):
                     value_out[j].append(value)
+                for name in var_names:
+                    pool, offsets = var_out[name]
+                    pool.extend(var_row[name])
+                    offsets.append(len(pool))
         inbox_indptr[r + 1] = len(sender_out)
     inbox_columns = {
         name: np.array(value_out[j], dtype=spec.dtypes[j])
         for j, name in enumerate(names)
     }
+    var_pools = {
+        name: np.array(var_out[name][0], dtype=np.int64)
+        for name in var_names
+    }
+    var_indptrs = {
+        name: np.array(var_out[name][1], dtype=np.int64)
+        for name in var_names
+    }
     return ColumnarInbox(
-        n, np.array(sender_out, dtype=np.int64), inbox_indptr, inbox_columns
+        n, np.array(sender_out, dtype=np.int64), inbox_indptr, inbox_columns,
+        var_pools, var_indptrs,
     )
 
 

@@ -11,8 +11,10 @@ Two payload representations share one sizing rule:
 * :class:`Message` — an arbitrary Python payload, sized lazily by
   :func:`bits_for_payload` (the object plane);
 * :class:`ColumnarSpec` — a declared tuple of fixed-width integer fields,
-  sized in bulk by :meth:`ColumnarSpec.bits_of` over numpy columns (the
-  columnar plane, :mod:`repro.congest.columnar`).
+  optionally interleaved with variable-width :class:`VarColumn` fields
+  (ragged integer sequences over a shared payload pool), sized in bulk
+  by :meth:`ColumnarSpec.bits_of` over numpy columns (the columnar
+  plane, :mod:`repro.congest.columnar`).
 
 The two agree bit-for-bit: a columnar message with field values
 ``(v1, …, vk)`` costs exactly what ``Message((v1, …, vk))`` (or
@@ -146,25 +148,63 @@ def bits_for_int_array(values: "np.ndarray") -> "np.ndarray":
     return bits
 
 
-class ColumnarSpec:
-    """A typed fixed-width message schema for the columnar delivery plane.
+class VarColumn:
+    """Schema element declaring a **variable-width** columnar field.
 
-    ``fields`` is a tuple of ``(name, dtype)`` pairs; every dtype must be a
-    fixed-width numpy integer (or bool) type — the CONGEST payloads the
-    repository's algorithms exchange (ids, colors, levels, coin flips) are
-    all of this shape.  A columnar message with field values
-    ``(v1, …, vk)`` is *semantically* ``Message((v1, …, vk))`` — or
-    ``Message(v1)`` when the spec has a single field — and
-    :meth:`bits_of` charges exactly what :func:`bits_for_payload` charges
-    that payload, so columnar metric reductions stay byte-identical to the
-    per-message object plane.
+    A fixed column carries one integer per message; a ``VarColumn``
+    carries a ragged *sequence* of signed 64-bit integers per message
+    (token lists, id sets, schedule descriptions).  The columnar
+    executor stores every message's sequence as one segment of a shared
+    payload pool indexed by offset/length arrays — the CSR-of-ragged
+    representation — so delivery and metric accounting stay pure array
+    operations (:mod:`repro.congest.columnar`).
+
+    Semantically, a var field contributes the *tuple* of its values to
+    the message's object-plane payload, and is sized exactly as
+    :func:`bits_for_payload` sizes that tuple (2 framing bits per
+    element plus each element's signed encoding).
+
+    >>> spec = ColumnarSpec(VarColumn("tokens"))
+    >>> spec.var_names
+    ('tokens',)
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+
+    def __repr__(self) -> str:
+        return f"VarColumn({self.name!r})"
+
+
+class ColumnarSpec:
+    """A typed message schema for the columnar delivery plane.
+
+    ``fields`` is a tuple of ``(name, dtype)`` pairs — fixed-width numpy
+    integer (or bool) fields, the CONGEST payloads the repository's
+    algorithms exchange (ids, colors, levels, coin flips) — optionally
+    interleaved with :class:`VarColumn` elements declaring ragged
+    integer-sequence fields (walk-token lists, schedule descriptions).
+
+    A columnar message is *semantically* a :class:`Message` whose payload
+    lists the declared fields in order, each var field contributing the
+    tuple of its values: field values ``(v1, …, vk)`` mean
+    ``Message((v1, …, vk))``, a single fixed field means ``Message(v1)``,
+    and a single var field with values ``(x1, …, xm)`` means
+    ``Message((x1, …, xm))``.  :meth:`bits_of` charges exactly what
+    :func:`bits_for_payload` charges that payload, so columnar metric
+    reductions stay byte-identical to the per-message object plane.
 
     >>> spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
     >>> spec.names
     ('kind', 'value')
+    >>> mixed = ColumnarSpec(("kind", np.uint8), VarColumn("tokens"))
+    >>> mixed.layout
+    (('fixed', 'kind'), ('var', 'tokens'))
     """
 
-    __slots__ = ("fields", "names", "dtypes", "bounds")
+    __slots__ = ("fields", "names", "dtypes", "bounds", "layout", "var_names")
 
     def __init__(self, *fields: tuple) -> None:
         if not fields:
@@ -172,13 +212,23 @@ class ColumnarSpec:
         names = []
         dtypes = []
         bounds = []
+        var_names = []
+        layout = []
         for entry in fields:
+            if isinstance(entry, VarColumn):
+                if entry.name in names or entry.name in var_names:
+                    raise ValueError(
+                        f"duplicate columnar field {entry.name!r}"
+                    )
+                var_names.append(entry.name)
+                layout.append(("var", entry.name))
+                continue
             try:
                 name, dtype = entry
             except (TypeError, ValueError):
                 raise ValueError(
-                    f"ColumnarSpec fields are (name, dtype) pairs, "
-                    f"got {entry!r}"
+                    f"ColumnarSpec fields are (name, dtype) pairs or "
+                    f"VarColumn elements, got {entry!r}"
                 ) from None
             dtype = np.dtype(dtype)
             if dtype.kind == "b":
@@ -191,15 +241,18 @@ class ColumnarSpec:
                     f"columnar field {name!r}: dtype {dtype} is not a "
                     f"fixed-width integer or bool"
                 )
-            if name in names:
+            if name in names or name in var_names:
                 raise ValueError(f"duplicate columnar field {name!r}")
             names.append(str(name))
             dtypes.append(dtype)
             bounds.append((low, high))
+            layout.append(("fixed", str(name)))
         self.fields = tuple((n, d) for n, d in zip(names, dtypes))
         self.names = tuple(names)
         self.dtypes = tuple(dtypes)
         self.bounds = tuple(bounds)
+        self.var_names = tuple(var_names)
+        self.layout = tuple(layout)
 
     def check_range(self, name: str, values: "np.ndarray") -> None:
         """Reject values that overflow the declared dtype *before* any
@@ -217,29 +270,87 @@ class ColumnarSpec:
                 f"{self.dtypes[position]} (range [{low}, {high}])"
             )
 
-    def payload_of(self, row: tuple) -> Any:
-        """The object-plane payload equivalent to one columnar message."""
-        if len(self.names) == 1:
-            return row[0]
-        return tuple(row)
+    def payload_of(self, row: tuple, var_values: "dict | None" = None) -> Any:
+        """The object-plane payload equivalent to one columnar message.
 
-    def bits_of(self, columns: "dict[str, np.ndarray]") -> "np.ndarray":
+        ``row`` holds the fixed-field values in declared fixed order;
+        ``var_values`` maps each var field to its value sequence.  Var
+        fields contribute one tuple element each; a single-field spec
+        unwraps the sole element (fixed → bare value, var → the tuple).
+
+        >>> ColumnarSpec(("v", np.int64)).payload_of((7,))
+        7
+        >>> ColumnarSpec(VarColumn("t")).payload_of((), {"t": (1, 2)})
+        (1, 2)
+        >>> ColumnarSpec(("v", np.int64), VarColumn("t")).payload_of(
+        ...     (7,), {"t": (1, 2)})
+        (7, (1, 2))
+        """
+        elements = []
+        fixed = iter(row)
+        for kind, name in self.layout:
+            if kind == "fixed":
+                elements.append(next(fixed))
+            else:
+                elements.append(tuple(var_values[name]))
+        if len(elements) == 1:
+            return elements[0]
+        return tuple(elements)
+
+    def bits_of(
+        self,
+        columns: "dict[str, np.ndarray]",
+        var_data: "dict | None" = None,
+    ) -> "np.ndarray":
         """Per-message bit sizes as one array reduction.
 
         Matches :func:`bits_for_payload` on the equivalent payload: a
-        bare signed int for single-field specs, a tuple (2 framing bits
-        per element) otherwise.
+        bare signed int for single-fixed-field specs, a tuple (2 framing
+        bits per element) otherwise.  ``var_data`` maps each var field
+        to ``(pool, indptr)`` — the shared int64 payload pool and the
+        per-message offset index; each var field is charged as the
+        nested tuple of its segment (2 framing bits per element plus
+        each element's signed size, plus the tuple's own framing when
+        the spec has more than one field).  A message whose whole
+        payload sizes to zero (a single empty var segment) is charged
+        the :class:`Message` minimum of one bit.
         """
-        if len(self.names) == 1:
-            return bits_for_int_array(columns[self.names[0]])
+        single = len(self.layout) == 1
+        if self.var_names and var_data is None:
+            raise ValueError(
+                "bits_of needs var_data for a spec with variable-width "
+                "fields"
+            )
         total = None
-        for name in self.names:
-            bits = bits_for_int_array(columns[name]) + 2
+        for kind, name in self.layout:
+            if kind == "fixed":
+                bits = bits_for_int_array(columns[name])
+                if not single:
+                    bits = bits + 2
+            else:
+                pool, indptr = var_data[name]
+                if len(pool):
+                    element_bits = bits_for_int_array(pool) + 2
+                    csum = np.empty(len(pool) + 1, dtype=np.int64)
+                    csum[0] = 0
+                    np.cumsum(element_bits, out=csum[1:])
+                    bits = csum[indptr[1:]] - csum[indptr[:-1]]
+                else:
+                    bits = np.zeros(len(indptr) - 1, dtype=np.int64)
+                if not single:
+                    bits = bits + 2
             total = bits if total is None else total + bits
+        if single and self.var_names:
+            # Message charges an all-empty payload its 1-bit minimum.
+            total = np.maximum(total, 1)
         return total
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{n}:{d}" for n, d in self.fields)
+        dtype_of = dict(self.fields)
+        inner = ", ".join(
+            f"{name}:{dtype_of[name]}" if kind == "fixed" else f"{name}:var"
+            for kind, name in self.layout
+        )
         return f"ColumnarSpec({inner})"
 
 

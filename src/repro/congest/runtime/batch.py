@@ -54,7 +54,13 @@ from repro.congest.runtime.scheduler import release_round_buffers, run_rounds
 @dataclass
 class Trial:
     """One job for :func:`run_many`: a topology plus optional per-vertex
-    inputs (e.g. RNG seeds) and per-trial overrides."""
+    inputs (e.g. RNG seeds) and per-trial overrides.
+
+    >>> import networkx as nx
+    >>> trial = Trial(nx.path_graph(3), max_rounds=8)
+    >>> trial.model is None  # unset overrides inherit run_many's value
+    True
+    """
 
     graph: nx.Graph
     inputs: Mapping[Any, Any] | None = None
@@ -135,6 +141,28 @@ def execute_grid(
     serial execution would report first — the error text itself still
     matches that trial's single run.  Round-cap errors, by contrast,
     are attributed in serial trial order (see ``check_caps``).
+
+    Variable-width columns
+    ----------------------
+    :class:`~repro.congest.message.VarColumn` payload pools need no
+    grid-specific code: blocks occupy contiguous dense-row ranges and
+    the delivery step receiver-sorts every round's messages, so each
+    trial's ragged payloads land in one contiguous *pool segment* per
+    block — per-trial pool segmentation falls out of the sort.  The
+    zero-copy :meth:`~repro.congest.columnar.ColumnarInbox.gather_var`
+    boundaries and the per-trial :class:`GridAccountant` bit sums
+    (var-aware via :meth:`~repro.congest.message.ColumnarSpec.bits_of`)
+    therefore stay byte-identical to single-trial runs
+    (``tests/test_gathering_routers.py`` asserts this for the
+    walk-token router and the var flood).
+
+    >>> import networkx as nx
+    >>> from repro.congest.algorithms import ColumnarFloodValue
+    >>> graph = nx.path_graph(3)
+    >>> jobs = [(graph, None, "congest", 32, 10)] * 2
+    >>> results = execute_grid(ColumnarFloodValue(0, 9, 4), jobs)
+    >>> [(outputs[2], metrics.rounds) for outputs, metrics in results]
+    [(9, 4), (9, 4)]
     """
     from repro.congest.columnar import (
         ColumnarContext,
@@ -379,6 +407,14 @@ def run_many(
     ``[(outputs, metrics), ...]`` in trial order — exactly what running
     each trial through :meth:`Network.run` serially would produce (the
     grid path is byte-identical to the per-trial columnar plane).
+
+    >>> import networkx as nx
+    >>> from repro.congest.algorithms import ColumnarFloodValue
+    >>> graph = nx.path_graph(3)
+    >>> results = run_many(  # grid-batched: grid-safe, serial, 2 trials
+    ...     ColumnarFloodValue(0, 9, 4), [graph, graph], processes=1)
+    >>> [outputs[2] for outputs, _metrics in results]
+    [9, 9]
     """
     jobs = []
     for spec in trials:

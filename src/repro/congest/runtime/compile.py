@@ -33,7 +33,16 @@ from repro.congest.engine import CompiledTopology
 
 def compile_topology(graph) -> CompiledTopology:
     """Memoized per-graph compilation (the runtime's single entry —
-    identical to ``CompiledTopology.for_graph``)."""
+    identical to ``CompiledTopology.for_graph``).
+
+    >>> import networkx as nx
+    >>> graph = nx.path_graph(3)
+    >>> topology = compile_topology(graph)
+    >>> topology.n, topology.indices.tolist()
+    (3, [1, 0, 2, 1])
+    >>> compile_topology(graph) is topology  # served from the cache
+    True
+    """
     return CompiledTopology.for_graph(graph)
 
 
@@ -108,6 +117,16 @@ class GridTopology:
     different sizes — per-trial bandwidth limits and round caps are the
     batch executor's job (:mod:`repro.congest.runtime.batch`), not the
     topology's.
+
+    >>> import networkx as nx
+    >>> grid = GridTopology([
+    ...     compile_topology(nx.path_graph(2)),
+    ...     compile_topology(nx.path_graph(3)),
+    ... ])
+    >>> grid.n, grid.offsets.tolist()
+    (5, [0, 2, 5])
+    >>> grid.trial_of(np.array([0, 1, 2, 4])).tolist()
+    [0, 0, 1, 1]
     """
 
     __slots__ = (

@@ -96,6 +96,16 @@ class ExecutionPlane:
         self.requires = requires
 
     def supports(self, algorithm: Any) -> bool:
+        """Capability check: the algorithm's declared ``plane_kind`` must
+        match, plus any extra ``requires`` attribute (e.g. grid safety).
+
+        >>> class GridSafe: plane_kind = "columnar"; grid_safe = True
+        >>> get_plane("grid").supports(GridSafe())
+        True
+        >>> class Fixed: plane_kind = "columnar"
+        >>> get_plane("grid").supports(Fixed())
+        False
+        """
         if getattr(algorithm, "plane_kind", None) != self.kind:
             return False
         if self.requires is not None and not getattr(
@@ -141,7 +151,21 @@ _ALIASES = {"dict": "broadcast", "engine": "broadcast"}
 
 
 def register_plane(plane: ExecutionPlane) -> ExecutionPlane:
-    """Add ``plane`` to the registry (name must be unused)."""
+    """Add ``plane`` to the registry (name must be unused).
+
+    Registering is the *only* step a new execution strategy needs: the
+    CLI's ``--plane`` choices, the wrappers' capability errors, and the
+    differential-coverage enforcement in ``tests/test_runtime.py`` all
+    derive from the registry, so a plane registered as ::
+
+        register_plane(ExecutionPlane(
+            "jit", "columnar", run_jit, priority=35,
+        ))
+
+    immediately appears on every selection surface — and fails CI
+    loudly until it has a differential test against its family's
+    reference executor.
+    """
     if plane.name in _REGISTRY or plane.name in _ALIASES:
         raise ValueError(f"plane {plane.name!r} is already registered")
     _REGISTRY[plane.name] = plane
@@ -150,7 +174,13 @@ def register_plane(plane: ExecutionPlane) -> ExecutionPlane:
 
 def plane_names(*, batch: bool = True) -> tuple[str, ...]:
     """All registered plane names, registration order.  ``batch=False``
-    drops batch-only planes (the set ``Network.run`` accepts)."""
+    drops batch-only planes (the set ``Network.run`` accepts).
+
+    >>> plane_names()
+    ('reference', 'object', 'broadcast', 'columnar', 'columnar-reference', 'grid')
+    >>> 'grid' in plane_names(batch=False)
+    False
+    """
     return tuple(
         name for name, plane in _REGISTRY.items()
         if batch or not plane.batch_only
@@ -159,7 +189,13 @@ def plane_names(*, batch: bool = True) -> tuple[str, ...]:
 
 def get_plane(name: str) -> ExecutionPlane:
     """Look a plane up by name (aliases resolve); unknown names raise
-    with the full registry-derived choice list."""
+    with the full registry-derived choice list.
+
+    >>> get_plane("columnar").kind
+    'columnar'
+    >>> get_plane("dict") is get_plane("broadcast")  # legacy alias
+    True
+    """
     plane = _REGISTRY.get(_ALIASES.get(name, name))
     if plane is None:
         raise ValueError(
@@ -170,7 +206,12 @@ def get_plane(name: str) -> ExecutionPlane:
 
 
 def supported_planes(algorithm: Any, *, batch: bool = True) -> tuple[str, ...]:
-    """The registered plane names that can run ``algorithm``."""
+    """The registered plane names that can run ``algorithm``.
+
+    >>> class Toy: plane_kind = "object"
+    >>> supported_planes(Toy())
+    ('reference', 'object', 'broadcast')
+    """
     return tuple(
         plane.name for plane in _REGISTRY.values()
         if plane.supports(algorithm) and (batch or not plane.batch_only)
@@ -185,6 +226,12 @@ def resolve_plane(algorithm: Any, name: str | None = "auto") -> ExecutionPlane:
     family declares.  An explicit name must both exist and support the
     algorithm; the error text derives the valid choices from the
     registry so it can never go stale.
+
+    >>> class Toy: plane_kind = "object"
+    >>> resolve_plane(Toy(), "auto").name
+    'broadcast'
+    >>> resolve_plane(Toy(), "reference").name
+    'reference'
     """
     if name is None or name == "auto":
         candidates = [
@@ -215,7 +262,12 @@ def resolve_plane(algorithm: Any, name: str | None = "auto") -> ExecutionPlane:
 
 
 def reference_plane_for(algorithm: Any) -> ExecutionPlane:
-    """The per-message executable-spec plane for ``algorithm``'s family."""
+    """The per-message executable-spec plane for ``algorithm``'s family.
+
+    >>> class Toy: plane_kind = "columnar"
+    >>> reference_plane_for(Toy()).name
+    'columnar-reference'
+    """
     for plane in _REGISTRY.values():
         if plane.reference and plane.supports(algorithm):
             return plane
@@ -235,6 +287,12 @@ def variant_for_plane(variants: Mapping[str, Any], plane: str | None):
     fastest plane of its family); otherwise the requested plane's kind
     selects the factory, and a missing kind raises with the
     registry-derived list of planes the wrapper *does* support.
+
+    >>> variants = {"object": "LubyMIS", "columnar": "ColumnarLubyMIS"}
+    >>> variant_for_plane(variants, "auto")
+    'ColumnarLubyMIS'
+    >>> variant_for_plane(variants, "dict")  # legacy alias of broadcast
+    'LubyMIS'
     """
     if plane is None or plane == "auto":
         kind = "columnar" if "columnar" in variants else "object"

@@ -75,6 +75,16 @@ def run_rounds(
     folded even when ``advance`` raises mid-round.  Exceeding
     ``max_rounds`` raises ``RuntimeError`` with the executor-uniform
     message before the offending round is recorded.
+
+    >>> metrics = NetworkMetrics()
+    >>> pending = {"rounds": 3}
+    >>> run_rounds(
+    ...     metrics=metrics, max_rounds=10,
+    ...     done=lambda: pending["rounds"] == 0,
+    ...     advance=lambda r: pending.update(rounds=pending["rounds"] - 1),
+    ... )
+    >>> metrics.rounds
+    3
     """
     round_number = 0
     try:
@@ -108,7 +118,15 @@ _INBOX_POOL: "weakref.WeakKeyDictionary[Any, tuple]" = (
 
 
 def release_round_buffers(topology=None) -> None:
-    """Drop pooled inbox buffers — for ``topology``, or all of them."""
+    """Drop pooled inbox buffers — for ``topology``, or all of them.
+
+    Call between sweeps over different graphs (``run_many`` does) so a
+    long batch never pins one topology's peak-round inbox memory.
+
+    >>> release_round_buffers()  # drop every pooled pair
+    >>> len(_INBOX_POOL)
+    0
+    """
     if topology is None:
         _INBOX_POOL.clear()
     else:
@@ -179,6 +197,16 @@ def execute(
     equivalent dicts up front and delivered over the unicast path (the
     plain *object* plane — the broadcast protocol's definitional
     semantics at the PR-1 cost model).
+
+    Normally reached through ``Network.run`` via the plane registry:
+
+    >>> import networkx as nx
+    >>> from repro.congest.network import FunctionAlgorithm, Network
+    >>> def step(state, ctx, inbox):
+    ...     return state, {}, True, ctx.degree
+    >>> Network(nx.path_graph(3)).run(
+    ...     FunctionAlgorithm(step), plane="broadcast")
+    {0: 1, 1: 2, 2: 1}
     """
     from repro.congest.network import BandwidthExceededError, NodeContext
 
@@ -470,6 +498,17 @@ def execute_reference(
     and ``tests/test_delivery_soak.py`` for differential checks and by
     the benchmarks as the speedup baseline.  Do not optimize this
     function; optimize the planes.
+
+    Reached through ``Network.run(plane="reference")`` or the
+    ``Network._run_reference`` shorthand:
+
+    >>> import networkx as nx
+    >>> from repro.congest.network import FunctionAlgorithm, Network
+    >>> def step(state, ctx, inbox):
+    ...     return state, {}, True, ctx.n
+    >>> Network(nx.path_graph(3)).run(
+    ...     FunctionAlgorithm(step), plane="reference")
+    {0: 3, 1: 3, 2: 3}
     """
     from repro.congest.network import BandwidthExceededError, NodeContext
 

@@ -20,15 +20,20 @@ from repro.gathering.load_balancing import (
     GatherResult,
     gather_with_load_balancing,
     glm_load_balance,
+    notify_arrivals,
     total_imbalance,
 )
 from repro.gathering.random_walks import (
+    ColumnarWalkTokenRouter,
     WalkSchedule,
+    WalkTokenRouter,
     broadcast_schedule,
     build_regularized_split,
+    execute_walk_schedule,
     find_walk_schedule,
     find_shared_walk_schedule,
     gather_with_random_walks,
+    schedule_hash,
     simulate_walks,
 )
 
@@ -37,12 +42,17 @@ __all__ = [
     "GatherResult",
     "gather_with_load_balancing",
     "glm_load_balance",
+    "notify_arrivals",
     "total_imbalance",
+    "ColumnarWalkTokenRouter",
     "WalkSchedule",
+    "WalkTokenRouter",
     "broadcast_schedule",
     "build_regularized_split",
+    "execute_walk_schedule",
     "find_walk_schedule",
     "find_shared_walk_schedule",
     "gather_with_random_walks",
+    "schedule_hash",
     "simulate_walks",
 ]

@@ -120,6 +120,52 @@ class KWiseHash:
         """Description length of this family member: k · log2(p) bits."""
         return self.k * self.prime.bit_length()
 
+    def describe(self, include_coefficients: bool = False) -> tuple[int, ...]:
+        """A flat integer tuple describing this family member — the
+        broadcastable form of the Lemma 2.5 schedule payload
+        (:func:`repro.gathering.random_walks.broadcast_schedule` floods
+        it as one variable-width columnar sequence).
+
+        The base description is ``(k, range_size, prime, seed)``; with
+        ``include_coefficients=True`` the k expanded coefficients ride
+        along, so the description length *varies with k* — receivers
+        then skip the splitmix64 expansion and
+        :meth:`from_description` verifies the coefficients against the
+        seed.
+
+        >>> h = KWiseHash(k=3, range_size=8, seed=5)
+        >>> KWiseHash.from_description(h.describe()) == h
+        True
+        >>> len(h.describe(include_coefficients=True))
+        7
+        """
+        base = (self.k, self.range_size, self.prime, self.seed)
+        if include_coefficients:
+            return base + self.coefficients
+        return base
+
+    @classmethod
+    def from_description(cls, description) -> "KWiseHash":
+        """Rebuild a hash from :meth:`describe` output (any integer
+        sequence, e.g. a flood's received tuple).  Trailing coefficients,
+        if present, are checked against the seed's expansion — a
+        corrupted broadcast fails loudly instead of mis-routing."""
+        description = tuple(int(v) for v in description)
+        if len(description) < 4:
+            raise ValueError(
+                f"hash description needs at least (k, range_size, prime, "
+                f"seed); got {len(description)} values"
+            )
+        k, range_size, prime, seed = description[:4]
+        member = cls(k=k, range_size=range_size, seed=seed, prime=prime)
+        coefficients = description[4:]
+        if coefficients and coefficients != member.coefficients:
+            raise ValueError(
+                "hash description coefficients do not match the seed's "
+                "expansion"
+            )
+        return member
+
     def __call__(self, key: int) -> int:
         x = key % self.prime
         acc = 0

@@ -99,6 +99,12 @@ class GatherResult:
         Outer repetitions of the create/balance/collect loop.
     detail:
         Free-form per-iteration diagnostics.
+    report_metrics:
+        Merged :class:`~repro.congest.metrics.NetworkMetrics` of the
+        simulated arrival-notification floods (only populated when
+        :func:`gather_with_load_balancing` runs with
+        ``simulate_arrival_report=True``; the symmetric reverse-run
+        round charge stays in :attr:`rounds` either way).
     """
 
     delivered: set = field(default_factory=set)
@@ -106,12 +112,44 @@ class GatherResult:
     rounds: int = 0
     iterations: int = 0
     detail: list = field(default_factory=list)
+    report_metrics: object = None
 
     @property
     def delivered_fraction(self) -> float:
         if self.total_messages == 0:
             return 1.0
         return len(self.delivered) / self.total_messages
+
+
+def notify_arrivals(
+    split_graph: nx.Graph,
+    source: Hashable,
+    arrived,
+    index_of: dict,
+    model: str = "local",
+    plane: str | None = "auto",
+):
+    """Lemma 2.2's reverse notification, actually simulated.
+
+    After an iteration's balancing, the sink gadget holds the arrived
+    tokens; every *origin* must learn which of its messages landed
+    before the next iteration re-creates tokens only for the
+    undelivered ones.  Flood the arrived ids — each encoded as the
+    dense index of its home split vertex, a variable-length integer
+    list the fixed-width columnar schema cannot type — from a
+    sink-gadget vertex through
+    :func:`repro.congest.algorithms.flood_values` on the requested
+    execution plane.  Returns ``(received ids per vertex, metrics)``;
+    an origin reads off its own messages by membership.  ``model``
+    defaults to ``"local"`` (the list exceeds one O(log n)-bit message;
+    the paper charges the reverse balancing run instead, which
+    :func:`gather_with_load_balancing` keeps as its round cost).
+    """
+    from repro.congest.algorithms import flood_values
+
+    payload = tuple(sorted(index_of[message] for message in arrived))
+    return flood_values(split_graph, source, payload, model=model,
+                        plane=plane)
 
 
 def gather_with_load_balancing(
@@ -121,6 +159,8 @@ def gather_with_load_balancing(
     tokens_per_message: int | None = None,
     max_iterations: int | None = None,
     step_budget_per_iteration: int | None = None,
+    simulate_arrival_report: bool = False,
+    plane: str | None = "auto",
 ) -> GatherResult:
     """Lemma 2.2: deliver ≥ (1 − f) of everyone's deg(v) messages to v⋆.
 
@@ -140,6 +180,15 @@ def gather_with_load_balancing(
     max_iterations / step_budget_per_iteration:
         Safety caps; defaults follow the paper's Θ((|E|/Δ)·log(1/f)) and
         Θ(φ⁻² log |E|) shapes with concrete constants.
+    simulate_arrival_report:
+        Run each iteration's reverse notification through the simulator
+        (:func:`notify_arrivals`, on the execution plane named by
+        ``plane``): every origin must actually *learn* which of its
+        messages landed, and a miss raises.  The measured flood metrics
+        are merged into :attr:`GatherResult.report_metrics` and recorded
+        per iteration in ``detail``; the round cost charged to
+        :attr:`GatherResult.rounds` stays the paper's symmetric
+        reverse-run estimate either way.
 
     Messages are ``(v, i)`` for i < deg(v).  The deg(v⋆) messages of v⋆
     itself are delivered for free (they are at the destination), matching
@@ -170,6 +219,16 @@ def gather_with_load_balancing(
 
     sink_gadget = set(split.gadget_vertices(v_star))
     result = GatherResult(total_messages=2 * m)
+    split_index: dict = {}
+    report_source = None
+    if simulate_arrival_report:
+        from repro.congest.metrics import NetworkMetrics
+
+        split_index = {
+            u: i for i, u in enumerate(sorted(split_graph.nodes, key=repr))
+        }
+        report_source = min(sink_gadget, key=repr)
+        result.report_metrics = NetworkMetrics()
     # Messages owned by v⋆ are already home.
     for i in range(graph.degree[v_star]):
         result.delivered.add((v_star, i))
@@ -231,14 +290,41 @@ def gather_with_load_balancing(
         # Reverse run (acknowledgements) costs the same number of rounds;
         # charge a symmetric copy, as in the lemma ("running in reverse").
         result.rounds += steps
-        result.detail.append(
-            {
-                "iteration": result.iterations,
-                "balancing_steps": steps,
-                "arrived": len(arrived),
-                "undelivered_before": len(undelivered),
+        entry = {
+            "iteration": result.iterations,
+            "balancing_steps": steps,
+            "arrived": len(arrived),
+            "undelivered_before": len(undelivered),
+        }
+        if simulate_arrival_report:
+            received, report_metrics = notify_arrivals(
+                split_graph, report_source, arrived, split_index,
+                plane=plane,
+            )
+            expected = frozenset(split_index[m] for m in arrived)
+            # One equality check per *distinct* received object (the
+            # flood shares one payload, so normally exactly one), not
+            # per arrived message.
+            decoded: dict[int, tuple] = {}
+            for message in arrived:
+                notified = received.get(home[message])
+                if notified is None:
+                    raise RuntimeError(
+                        "arrival notification missed an origin"
+                    )
+                decoded[id(notified)] = notified
+            for notified in decoded.values():
+                if frozenset(notified) != expected:
+                    raise RuntimeError(
+                        "arrival notification missed an origin"
+                    )
+            result.report_metrics.merge(report_metrics)
+            entry["report"] = {
+                "rounds": report_metrics.rounds,
+                "messages": report_metrics.messages,
+                "bits": report_metrics.total_bits,
             }
-        )
+        result.detail.append(entry)
         if not arrived:
             # Imbalance already near-flat yet nothing landed — only possible
             # with pathological parameters; fall back to direct accounting

@@ -31,10 +31,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Hashable, Mapping, Sequence
 
 import networkx as nx
+import numpy as np
 
+from repro.congest.columnar import ColumnarAlgorithm, ColumnarContext
+from repro.congest.message import ColumnarSpec, Message, VarColumn
+from repro.congest.network import Network, NodeAlgorithm, NodeContext
+from repro.congest.runtime import variant_for_plane
 from repro.gathering.kwise import KWiseHash, VECTOR_PRIME
 from repro.graphs.expander_split import ExpanderSplit
 
@@ -190,6 +195,329 @@ def simulate_walks(
     return {"final": final, "discarded": discarded, "max_load": max_load}
 
 
+# ---------------------------------------------------------------------------
+# Walk-token forwarding: the schedule execution as real message passing
+# ---------------------------------------------------------------------------
+class WalkTokenRouter(NodeAlgorithm):
+    """Lemma 2.5's schedule *execution* as a message-passing program.
+
+    Runs over the regularized split fG⋄ (one simulator vertex per split
+    vertex).  Each vertex holds **walk tokens** — ``(walk id, origin
+    index)`` pairs — and every round is one lazy-walk step: decisions
+    come from the k-wise hash every vertex learned through the schedule
+    broadcast, tokens whose decision indexes a real edge slot are
+    forwarded as one variable-length message per (sender, neighbour)
+    pair (the flattened pair list), and the 3r congestion rule is
+    applied *locally*: a vertex whose load after the step exceeds the
+    cap discards everything it holds, exactly as
+    :func:`simulate_walks`'s global bincount rule does per vertex.
+
+    Round protocol: round 1 sends the step-1 moves; round ``t`` (for
+    ``2 ≤ t ≤ τ``) folds the step-``t−1`` arrivals, applies the
+    congestion rule, and sends step ``t``; round ``τ+1`` folds the last
+    arrivals, applies the final rule, and halts — ``τ+1`` rounds total.
+    (The paper charges 3r CONGEST rounds per step to serialize token
+    lists through O(log n)-bit messages; the simulator instead measures
+    the full lists' bits, so the analytic round cost stays
+    :meth:`WalkSchedule.execution_rounds` and the router is normally run
+    with ``model="local"``.)
+
+    Outputs per vertex: ``(sorted surviving token pairs, discarded
+    count, peak load)`` — :func:`execute_walk_schedule` folds them back
+    into the :func:`simulate_walks` outcome shape and the two agree
+    token for token.
+    """
+
+    def __init__(self, degree: int, steps: int, cap: int,
+                 hash_function: KWiseHash) -> None:
+        super().__init__()
+        self.degree = degree
+        self.steps = steps
+        self.cap = cap
+        self.hash = hash_function
+        self.tokens: list[tuple[int, int]] = []
+        self.discarded = 0
+        self.max_load = 0
+
+    def spawn(self) -> "WalkTokenRouter":
+        return WalkTokenRouter(self.degree, self.steps, self.cap, self.hash)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        flat = self.input or ()
+        self.tokens = [
+            (int(flat[i]), int(flat[i + 1])) for i in range(0, len(flat), 2)
+        ]
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping) -> dict:
+        for message in inbox.values():
+            flat = message.payload
+            for j in range(0, len(flat), 2):
+                self.tokens.append((flat[j], flat[j + 1]))
+        if ctx.round_number > 1:
+            # Positions after step round_number - 1 are now complete:
+            # record the load and apply the congestion rule.
+            load = len(self.tokens)
+            if load > self.max_load:
+                self.max_load = load
+            if load > self.cap:
+                self.discarded += load
+                self.tokens = []
+        step = ctx.round_number
+        if step > self.steps:
+            self.halt()
+            return {}
+        if not self.tokens:
+            return {}
+        hash_triple = self.hash.hash_triple
+        neighbors = ctx.neighbors
+        real_slots = len(neighbors)  # slots beyond these are self-loops
+        outgoing: dict = {}
+        kept: list[tuple[int, int]] = []
+        for walk, origin in self.tokens:
+            decision = hash_triple(step, walk, origin)
+            if decision < real_slots:
+                flat = outgoing.get(neighbors[decision])
+                if flat is None:
+                    flat = outgoing[neighbors[decision]] = []
+                flat.append(walk)
+                flat.append(origin)
+            else:
+                kept.append((walk, origin))
+        self.tokens = kept
+        return {
+            target: Message(tuple(flat)) for target, flat in outgoing.items()
+        }
+
+    def output(self):
+        return (tuple(sorted(self.tokens)), self.discarded, self.max_load)
+
+
+class ColumnarWalkTokenRouter(ColumnarAlgorithm):
+    """Round-vectorized port of :class:`WalkTokenRouter` onto the
+    columnar plane's variable-width columns.
+
+    The whole graph's tokens live in three parallel arrays (walk id,
+    origin index, current vertex); each round hashes every token at once
+    (:meth:`~repro.gathering.kwise.KWiseHash.hash_triples_vectorized`),
+    groups the movers by (sender, destination) with one stable sort, and
+    emits each group's flattened pair list as one
+    :class:`~repro.congest.message.VarColumn` segment — byte-identical
+    messages, metrics, and outputs to the object-plane original, with
+    zero per-token Python on the fast path.  Arrival folding is the
+    zero-copy :meth:`~repro.congest.columnar.ColumnarContext.gather_var`.
+    """
+
+    spec = ColumnarSpec(VarColumn("tokens"))
+    # Token state is dense-row keyed (no vertex-id resolution after
+    # setup: per-row inputs only) and every emission is gated on
+    # ``~ctx.halted`` — safe for trial-major grid batching.
+    grid_safe = True
+
+    def __init__(self, degree: int, steps: int, cap: int,
+                 hash_function: KWiseHash) -> None:
+        self.degree = degree
+        self.steps = steps
+        self.cap = cap
+        self.hash = hash_function
+
+    def spawn(self) -> "ColumnarWalkTokenRouter":
+        return ColumnarWalkTokenRouter(
+            self.degree, self.steps, self.cap, self.hash
+        )
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        walks, origins, at = [], [], []
+        for i, flat in enumerate(ctx.inputs):
+            if not flat:
+                continue
+            pairs = np.asarray(flat, dtype=np.int64).reshape(-1, 2)
+            walks.append(pairs[:, 0])
+            origins.append(pairs[:, 1])
+            at.append(np.full(len(pairs), i, dtype=np.int64))
+        empty = np.empty(0, dtype=np.int64)
+        self.walk = np.concatenate(walks) if walks else empty
+        self.orig = np.concatenate(origins) if origins else empty
+        self.at = np.concatenate(at) if at else empty
+        self.discarded = np.zeros(n, dtype=np.int64)
+        self.max_load = np.zeros(n, dtype=np.int64)
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        stepped = ~ctx.halted
+        inbox = ctx.inbox
+        if len(inbox):
+            # Fold arrivals: each message's var segment is a flattened
+            # pair list, so the zero-copy per-vertex concatenation
+            # decodes with two strided views.
+            pool, vertex_indptr = ctx.gather_var("tokens")
+            counts = (vertex_indptr[1:] - vertex_indptr[:-1]) // 2
+            self.walk = np.concatenate([self.walk, pool[0::2]])
+            self.orig = np.concatenate([self.orig, pool[1::2]])
+            self.at = np.concatenate([
+                self.at,
+                np.repeat(np.arange(ctx.n, dtype=np.int64), counts),
+            ])
+        if ctx.round_number > 1:
+            loads = np.bincount(self.at, minlength=ctx.n)
+            np.maximum(self.max_load, loads, out=self.max_load)
+            over = loads > self.cap
+            if over.any():
+                self.discarded += np.where(over, loads, 0)
+                keep = ~over[self.at]
+                self.walk = self.walk[keep]
+                self.orig = self.orig[keep]
+                self.at = self.at[keep]
+        step = ctx.round_number
+        if step > self.steps:
+            ctx.halt(stepped)
+            return
+        if not len(self.walk):
+            return
+        decisions = self.hash.hash_triples_vectorized(
+            step, self.walk.astype(np.uint64), self.orig.astype(np.uint64)
+        ).astype(np.int64)
+        # Decisions below the sender's real degree move along that CSR
+        # slot; self-loop slots and lazy decisions stay put.
+        moving = (decisions < ctx.degrees[self.at]) & stepped[self.at]
+        if moving.any():
+            m_at = self.at[moving]
+            dest = ctx.indices[ctx.indptr[m_at] + decisions[moving]]
+            # One stable sort groups the movers into the object plane's
+            # per-(sender, destination) messages.
+            order = np.argsort(m_at * ctx.n + dest, kind="stable")
+            m_at = m_at[order]
+            dest = dest[order]
+            boundary = np.empty(len(m_at), dtype=bool)
+            boundary[0] = True
+            np.not_equal(
+                m_at[1:] * ctx.n + dest[1:],
+                m_at[:-1] * ctx.n + dest[:-1],
+                out=boundary[1:],
+            )
+            group_starts = np.flatnonzero(boundary)
+            group_sizes = np.diff(np.append(group_starts, len(m_at)))
+            pool = np.empty(2 * len(m_at), dtype=np.int64)
+            pool[0::2] = self.walk[moving][order]
+            pool[1::2] = self.orig[moving][order]
+            ctx.emit_var(
+                m_at[group_starts], dest[group_starts],
+                tokens=(pool, 2 * group_sizes),
+            )
+            keep = ~moving
+            self.walk = self.walk[keep]
+            self.orig = self.orig[keep]
+            self.at = self.at[keep]
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        held: list[list] = [[] for _ in range(ctx.n)]
+        for walk, origin, vertex in zip(
+            self.walk.tolist(), self.orig.tolist(), self.at.tolist()
+        ):
+            held[vertex].append((walk, origin))
+        return [
+            (tuple(sorted(held[i])), int(self.discarded[i]),
+             int(self.max_load[i]))
+            for i in range(ctx.n)
+        ]
+
+
+_WALK_ROUTER_VARIANTS = {
+    "object": WalkTokenRouter,
+    "columnar": ColumnarWalkTokenRouter,
+}
+
+
+def schedule_hash(schedule: "WalkSchedule") -> KWiseHash:
+    """The k-wise family member a :class:`WalkSchedule` names (the
+    object every vertex reconstructs from the broadcast description)."""
+    return KWiseHash(
+        k=schedule.k, range_size=2 * schedule.degree, seed=schedule.seed,
+        prime=VECTOR_PRIME,
+    )
+
+
+def execute_walk_schedule(
+    regular: RegularizedSplit,
+    origins: Sequence[tuple],
+    schedule: "WalkSchedule",
+    congestion_cap: int | None = None,
+    model: str = "local",
+    plane: str | None = "auto",
+) -> dict:
+    """Run a found schedule as real message passing over fG⋄.
+
+    The distributed counterpart of :func:`simulate_walks`: walk tokens
+    are forwarded by :class:`WalkTokenRouter` (or its columnar port,
+    picked by ``plane`` through the runtime registry) and the returned
+    dict has the same ``final`` / ``discarded`` / ``max_load`` shape —
+    equal entry for entry to the centralized simulation — plus the
+    measured :class:`~repro.congest.metrics.NetworkMetrics` under
+    ``"metrics"``.  ``model`` defaults to ``"local"`` because a step's
+    token lists exceed one O(log n)-bit message; the paper serializes
+    them over 3r rounds per step
+    (:meth:`WalkSchedule.execution_rounds`), which stays the analytic
+    round cost.
+    """
+    r = schedule.walks_per_message
+    cap = congestion_cap if congestion_cap is not None else 3 * r
+    if len(origins) * max(1, r) >= (1 << 20):
+        raise ValueError(
+            "walk ids must fit the hash family's 20-bit key packing"
+        )
+    inputs: dict = {}
+    message_ids = []
+    for i, (message_id, start) in enumerate(origins):
+        message_ids.append(message_id)
+        origin_index = regular.index[start]
+        flat = inputs.setdefault(start, [])
+        for beta in range(r):
+            flat.extend((i * r + beta, origin_index))
+    net = Network(regular.split.split, model=model)
+    algorithm = variant_for_plane(_WALK_ROUTER_VARIANTS, plane)(
+        regular.degree, schedule.steps, cap, schedule_hash(schedule)
+    )
+    outputs = net.run(
+        algorithm,
+        max_rounds=schedule.steps + 3,
+        inputs={v: tuple(flat) for v, flat in inputs.items()},
+        plane=plane,
+    )
+    position: dict[int, Hashable] = {}
+    discarded = 0
+    max_load = 0
+    for vertex, (tokens, vertex_discarded, vertex_peak) in outputs.items():
+        discarded += vertex_discarded
+        if vertex_peak > max_load:
+            max_load = vertex_peak
+        for walk, _origin in tokens:
+            position[walk] = vertex
+    final: dict = {}
+    for i, message_id in enumerate(message_ids):
+        survivors = [
+            position[j] for j in range(i * r, (i + 1) * r) if j in position
+        ]
+        if survivors:
+            final[message_id] = survivors
+    return {
+        "final": final,
+        "discarded": discarded,
+        "max_load": max_load,
+        "metrics": net.metrics,
+    }
+
+
+def _message_origins(graph: nx.Graph, v_star: Hashable) -> list[tuple]:
+    """The paper's message set: the i-th of deg(v) messages of vertex v
+    starts at split vertex (v, i); v⋆'s own messages are home already."""
+    origins = []
+    for v in graph.nodes:
+        if v == v_star:
+            continue
+        for i in range(graph.degree[v]):
+            origins.append(((v, i), (v, i)))
+    return origins
+
+
 def _good_fraction(
     graph: nx.Graph,
     regular: RegularizedSplit,
@@ -229,12 +557,35 @@ def find_walk_schedule(
     k ≥ 4 reproduces the routing behaviour (only the proof needs full k);
     see DESIGN.md.  Returns (schedule, delivered message ids).
     """
+    schedule, delivered, _regular, _origins = _find_walk_schedule_full(
+        graph, v_star, f=f, phi_hint=phi_hint, constant_c=constant_c,
+        mixing_constant=mixing_constant, independence=independence,
+        max_seeds=max_seeds,
+    )
+    return schedule, delivered
+
+
+def _find_walk_schedule_full(
+    graph: nx.Graph,
+    v_star: Hashable,
+    f: float = 0.25,
+    phi_hint: float | None = None,
+    constant_c: float = 1.0,
+    mixing_constant: float = 2.0,
+    independence: int | None = None,
+    max_seeds: int = 64,
+) -> tuple[WalkSchedule, set, "RegularizedSplit | None", list]:
+    """:func:`find_walk_schedule` plus the regularized split and message
+    origins it built — callers that go on to *execute* the schedule
+    (:func:`execute_walk_schedule`) reuse them instead of rebuilding the
+    per-vertex gadget construction.  ``regular`` is ``None`` (and
+    ``origins`` empty) for edgeless graphs."""
     if not 0 < f < 0.5:
         raise ValueError("f must lie in (0, 1/2)")
     m = graph.number_of_edges()
     if m == 0:
         schedule = WalkSchedule(0, 0, 0, 2, 4, 1.0)
-        return schedule, set()
+        return schedule, set(), None, []
     regular = build_regularized_split(graph)
     n_split = len(regular.vertices)
     if phi_hint is None:
@@ -246,14 +597,8 @@ def find_walk_schedule(
     r, k_paper = _walk_parameters(graph, v_star, f, tau, constant_c)
     k = independence if independence is not None else min(k_paper, 16)
 
-    origins = []
-    total_messages = 0
-    for v in graph.nodes:
-        if v == v_star:
-            continue
-        for i in range(graph.degree[v]):
-            origins.append(((v, i), (v, i)))
-            total_messages += 1
+    origins = _message_origins(graph, v_star)
+    total_messages = len(origins)
 
     target = 1.0 - f
     best: tuple[float, int, set] | None = None
@@ -279,7 +624,7 @@ def find_walk_schedule(
             # v⋆'s own deg(v⋆) messages are home already.
             for i in range(graph.degree[v_star]):
                 delivered.add((v_star, i))
-            return schedule, delivered
+            return schedule, delivered, regular, origins
     raise RuntimeError(
         f"no seed among {max_seeds} reached delivery {target:.3f}; best was "
         f"{best[0]:.3f} (seed {best[1]}) — increase r via constant_c"
@@ -385,18 +730,26 @@ def broadcast_schedule(
     v_star: Hashable,
     schedule: WalkSchedule,
     model: str = "congest",
+    plane: str | None = "auto",
+    include_coefficients: bool = False,
 ):
     """Lemma 2.5's distribution step, actually simulated.
 
     The leader v⋆ knows the schedule; every vertex must learn it before
     the walks can run.  Flood the schedule's description — ``(seed, r, τ,
-    d, k)``, an O(log n)-bit payload — from v⋆ through the simulator's
-    flooding primitive, which emits one shared :class:`Message` per round
-    via the engine's broadcast plane (``ctx.broadcast``).  Returns
-    ``(outputs, metrics)``: every vertex's received description plus the
-    measured CONGEST round/message/bit counts of the flood.
+    d, k)``, an O(log n)-bit payload — from v⋆ through
+    :func:`repro.congest.algorithms.flood_values`; ``plane`` selects the
+    execution plane by runtime-registry name (``"auto"`` runs the
+    variable-width columnar flood, byte-identical to the object plane).
+    With ``include_coefficients=True`` the k expanded hash coefficients
+    ride along (:meth:`~repro.gathering.kwise.KWiseHash.describe`), so
+    the payload length varies with k — the description then usually
+    exceeds one CONGEST message and needs ``model="local"``, which is
+    exactly the paper's point in broadcasting only the O(k log n)-bit
+    seed.  Returns ``(outputs, metrics)``: every vertex's received
+    description plus the measured round/message/bit counts of the flood.
     """
-    from repro.congest.algorithms import broadcast as _flood
+    from repro.congest.algorithms import flood_values
 
     payload = (
         schedule.seed,
@@ -405,7 +758,9 @@ def broadcast_schedule(
         schedule.degree,
         schedule.k,
     )
-    return _flood(graph, v_star, payload, model=model)
+    if include_coefficients:
+        payload = payload + schedule_hash(schedule).coefficients
+    return flood_values(graph, v_star, payload, model=model, plane=plane)
 
 
 def gather_with_random_walks(
@@ -413,6 +768,8 @@ def gather_with_random_walks(
     v_star: Hashable,
     f: float = 0.25,
     simulate_schedule_broadcast: bool = False,
+    simulate_walk_routing: bool = False,
+    plane: str | None = "auto",
     **kwargs,
 ) -> tuple[set, int, WalkSchedule]:
     """Convenience wrapper: find a schedule and report (delivered, rounds).
@@ -423,12 +780,34 @@ def gather_with_random_walks(
     dominant term.  With ``simulate_schedule_broadcast=True`` the
     Lemma 2.5 distribution step is run through the simulator
     (:func:`broadcast_schedule`) and its *measured* rounds are added to
-    the returned total.
+    the returned total.  With ``simulate_walk_routing=True`` the found
+    schedule is additionally *executed* as real message passing over fG⋄
+    (:func:`execute_walk_schedule`, on the execution plane named by
+    ``plane``) and the delivered set is cross-checked against the
+    leader's centralized search — a divergence raises.
     """
-    schedule, delivered = find_walk_schedule(graph, v_star, f=f, **kwargs)
+    schedule, delivered, regular, origins = _find_walk_schedule_full(
+        graph, v_star, f=f, **kwargs
+    )
     rounds = schedule.execution_rounds()
+    if simulate_walk_routing and regular is not None:
+        outcome = execute_walk_schedule(
+            regular, origins, schedule, plane=plane
+        )
+        _, routed = _good_fraction(
+            graph, regular, v_star, outcome, len(origins)
+        )
+        for i in range(graph.degree[v_star]):
+            routed.add((v_star, i))
+        if routed != delivered:
+            raise RuntimeError(
+                "simulated walk routing diverged from the leader's "
+                "schedule search"
+            )
     if simulate_schedule_broadcast:
-        outputs, metrics = broadcast_schedule(graph, v_star, schedule)
+        outputs, metrics = broadcast_schedule(
+            graph, v_star, schedule, plane=plane
+        )
         if any(received is None for received in outputs.values()):
             raise RuntimeError("schedule broadcast did not reach all vertices")
         rounds += metrics.rounds

@@ -29,6 +29,7 @@ from repro.congest import (
     ColumnarSpec,
     Network,
     Trial,
+    VarColumn,
     bits_for_payload,
     run_many,
 )
@@ -121,9 +122,203 @@ class TestColumnarSpec:
         ]
 
 
-# ---------------------------------------------------------------------------
-# Segmented reductions + per-vertex inbox views
-# ---------------------------------------------------------------------------
+class TestVarColumnSpec:
+    def test_layout_interleaves_fixed_and_var(self):
+        spec = ColumnarSpec(("a", np.uint8), VarColumn("t"),
+                            ("b", np.int32))
+        assert spec.names == ("a", "b")
+        assert spec.var_names == ("t",)
+        assert spec.layout == (
+            ("fixed", "a"), ("var", "t"), ("fixed", "b"),
+        )
+        assert "t:var" in repr(spec)
+
+    def test_duplicate_var_name_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ColumnarSpec(("x", np.uint8), VarColumn("x"))
+        with pytest.raises(ValueError, match="duplicate"):
+            ColumnarSpec(VarColumn("x"), VarColumn("x"))
+
+    def test_payload_of_nests_var_tuples(self):
+        spec = ColumnarSpec(("kind", np.uint8), VarColumn("ids"))
+        assert spec.payload_of((3,), {"ids": (1, 2)}) == (3, (1, 2))
+        solo = ColumnarSpec(VarColumn("ids"))
+        assert solo.payload_of((), {"ids": (4, 5, 6)}) == (4, 5, 6)
+        assert solo.payload_of((), {"ids": ()}) == ()
+
+    def test_var_bits_match_payload_oracle(self):
+        rng = random.Random(3)
+        solo = ColumnarSpec(VarColumn("ids"))
+        mixed = ColumnarSpec(("kind", np.uint8), VarColumn("ids"))
+        sequences = [
+            tuple(rng.randrange(-(1 << 30), 1 << 30)
+                  for _ in range(rng.randrange(6)))
+            for _ in range(60)
+        ]
+        lengths = np.array([len(s) for s in sequences], dtype=np.int64)
+        pool = np.array(
+            [v for s in sequences for v in s], dtype=np.int64
+        )
+        indptr = np.concatenate([[0], np.cumsum(lengths)])
+        got = solo.bits_of({}, {"ids": (pool, indptr)})
+        # A lone empty sequence is the 1-bit Message minimum.
+        assert got.tolist() == [
+            bits_for_payload(s) or 1 for s in sequences
+        ]
+        kinds = np.array([rng.randrange(4) for _ in sequences],
+                         dtype=np.int64)
+        got = mixed.bits_of({"kind": kinds}, {"ids": (pool, indptr)})
+        assert got.tolist() == [
+            bits_for_payload((int(k), s))
+            for k, s in zip(kinds, sequences)
+        ]
+
+    def test_bits_of_requires_var_data(self):
+        spec = ColumnarSpec(VarColumn("ids"))
+        with pytest.raises(ValueError, match="var_data"):
+            spec.bits_of({})
+
+
+class VarRelay(ColumnarAlgorithm):
+    """Round 1: vertex 0 broadcasts a ragged payload per the test's
+    wishes; round 2: everyone reads it back and halts."""
+
+    spec = ColumnarSpec(("tag", np.uint8), VarColumn("vals"))
+
+    def __init__(self, emit):
+        self.emit = emit
+
+    def spawn(self):
+        return type(self)(self.emit)
+
+    def setup(self, ctx):
+        self.seen = [None] * ctx.n
+
+    def on_round(self, ctx):
+        stepped = ~ctx.halted
+        if ctx.round_number == 1:
+            self.emit(ctx)
+            return
+        pool, vertex_indptr = ctx.gather_var("vals")
+        for i in range(ctx.n):
+            start, stop = int(vertex_indptr[i]), int(vertex_indptr[i + 1])
+            self.seen[i] = (
+                ctx.inbox.column("tag")[
+                    ctx.inbox.indptr[i]:ctx.inbox.indptr[i + 1]
+                ].tolist(),
+                pool[start:stop].tolist(),
+            )
+        ctx.halt(stepped)
+
+    def outputs(self, ctx):
+        return self.seen
+
+
+class TestVarEmission:
+    def graph(self):
+        return nx.path_graph(4)
+
+    @pytest.mark.parametrize("reference", [False, True])
+    def test_broadcast_fans_ragged_segments(self, reference):
+        def emit(ctx):
+            ctx.emit_var(
+                np.array([0, 2]), tag=np.array([2, 1]),
+                vals=(np.array([5, -3, 0], dtype=np.int64),
+                      np.array([3, 0], dtype=np.int64)),
+            )
+
+        net = Network(self.graph())
+        runner = net._run_reference if reference else net.run
+        outputs = runner(VarRelay(emit))
+        assert outputs[1] == ([2, 1], [5, -3, 0])
+        assert outputs[3] == ([1], [])
+        # bits: (2, (5,-3,0)) once to vertex 1; (1, ()) to vertices 1, 3
+        expected_bits = (
+            bits_for_payload((2, (5, -3, 0)))
+            + 2 * bits_for_payload((1, ()))
+        )
+        assert net.metrics.messages == 3
+        assert net.metrics.total_bits == expected_bits
+
+    @pytest.mark.parametrize("reference", [False, True])
+    def test_unicast_list_of_sequences_form(self, reference):
+        def emit(ctx):
+            ctx.emit_var(
+                np.array([1, 1]), np.array([0, 2]),
+                tag=np.array([7, 7]), vals=[[9, 9, 9], []],
+            )
+
+        net = Network(self.graph())
+        runner = net._run_reference if reference else net.run
+        outputs = runner(VarRelay(emit))
+        assert outputs[0] == ([7], [9, 9, 9])
+        assert outputs[2] == ([7], [])
+
+    def test_tuple_of_sequences_is_per_row_not_pool(self):
+        # A 2-tuple of plain sequences is two per-row sequences — even
+        # when the lengths would coincidentally balance as a
+        # (pool, lengths) pair; only a pair of numpy arrays selects the
+        # pool fast path.
+        def emit(ctx):
+            ctx.emit_var(np.array([1, 1]), np.array([0, 2]),
+                         tag=np.array([7, 7]), vals=([0, 5], [2, 0]))
+
+        net = Network(self.graph())
+        outputs = net.run(VarRelay(emit))
+        assert outputs[0] == ([7], [0, 5])
+        assert outputs[2] == ([7], [2, 0])
+
+    def test_emit_columns_refuses_var_specs(self):
+        def emit(ctx):
+            ctx.emit_columns(np.array([0]), tag=1, vals=[[1]])
+
+        with pytest.raises(ValueError, match="emit_var"):
+            Network(self.graph()).run(VarRelay(emit))
+
+    def test_length_pool_mismatch_rejected(self):
+        def emit(ctx):
+            ctx.emit_var(
+                np.array([0]), tag=1,
+                vals=(np.array([1, 2], dtype=np.int64),
+                      np.array([3], dtype=np.int64)),
+            )
+
+        with pytest.raises(ValueError, match="lengths sum"):
+            Network(self.graph()).run(VarRelay(emit))
+
+    def test_float_pool_rejected(self):
+        def emit(ctx):
+            ctx.emit_var(
+                np.array([0]), tag=1,
+                vals=(np.array([1.5]), np.array([1], dtype=np.int64)),
+            )
+
+        with pytest.raises(TypeError, match="integers or bools"):
+            Network(self.graph()).run(VarRelay(emit))
+
+    def test_gather_var_where_mask(self):
+        collected = {}
+
+        class Masked(VarRelay):
+            def on_round(self, ctx):
+                stepped = ~ctx.halted
+                if ctx.round_number == 1:
+                    ctx.emit_var(
+                        np.array([0, 2]), tag=np.array([0, 1]),
+                        vals=[[4, 4], [6]],
+                    )
+                    return
+                mask = ctx.inbox.column("tag") == 1
+                pool, vindptr = ctx.gather_var("vals", where=mask)
+                collected["pool"] = pool.tolist()
+                collected["indptr"] = vindptr.tolist()
+                ctx.halt(stepped)
+
+        Network(self.graph()).run(Masked(lambda ctx: None))
+        # Vertex 1 hears both broadcasts but only sender 2's tagged one
+        # survives the mask; vertex 3 hears sender 2 only.
+        assert collected["pool"] == [6, 6]
+        assert collected["indptr"] == [0, 0, 1, 1, 2]
 def make_inbox():
     """4 vertices; vertex 0: values (5, 3), vertex 1: empty,
     vertex 2: (3, 3, 9), vertex 3: (7,)."""

@@ -23,6 +23,8 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "decomposition built and validated" in out
         assert "measured routing T" in out
+        assert "execution planes" in out
+        assert "on both planes" in out
 
     def test_approximation_suite(self, capsys):
         module = _load("approximation_suite")
@@ -46,3 +48,6 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "load balancing" in out
         assert "random walks" in out
+        # The plane ablation ran and both planes agreed.
+        assert "columnar plane" in out
+        assert "identical outcome and metrics" in out

@@ -37,7 +37,12 @@ from repro.congest import (
     run_many,
     supported_planes,
 )
-from repro.congest.algorithms import ColumnarBFSTree, ColumnarConvergecastSum
+from repro.congest.algorithms import (
+    BroadcastAlgorithm,
+    ColumnarBFSTree,
+    ColumnarConvergecastSum,
+    ColumnarVarFlood,
+)
 from repro.congest.classic import (
     ColumnarLubyMIS,
     ColumnarTrialColoring,
@@ -202,6 +207,63 @@ def test_every_registered_plane_runs_differentially(name):
     reference_net = Network(graph)
     expected = reference_net._run_reference(
         factory(graph), max_rounds=horizon + 2, inputs=inputs
+    )
+    assert outputs == expected
+    assert list(outputs) == list(expected)
+    assert metrics_tuple(net.metrics) == metrics_tuple(reference_net.metrics)
+
+
+# One *variable-width* sample workload per plane family: the var-column
+# schema (VarColumn pools) has its own delivery/accounting code paths, so
+# every registered plane must also be exercised differentially on a
+# ragged payload — a plane family with no entry here fails loudly.
+_VAR_PAYLOAD = (3, 1, 4, 1, 5, 92)
+
+
+def _flood_horizon(graph):
+    return graph.number_of_nodes() + 1
+
+
+VAR_SAMPLE_WORKLOADS = {
+    "object": lambda graph: BroadcastAlgorithm(
+        min(graph.nodes, key=repr), _VAR_PAYLOAD, _flood_horizon(graph)
+    ),
+    "columnar": lambda graph: ColumnarVarFlood(
+        min(graph.nodes, key=repr), _VAR_PAYLOAD, _flood_horizon(graph)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", plane_names())
+def test_every_registered_plane_runs_var_columns_differentially(name):
+    plane = get_plane(name)
+    factory = VAR_SAMPLE_WORKLOADS.get(plane.kind)
+    if factory is None:
+        pytest.fail(
+            f"registered plane {name!r} has kind {plane.kind!r} with no "
+            f"variable-width sample workload: add one to "
+            f"VAR_SAMPLE_WORKLOADS so var-column delivery is "
+            f"differentially tested on this plane"
+        )
+    graph = triangulated_grid(4, 4)
+    max_rounds = _flood_horizon(graph) + 2
+    if plane.batch_only:
+        trials = [Trial(graph, max_rounds=max_rounds) for _ in range(3)]
+        batched = run_many(factory(graph), trials, processes=1, plane=name)
+        for trial, (outputs, metrics) in zip(trials, batched):
+            net = Network(trial.graph)
+            expected = net._run_reference(
+                factory(graph), max_rounds=trial.max_rounds
+            )
+            assert outputs == expected
+            assert list(outputs) == list(expected)
+            assert metrics_tuple(metrics) == metrics_tuple(net.metrics)
+        return
+    net = Network(graph)
+    outputs = net.run(factory(graph), max_rounds=max_rounds, plane=name)
+    reference_net = Network(graph)
+    expected = reference_net._run_reference(
+        factory(graph), max_rounds=max_rounds
     )
     assert outputs == expected
     assert list(outputs) == list(expected)
