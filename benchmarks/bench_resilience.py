@@ -1,0 +1,279 @@
+"""Resilience benchmark: guarantee degradation under injected faults.
+
+Each workload runs a seeded sweep of a classic CONGEST algorithm (Luby
+MIS, BFS tree, (Δ+1) trial colouring — all on the columnar plane) under
+one fault model from :mod:`repro.congest.runtime.faults` at increasing
+intensity, then re-verifies the paper guarantee on the surviving
+(non-crashed) vertices with the :mod:`repro.congest.validators`
+checkers:
+
+``crash``
+    Crash-stop vertex failures with per-round probability *p*.
+``drop``
+    Lossy links: each message independently vanishes with probability *p*.
+``delay``
+    Bounded-delay asynchrony: each message is deferred by a uniform
+    ``d ≤ D`` rounds (``D`` is the intensity knob).
+
+The *reported* quantities are the units the guarantees are stated in:
+violation counts and rates from the validators, timeout counts (trials
+that exhausted ``max_rounds``), and the injected-fault tallies from
+``NetworkMetrics``.  Intensity 0 is always included so each curve starts
+from the (validated) fault-free baseline, and each
+``(algorithm, model)`` pair's breaking threshold — the smallest swept
+intensity with a non-zero violation or timeout rate — is summarised in
+the payload's ``breaking_points``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick] [--json PATH]
+
+``--quick`` shrinks graphs and trial counts so the run fits the
+perf-smoke budget.  Results are written to ``BENCH_resilience.json`` at
+the repository root (schema v2, one workload record per curve point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import networkx as nx
+
+from _common import bench_payload, fmt, print_table, write_bench_json
+
+from repro.congest import (
+    FaultPlan,
+    Network,
+    check_bfs_tree,
+    check_coloring,
+    check_mis,
+)
+from repro.congest.algorithms import ColumnarBFSTree
+from repro.congest.classic import ColumnarLubyMIS, ColumnarTrialColoring
+from repro.graphs import random_regular_expander, triangulated_grid
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def fault_plan(model, intensity, seed):
+    if model == "crash":
+        return FaultPlan(seed=seed, crash=intensity)
+    if model == "drop":
+        return FaultPlan(seed=seed, drop=intensity)
+    if model == "delay":
+        return FaultPlan(seed=seed, delay=int(intensity))
+    raise ValueError(f"unknown fault model {model!r}")
+
+
+def build_algorithms(quick):
+    """One entry per algorithm: graph, factory, input seeding, horizon,
+    and the validator closure mapping (graph, outputs, crashed) → report."""
+    if quick:
+        expander = random_regular_expander(96, 6, seed=2)
+        grid = triangulated_grid(8, 8)
+        trials = 6
+    else:
+        expander = random_regular_expander(256, 8, seed=2)
+        grid = triangulated_grid(16, 16)
+        trials = 16
+
+    mis_horizon = 20 * max(4, expander.number_of_nodes().bit_length() ** 2)
+    root = next(iter(grid.nodes))
+    bfs_horizon = nx.eccentricity(grid, v=root) + 3
+    delta = max(d for _, d in grid.degree)
+    color_horizon = 40 * max(4, grid.number_of_nodes().bit_length() ** 2)
+
+    return [
+        {
+            "name": "mis",
+            "graph": expander,
+            "make": lambda: ColumnarLubyMIS(mis_horizon),
+            "needs_inputs": True,
+            "max_rounds": mis_horizon + 2,
+            "trials": trials,
+            "check": lambda graph, outputs, crashed:
+                check_mis(graph, outputs, crashed=crashed),
+        },
+        {
+            "name": "bfs",
+            "graph": grid,
+            "make": lambda: ColumnarBFSTree(root, bfs_horizon + 40),
+            "needs_inputs": False,
+            "max_rounds": bfs_horizon + 42,
+            "trials": trials,
+            "check": lambda graph, outputs, crashed:
+                check_bfs_tree(graph, outputs, root, crashed=crashed),
+        },
+        {
+            "name": "coloring",
+            "graph": grid,
+            "make": lambda: ColumnarTrialColoring(delta + 1, color_horizon),
+            "needs_inputs": True,
+            "max_rounds": color_horizon + 2,
+            "trials": trials,
+            "check": lambda graph, outputs, crashed:
+                check_coloring(graph, outputs, crashed=crashed,
+                               palette=delta + 1),
+        },
+    ]
+
+
+# Intensity 0 heads every sweep: the validated fault-free anchor of the
+# degradation curve.  Crash probabilities stay small — they compound
+# per-round — while drop rates range up to heavy loss.
+FAULT_SWEEPS = {
+    "crash": [0.0, 0.002, 0.01, 0.05],
+    "drop": [0.0, 0.02, 0.1, 0.3],
+    "delay": [0, 1, 2, 4],
+}
+QUICK_SWEEPS = {
+    "crash": [0.0, 0.01, 0.05],
+    "drop": [0.0, 0.1, 0.3],
+    "delay": [0, 2],
+}
+
+
+def run_curve_point(spec, model, intensity, seed_base=0):
+    """Run one algorithm × fault model × intensity sweep and aggregate."""
+    graph = spec["graph"]
+    checked = violations = timeouts = 0
+    dropped = duplicated = delayed = crashed = 0
+    rounds = messages = bits = 0
+    details = []
+    start = time.perf_counter()
+    for index in range(spec["trials"]):
+        plan = fault_plan(model, intensity, seed_base + index)
+        net = Network(graph)
+        inputs = (seeded_inputs(graph, seed_base + index)
+                  if spec["needs_inputs"] else None)
+        try:
+            outputs = net.run(
+                spec["make"](), max_rounds=spec["max_rounds"],
+                inputs=inputs, plane="columnar",
+                faults=plan if plan.active else None,
+            )
+        except RuntimeError as exc:
+            if "did not halt" not in str(exc):
+                raise
+            timeouts += 1
+        else:
+            report = spec["check"](graph, outputs,
+                                   net.metrics.crashed_vertices)
+            checked += report.checked
+            violations += report.violations
+            if report.details and len(details) < 3:
+                details.append(report.details[0])
+        metrics = net.metrics
+        rounds += metrics.rounds
+        messages += metrics.messages
+        bits += metrics.total_bits
+        dropped += metrics.dropped
+        duplicated += metrics.duplicated
+        delayed += metrics.delayed
+        crashed += metrics.crashed
+    elapsed = time.perf_counter() - start
+    return {
+        "workload": f"{spec['name']}_{model}_{intensity}",
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "trials": spec["trials"],
+        "wall_clock_s": elapsed,
+        "rounds": rounds,
+        "messages": messages,
+        "bits": bits,
+        "algorithm": spec["name"],
+        "fault_model": model,
+        "intensity": intensity,
+        "checked": checked,
+        "violations": violations,
+        "violation_rate": violations / checked if checked else 0.0,
+        "timeouts": timeouts,
+        "timeout_rate": timeouts / spec["trials"],
+        "faults_dropped": dropped,
+        "faults_duplicated": duplicated,
+        "faults_delayed": delayed,
+        "faults_crashed": crashed,
+        "sample_violations": details,
+    }
+
+
+def breaking_points(records):
+    """Smallest swept intensity per (algorithm, model) where the
+    guarantee degrades (violations or timeouts appear)."""
+    points = {}
+    for record in records:
+        key = f"{record['algorithm']}/{record['fault_model']}"
+        degraded = record["violations"] > 0 or record["timeouts"] > 0
+        if degraded and (key not in points
+                         or record["intensity"] < points[key]):
+            points[key] = record["intensity"]
+    return points
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small graphs and trial counts; fits the perf-smoke budget",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="where to write the results JSON "
+             "(default: BENCH_resilience.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    sweeps = QUICK_SWEEPS if args.quick else FAULT_SWEEPS
+    records = []
+    for spec in build_algorithms(args.quick):
+        for model, intensities in sweeps.items():
+            for intensity in intensities:
+                record = run_curve_point(spec, model, intensity)
+                if intensity == 0 and (record["violations"]
+                                       or record["timeouts"]):
+                    raise AssertionError(
+                        f"{record['workload']}: fault-free baseline must "
+                        "satisfy its guarantee"
+                    )
+                records.append(record)
+
+    print_table(
+        "Guarantee degradation under injected faults "
+        "(validators re-verify each paper guarantee on live vertices)",
+        ["workload", "trials", "violations", "rate", "timeouts",
+         "crashed", "dropped", "delayed", "rounds"],
+        [
+            [r["workload"], r["trials"], r["violations"],
+             fmt(r["violation_rate"], 4), r["timeouts"],
+             r["faults_crashed"], r["faults_dropped"], r["faults_delayed"],
+             r["rounds"]]
+            for r in records
+        ],
+    )
+
+    points = breaking_points(records)
+    payload = bench_payload(
+        "resilience",
+        records,
+        quick=args.quick,
+        fault_sweeps={k: list(v) for k, v in sweeps.items()},
+        breaking_points=points,
+    )
+    path = write_bench_json("resilience", payload, args.json)
+    for key, intensity in sorted(points.items()):
+        print(f"breaking threshold {key}: intensity {intensity}")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

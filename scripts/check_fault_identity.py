@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fault-matrix smoke: zero-fault identity on every registered plane.
+
+The keystone contract of ``repro.congest.runtime.faults``: running with a
+zero-rate :class:`~repro.congest.FaultPlan` exercises the full fault
+machinery (masks drawn, gathers applied, counters folded) yet must be
+**byte-identical** — outputs, output ordering, and every
+``NetworkMetrics`` field — to running with no plan at all.  This script
+re-verifies that matrix standalone, one row per plane registered in
+``repro.congest.runtime``, plus a faulty determinism row (the same
+seeded plan twice must reproduce the same outputs and fault tallies).
+
+The deep cross-plane differentials live in ``tests/test_runtime.py``
+(coverage-enforced per registered plane); this is the quick CI face of
+the same contract, runnable anywhere::
+
+    PYTHONPATH=src python scripts/check_fault_identity.py
+
+Exit status is non-zero if any plane breaks identity or determinism.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.congest import FaultPlan, Network, Trial, plane_names, run_many
+from repro.congest.classic import ColumnarLubyMIS, LubyMISAlgorithm
+from repro.congest.runtime.planes import get_plane
+from repro.graphs import triangulated_grid
+
+FAULT_SAMPLE_WORKLOADS = {
+    "object": lambda horizon: LubyMISAlgorithm(horizon),
+    "columnar": lambda horizon: ColumnarLubyMIS(horizon),
+}
+
+FAULTY_PLAN = FaultPlan(seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2)
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def run_plane(name, factory, graph, horizon, faults):
+    """(outputs-as-list-of-pairs, metrics) for one plane run."""
+    plane = get_plane(name)
+    if plane.batch_only:
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, 21),
+                  max_rounds=horizon + 2, faults=faults)
+        ]
+        [(outputs, metrics)] = run_many(
+            factory(horizon), trials, processes=1, plane=name
+        )
+        return list(outputs.items()), metrics
+    net = Network(graph)
+    outputs = net.run(
+        factory(horizon), max_rounds=horizon + 2,
+        inputs=seeded_inputs(graph, 21), plane=name, faults=faults,
+    )
+    return list(outputs.items()), net.metrics
+
+
+def main():
+    graph = triangulated_grid(5, 5)
+    horizon = 20 * max(4, graph.number_of_nodes().bit_length() ** 2)
+    failures = 0
+    print(f"{'plane':<20} {'zero-fault identity':<20} "
+          f"{'faulty determinism':<20}")
+    print("-" * 62)
+    for name in plane_names():
+        plane = get_plane(name)
+        factory = FAULT_SAMPLE_WORKLOADS.get(plane.kind)
+        if factory is None:
+            print(f"{name:<20} NO SAMPLE WORKLOAD for kind "
+                  f"{plane.kind!r} — add one to FAULT_SAMPLE_WORKLOADS")
+            failures += 1
+            continue
+
+        bare = run_plane(name, factory, graph, horizon, None)
+        zeroed = run_plane(name, factory, graph, horizon, FaultPlan())
+        identity = "ok" if zeroed == bare else "MISMATCH"
+
+        first = run_plane(name, factory, graph, horizon, FAULTY_PLAN)
+        second = run_plane(name, factory, graph, horizon, FAULTY_PLAN)
+        bit = first[1].dropped + first[1].delayed + first[1].crashed > 0
+        determinism = ("ok" if first == second and bit
+                       else "MISMATCH" if first != second
+                       else "PLAN DID NOTHING")
+
+        failures += (identity != "ok") + (determinism != "ok")
+        print(f"{name:<20} {identity:<20} {determinism:<20}")
+    if failures:
+        print(f"\nFAIL: {failures} fault-matrix check(s) broken")
+        return 1
+    print("\nall planes: zero-fault identity and faulty determinism hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

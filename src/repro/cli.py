@@ -20,6 +20,10 @@ Commands
     per problem and grid-batches serial columnar sweeps into one
     trial-major grid; ``grid`` forces that batching), and
     ``--processes N`` fans per-trial execution over worker processes.
+    ``--faults 'crash=0.01,drop=0.05,delay=2'`` injects a
+    :class:`repro.congest.FaultPlan` (reseeded per trial);
+    ``--max-rounds`` overrides the per-problem horizon, and exhausting
+    it exits with a diagnostic instead of a traceback.
 
 Instances are specified as ``family:size[:seed]`` with families
 ``grid``, ``tri-grid``, ``planar``, ``tree``, ``outerplanar``, ``cactus``,
@@ -173,7 +177,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     import random
     import time
 
-    from repro.congest import Trial, run_many
+    from repro.congest import FaultPlan, Trial, run_many
     from repro.congest.algorithms import BFSTreeAlgorithm, ColumnarBFSTree
     from repro.congest.classic import (
         ColumnarLubyMIS,
@@ -237,34 +241,62 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 
+    plan = None
+    if args.faults is not None:
+        try:
+            plan = FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
+
+    max_rounds = args.max_rounds if args.max_rounds is not None else horizon + 2
     rng = random.Random(args.seed)
     trials = []
-    for _ in range(args.trials):
+    for index in range(args.trials):
         inputs = (
             {v: rng.randrange(1 << 30) for v in graph.nodes}
             if needs_inputs
             else None
         )
         trials.append(
-            Trial(graph, inputs=inputs, max_rounds=horizon + 2,
-                  model=args.model)
+            Trial(graph, inputs=inputs, max_rounds=max_rounds,
+                  model=args.model,
+                  faults=plan.reseed(plan.seed + index) if plan else None)
         )
 
     start = time.perf_counter()
-    results = run_many(
-        algorithm, trials, processes=args.processes, plane=args.plane
-    )
+    try:
+        results = run_many(
+            algorithm, trials, processes=args.processes, plane=args.plane
+        )
+    except RuntimeError as exc:
+        if "did not halt within" not in str(exc):
+            raise
+        # Routine under fault injection: the adversary starved the
+        # algorithm past its round cap.  Diagnose instead of tracebacking.
+        print(f"simulate: {exc} "
+              f"(instance {args.instance}, problem {args.problem}"
+              f"{', faults ' + args.faults if args.faults else ''}); "
+              f"raise --max-rounds or weaken --faults",
+              file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
 
     print(f"instance: {args.instance} "
           f"(n={n}, m={graph.number_of_edges()})  problem: {args.problem}")
     print(f"trials: {args.trials}  processes: {args.processes}  "
           f"available cpus: {os.cpu_count() or 1}  model: {args.model}  "
-          f"plane: {args.plane}")
+          f"plane: {args.plane}"
+          + (f"  faults: {args.faults}" if args.faults else ""))
     for index, (outputs, metrics) in enumerate(results):
+        fault_note = ""
+        if plan is not None:
+            fault_note = (f"  dropped = {metrics.dropped}  "
+                          f"duplicated = {metrics.duplicated}  "
+                          f"delayed = {metrics.delayed}  "
+                          f"crashed = {metrics.crashed}")
         print(f"  trial {index}: rounds = {metrics.rounds}  "
               f"messages = {metrics.messages}  bits = {metrics.total_bits}  "
-              f"{summarize(outputs)}")
+              f"{summarize(outputs)}{fault_note}")
     total_rounds = sum(metrics.rounds for _, metrics in results)
     total_messages = sum(metrics.messages for _, metrics in results)
     total_bits = sum(metrics.total_bits for _, metrics in results)
@@ -349,6 +381,16 @@ def make_parser() -> argparse.ArgumentParser:
                         "columnar sweeps; 'grid' forces trial-major grid "
                         "batching; 'dict' is the legacy alias of "
                         "'broadcast'")
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault plan as comma-separated knobs, e.g. "
+                        "'crash=0.01,drop=0.05,dup=0.01,delay=2,seed=7' "
+                        "(repro.congest.FaultPlan.parse); each trial "
+                        "reseeds the plan with seed+trial so a sweep "
+                        "draws independent fault schedules")
+    p.add_argument("--max-rounds", type=int, default=None,
+                   help="override the per-problem round horizon (faulty "
+                        "runs may need more rounds than the fault-free "
+                        "default)")
     p.set_defaults(func=cmd_simulate)
     return parser
 

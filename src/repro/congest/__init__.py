@@ -53,6 +53,18 @@ Public API
 ``RoundLedger``
     Cost accounting for composite cluster-level algorithms whose primitives
     have measured CONGEST costs (see DESIGN.md section 3).
+``FaultPlan``
+    Fault injection as a scheduler concern
+    (``repro.congest.runtime.faults``): crash-stop failures, message
+    drop/duplication, and bounded-delay asynchrony, driven by
+    counter-based Philox streams and injected at the shared delivery
+    seams — every registered plane executes the same plan identically,
+    with zero algorithm changes (``Network.run(..., faults=plan)``).
+``GuaranteeReport`` / ``check_mis`` / ``check_bfs_tree`` / ``check_coloring`` / ``check_decomposition``
+    Guarantee validators (``repro.congest.validators``): re-verify a
+    run's paper guarantee restricted to the live (non-crashed) vertices
+    and report structured violation counts — the measurement layer of
+    the resilience benchmarks.
 """
 
 from repro.congest.columnar import (
@@ -64,6 +76,7 @@ from repro.congest.columnar import (
 from repro.congest.engine import CompiledTopology
 from repro.congest.runtime import (
     ExecutionPlane,
+    FaultPlan,
     GridTopology,
     Trial,
     execute_grid,
@@ -82,6 +95,13 @@ from repro.congest.message import (
     bits_for_payload,
 )
 from repro.congest.metrics import NetworkMetrics, RoundLedger
+from repro.congest.validators import (
+    GuaranteeReport,
+    check_bfs_tree,
+    check_coloring,
+    check_decomposition,
+    check_mis,
+)
 from repro.congest.network import (
     BandwidthExceededError,
     Network,
@@ -123,6 +143,7 @@ from repro.congest.algorithms import (
 __all__ = [
     "CompiledTopology",
     "ExecutionPlane",
+    "FaultPlan",
     "GridTopology",
     "Trial",
     "run_many",
@@ -152,6 +173,11 @@ __all__ = [
     "bits_for_payload",
     "NetworkMetrics",
     "RoundLedger",
+    "GuaranteeReport",
+    "check_bfs_tree",
+    "check_coloring",
+    "check_decomposition",
+    "check_mis",
     "BandwidthExceededError",
     "Network",
     "NodeContext",

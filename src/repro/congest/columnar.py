@@ -686,7 +686,8 @@ def _raise_bandwidth(topology, sender, receiver, bits, bandwidth_bits):
     )
 
 
-def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
+def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc,
+                  fault_state=None, round_number=0):
     """Validate, account, and deliver one round's emissions — pure array
     ops, zero per-message Python objects.  On a validation failure the
     messages validated before the offending one are accounted (matching
@@ -697,6 +698,12 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
     grid accountant).  ``limit``/``bandwidth_bits`` are scalars for a
     single run, or per-*vertex* int64 tables for grid execution (each
     trial block carries its own budget).
+
+    ``fault_state`` optionally detours the round's validated traffic
+    through :meth:`~repro.congest.runtime.faults.FaultState.columnar_step`
+    (drop/dup/delay as mask/repeat/delay-bucket array ops, merged with
+    matured delayed batches) between accounting and the receiver sort —
+    sent messages are counted, delivery is what the adversary permits.
     """
     n = topology.n
     names = spec.names
@@ -820,16 +827,51 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
             pool, lengths = message_var[name]
             var_pool_parts[name].append(pool)
             var_len_parts[name].append(lengths)
-    if not senders_parts:
+    if not senders_parts and fault_state is None:
         return ColumnarInbox.empty(n, spec)
-    all_senders = (
-        senders_parts[0] if len(senders_parts) == 1
-        else np.concatenate(senders_parts)
-    )
-    all_receivers = (
-        receivers_parts[0] if len(receivers_parts) == 1
-        else np.concatenate(receivers_parts)
-    )
+    if senders_parts:
+        all_senders = (
+            senders_parts[0] if len(senders_parts) == 1
+            else np.concatenate(senders_parts)
+        )
+        all_receivers = (
+            receivers_parts[0] if len(receivers_parts) == 1
+            else np.concatenate(receivers_parts)
+        )
+        merged_columns = {}
+        for name in names:
+            parts = column_parts[name]
+            merged_columns[name] = (
+                parts[0] if len(parts) == 1 else np.concatenate(parts)
+            )
+        merged_var = {}
+        for name in var_names:
+            pools = var_pool_parts[name]
+            lens = var_len_parts[name]
+            merged_var[name] = (
+                pools[0] if len(pools) == 1 else np.concatenate(pools),
+                lens[0] if len(lens) == 1 else np.concatenate(lens),
+            )
+    else:
+        # No fresh emissions this round, but a fault plan may still owe
+        # matured delayed copies — feed empty fresh arrays through the
+        # fate pass instead of early-returning an empty inbox.
+        all_senders = np.empty(0, dtype=np.int64)
+        all_receivers = np.empty(0, dtype=np.int64)
+        merged_columns = {name: np.empty(0, dtype=np.int64) for name in names}
+        merged_var = {
+            name: (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            for name in var_names
+        }
+    if fault_state is not None:
+        all_senders, all_receivers, merged_columns, merged_var = (
+            fault_state.columnar_step(
+                round_number, all_senders, all_receivers,
+                merged_columns, merged_var,
+            )
+        )
+        if not len(all_senders):
+            return ColumnarInbox.empty(n, spec)
     # Stable sort by receiver: CSR-segmented inbox, emission order within
     # each receiver (the ordering contract of the module docstring).
     # Receivers are < n, so small graphs sort 16-bit keys — numpy's
@@ -850,16 +892,12 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
     inbox_indptr = _cumsum0(np.bincount(all_receivers, minlength=n))
     inbox_columns = {}
     for (name, dtype) in spec.fields:
-        parts = column_parts[name]
-        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        merged = merged_columns[name]
         inbox_columns[name] = merged[order].astype(dtype, copy=False)
     var_pools = {}
     var_indptrs = {}
     for name in var_names:
-        pools = var_pool_parts[name]
-        lens = var_len_parts[name]
-        pool = pools[0] if len(pools) == 1 else np.concatenate(pools)
-        lengths = lens[0] if len(lens) == 1 else np.concatenate(lens)
+        pool, lengths = merged_var[name]
         # Permute the ragged segments with the receiver sort: the sorted
         # message order's (start, length) pairs drive one CSR scatter.
         sorted_lengths = lengths[order]
@@ -873,11 +911,17 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc):
 
 
 def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
-                       metrics):
+                       metrics, fault_state=None, round_number=0):
     """The dict plane for columnar programs: every emission expanded to a
     per-message :class:`Message` (payload = field tuple / bare value),
     validated, sized via ``bits_for_payload``, and counted one message at
-    a time — the executable spec the fast path is tested against."""
+    a time — the executable spec the fast path is tested against.
+
+    With a ``fault_state``, validated messages detour through
+    :meth:`~repro.congest.runtime.faults.FaultState.object_round` (same
+    per-message fate decisions as the fast path's ``columnar_step``)
+    before bucketing, so the reference plane reproduces the fast plane's
+    faulty deliveries message for message."""
     from repro.congest.network import BandwidthExceededError
 
     n = topology.n
@@ -886,6 +930,7 @@ def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
     vertices = topology.vertices
     neighbor_sets = plane.neighbor_index_sets
     buckets: list = [None] * n
+    fresh: list | None = [] if fault_state is not None else None
     for senders, receivers, columns, var_data in groups:
         sender_list = senders.tolist()
         value_lists = [columns[name].tolist() for name in names]
@@ -922,10 +967,20 @@ def _deliver_reference(topology, plane, spec, groups, limit, bandwidth_bits,
                     )
                 metrics.record_message(bits)
                 metrics.record_edge_load(bits)
+                if fresh is not None:
+                    fresh.append((s, r, (row, var_row)))
+                    continue
                 bucket = buckets[r]
                 if bucket is None:
                     bucket = buckets[r] = []
                 bucket.append((s, row, var_row))
+    if fault_state is not None:
+        for s, r, payload in fault_state.object_round(round_number, fresh):
+            row, var_row = payload
+            bucket = buckets[r]
+            if bucket is None:
+                bucket = buckets[r] = []
+            bucket.append((s, row, var_row))
     sender_out: list = []
     value_out: list = [[] for _ in names]
     var_out: dict = {name: ([], [0]) for name in var_names}
@@ -971,6 +1026,7 @@ def execute_columnar(
     max_rounds: int = 10_000,
     inputs: Mapping[Any, Any] | None = None,
     reference: bool = False,
+    faults=None,
 ) -> dict[Any, Any]:
     """Run a :class:`ColumnarAlgorithm` over a compiled topology.
 
@@ -980,6 +1036,13 @@ def execute_columnar(
     and texts on non-neighbour sends / bandwidth violations /
     ``max_rounds`` exhaustion.  ``reference=True`` selects the
     per-message dict plane (see :func:`_deliver_reference`).
+
+    ``faults`` optionally takes a
+    :class:`~repro.congest.runtime.faults.FaultPlan`: crashes are drawn
+    at the top of each round (a crashed vertex halts before stepping)
+    and validated emissions pass through the plan's drop/dup/delay fate
+    pass before the receiver sort.  A zero plan is byte-identical to
+    ``faults=None``.
     """
     spec = getattr(algorithm, "spec", None)
     if not isinstance(spec, ColumnarSpec):
@@ -997,28 +1060,46 @@ def execute_columnar(
     instance.setup(ctx)
     limit = bandwidth_bits if model == "congest" else (1 << 62)
     acc = ScalarAccountant()  # deferred fast-path counters
+    if faults is None:
+        fault_state = None
+    else:
+        from repro.congest.runtime.faults import FaultState
+
+        fault_state = FaultState.for_single(faults, topology)
 
     def done() -> bool:
         return ctx._halted_count >= ctx.n
 
     def advance(round_number: int) -> None:
         ctx.round_number = round_number
+        if fault_state is not None:
+            # Crash-stop draw before the round's compute: a crashed
+            # vertex neither steps nor emits from this round on.
+            rows = fault_state.crash_step(round_number, ~ctx.halted)
+            if rows.size:
+                ctx.halt(rows)
         ctx._emissions = []
         instance.on_round(ctx)
         groups = ctx._emissions
         if reference:
             ctx.inbox = _deliver_reference(
                 topology, plane, spec, groups, limit, bandwidth_bits,
-                metrics,
+                metrics, fault_state, round_number,
             )
         else:
             ctx.inbox = _deliver_fast(
-                topology, plane, spec, groups, limit, bandwidth_bits, acc
+                topology, plane, spec, groups, limit, bandwidth_bits, acc,
+                fault_state, round_number,
             )
+
+    def flush() -> None:
+        acc.flush(metrics)
+        if fault_state is not None:
+            fault_state.flush(metrics)
 
     run_rounds(
         metrics=metrics, max_rounds=max_rounds,
-        done=done, advance=advance, flush=lambda: acc.flush(metrics),
+        done=done, advance=advance, flush=flush,
     )
     results = instance.outputs(ctx)
     return {vertices[i]: results[i] for i in range(ctx.n)}

@@ -30,12 +30,25 @@ from dataclasses import dataclass, field
 
 @dataclass
 class NetworkMetrics:
-    """Raw counters for one simulated execution."""
+    """Raw counters for one simulated execution.
+
+    The fault counters (``dropped``/``duplicated``/``delayed`` messages,
+    ``crashed`` vertices) stay zero on fault-free runs — part of the
+    zero-fault identity contract of
+    :mod:`repro.congest.runtime.faults`.  ``crashed_vertices`` is the
+    tuple of crashed vertex ids in crash order, so resilience reports
+    (:mod:`repro.congest.validators`) can restrict guarantee checks to
+    the live vertices without re-deriving the fault schedule."""
 
     rounds: int = 0
     messages: int = 0
     total_bits: int = 0
     max_edge_bits_in_round: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    crashed: int = 0
+    crashed_vertices: tuple = ()
 
     def record_round(self) -> None:
         self.rounds += 1
@@ -48,26 +61,71 @@ class NetworkMetrics:
         if bits > self.max_edge_bits_in_round:
             self.max_edge_bits_in_round = bits
 
-    def record_batch(self, messages: int, total_bits: int, peak_bits: int) -> None:
+    def record_batch(
+        self,
+        messages: int,
+        total_bits: int,
+        peak_bits: int,
+        *,
+        dropped: int = 0,
+        duplicated: int = 0,
+        delayed: int = 0,
+        crashed: int = 0,
+    ) -> None:
         """Fold one batch of deferred counters in a single update — the
         flush path of the engine's per-round (and the columnar plane's
         per-array) reductions.  Equivalent to ``messages`` interleaved
         ``record_message``/``record_edge_load`` calls whose sizes sum to
-        ``total_bits`` and peak at ``peak_bits``."""
+        ``total_bits`` and peak at ``peak_bits``; the keyword-only fault
+        counters fold a fault-injected run's deferred tallies the same
+        way."""
         self.messages += messages
         self.total_bits += total_bits
         if peak_bits > self.max_edge_bits_in_round:
             self.max_edge_bits_in_round = peak_bits
+        self.dropped += dropped
+        self.duplicated += duplicated
+        self.delayed += delayed
+        self.crashed += crashed
+
+    def record_faults(
+        self,
+        *,
+        dropped: int = 0,
+        duplicated: int = 0,
+        delayed: int = 0,
+        crashed: int = 0,
+        crashed_vertices: tuple = (),
+    ) -> None:
+        """Fold one fault-injected execution's adversary tallies (the
+        flush path of :meth:`repro.congest.runtime.faults.FaultState.flush`)."""
+        self.dropped += dropped
+        self.duplicated += duplicated
+        self.delayed += delayed
+        self.crashed += crashed
+        if crashed_vertices:
+            self.crashed_vertices = self.crashed_vertices + tuple(
+                crashed_vertices
+            )
 
     def merge(self, other: "NetworkMetrics") -> None:
         """Accumulate another execution's counters into this one (sequential
-        composition: rounds add, edge peak takes the max)."""
+        composition: rounds add, edge peak takes the max, crashed vertex
+        logs concatenate)."""
         self.rounds += other.rounds
         self.messages += other.messages
         self.total_bits += other.total_bits
         self.max_edge_bits_in_round = max(
             self.max_edge_bits_in_round, other.max_edge_bits_in_round
         )
+        self.dropped += other.dropped
+        self.duplicated += other.duplicated
+        self.delayed += other.delayed
+        self.crashed += other.crashed
+        if other.crashed_vertices:
+            self.crashed_vertices = (
+                self.crashed_vertices + other.crashed_vertices
+            )
 
 
 class ScalarAccountant:

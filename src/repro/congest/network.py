@@ -218,6 +218,7 @@ class Network:
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
         plane: str | None = None,
+        faults=None,
     ) -> dict[Any, Any]:
         """Execute ``algorithm`` at every vertex until all halt.
 
@@ -233,6 +234,12 @@ class Network:
         observable contract: output keying in ``graph.nodes`` order,
         identical :class:`~repro.congest.metrics.NetworkMetrics`
         counters, identical validation errors.
+
+        ``faults`` optionally takes a
+        :class:`~repro.congest.runtime.faults.FaultPlan` applied by the
+        plane's executor (crash-stop, drop, duplication, bounded delay);
+        the fault counters land on :attr:`metrics`.  A zero plan is
+        byte-identical to ``faults=None`` on every plane.
         """
         executor = resolve_plane(algorithm, plane)
         return executor.execute(
@@ -243,6 +250,7 @@ class Network:
             metrics=self.metrics,
             max_rounds=max_rounds,
             inputs=inputs,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -251,6 +259,7 @@ class Network:
         algorithm: NodeAlgorithm,
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
+        faults=None,
     ) -> dict[Any, Any]:
         """Run on the algorithm family's per-message reference plane.
 
@@ -273,6 +282,7 @@ class Network:
             metrics=self.metrics,
             max_rounds=max_rounds,
             inputs=inputs,
+            faults=faults,
         )
 
 

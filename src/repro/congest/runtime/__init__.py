@@ -21,7 +21,11 @@ programs independent of the execution substrate:
 * :mod:`~repro.congest.runtime.batch` — ``run_many`` and **trial-major
   columnar grid execution**: T independent trials as one ``(Σ n_t)``-row
   columnar program, byte-identical to per-trial runs with per-round
-  numpy dispatch amortized across the whole sweep.
+  numpy dispatch amortized across the whole sweep;
+* :mod:`~repro.congest.runtime.faults` — fault injection as a scheduler
+  concern: a :class:`FaultPlan` (crash-stop, drop, duplication,
+  bounded-delay asynchrony; counter-based Philox draws) that every
+  registered plane executes identically with zero algorithm changes.
 """
 
 from repro.congest.runtime.batch import (
@@ -35,6 +39,7 @@ from repro.congest.runtime.compile import (
     compile_topology,
     delivery_plane,
 )
+from repro.congest.runtime.faults import FaultPlan, FaultState
 from repro.congest.runtime.planes import (
     ExecutionPlane,
     get_plane,
@@ -54,6 +59,8 @@ from repro.congest.runtime.scheduler import (
 
 __all__ = [
     "ExecutionPlane",
+    "FaultPlan",
+    "FaultState",
     "GridAccountant",
     "GridTopology",
     "Trial",

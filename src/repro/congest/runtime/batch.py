@@ -67,6 +67,7 @@ class Trial:
     max_rounds: int | None = None
     model: str | None = None
     bandwidth_factor: int | None = None
+    faults: Any = None
 
 
 # ---------------------------------------------------------------------------
@@ -120,8 +121,8 @@ def execute_grid(
     """Run T independent trials as one block-diagonal columnar grid.
 
     ``jobs`` is the normalized trial list: one
-    ``(graph, inputs, model, bandwidth_factor, max_rounds)`` tuple per
-    trial.  Returns ``[(outputs, metrics), ...]`` in trial order —
+    ``(graph, inputs, model, bandwidth_factor, max_rounds, faults)``
+    tuple per trial.  Returns ``[(outputs, metrics), ...]`` in trial order —
     byte-identical (outputs, output keying, and every metrics counter)
     to running each trial through ``Network.run`` on the columnar plane.
 
@@ -156,10 +157,19 @@ def execute_grid(
     (``tests/test_gathering_routers.py`` asserts this for the
     walk-token router and the var flood).
 
+    Fault plans ride per trial: a job's ``faults`` slot optionally holds
+    a :class:`~repro.congest.runtime.faults.FaultPlan`, and the grid
+    builds one :class:`~repro.congest.runtime.faults.FaultState` over
+    all blocks (a trial without a plan gets the zero plan, which is
+    byte-identical to no plan at all).  Edge fate decisions depend only
+    on each trial's own (seed, round, edge-rank) triple, so a grid sweep
+    of fault intensities reproduces the corresponding single runs
+    exactly.
+
     >>> import networkx as nx
     >>> from repro.congest.algorithms import ColumnarFloodValue
     >>> graph = nx.path_graph(3)
-    >>> jobs = [(graph, None, "congest", 32, 10)] * 2
+    >>> jobs = [(graph, None, "congest", 32, 10, None)] * 2
     >>> results = execute_grid(ColumnarFloodValue(0, 9, 4), jobs)
     >>> [(outputs[2], metrics.rounds) for outputs, metrics in results]
     [(9, 4), (9, 4)]
@@ -177,7 +187,7 @@ def execute_grid(
         )
     blocks = []
     compiled: dict[int, Any] = {}  # id(graph) → topology: probe each graph once
-    for graph, _inputs, model, _factor, _cap in jobs:
+    for graph, _inputs, model, _factor, _cap, _faults in jobs:
         if model not in ("congest", "local"):
             raise ValueError(f"unknown model {model!r}")
         if graph.number_of_nodes() == 0:
@@ -189,6 +199,16 @@ def execute_grid(
     grid = GridTopology(blocks)
     offsets = grid.offsets
 
+    if any(job[5] is not None for job in jobs):
+        from repro.congest.runtime.faults import FaultPlan, FaultState
+
+        fault_state = FaultState([
+            (job[5] if job[5] is not None else FaultPlan(), block)
+            for job, block in zip(jobs, blocks)
+        ])
+    else:
+        fault_state = None
+
     # Per-vertex budget tables: each block carries its own n-derived
     # bandwidth (and the LOCAL model's unreachable limit), so uneven and
     # mixed-model sweeps validate exactly as their single runs would.
@@ -196,7 +216,9 @@ def execute_grid(
     budgets = np.empty(grid.n, dtype=np.int64)
     caps = np.empty(grid.trials, dtype=np.int64)
     inputs_list: list = []
-    for t, (graph, inputs, model, factor, max_rounds) in enumerate(jobs):
+    for t, (graph, inputs, model, factor, max_rounds, _faults) in enumerate(
+        jobs
+    ):
         block = grid.blocks[t]
         bandwidth = bandwidth_bits_for(block.n, factor)
         start, stop = int(offsets[t]), int(offsets[t + 1])
@@ -261,11 +283,19 @@ def execute_grid(
 
     def advance(round_number: int) -> None:
         check_caps(round_number)
+        if fault_state is not None:
+            # Crash-stop draws after cap-freezing, before the round's
+            # compute — frozen or finished rows are no longer eligible,
+            # matching each trial's single-run eligibility mask.
+            rows = fault_state.crash_step(round_number, ~ctx.halted)
+            if rows.size:
+                ctx.halt(rows)
         ctx.round_number = round_number
         ctx._emissions = []
         instance.on_round(ctx)
         ctx.inbox = _deliver_fast(
-            grid, grid.plane, spec, ctx._emissions, limits, budgets, acc
+            grid, grid.plane, spec, ctx._emissions, limits, budgets, acc,
+            fault_state, round_number,
         )
         note_transitions(round_number)
 
@@ -300,6 +330,14 @@ def execute_grid(
             total_bits=int(acc.total_bits[t]),
             max_edge_bits_in_round=int(acc.peak_bits[t]),
         )
+        if fault_state is not None:
+            metrics.record_faults(
+                dropped=int(fault_state.dropped[t]),
+                duplicated=int(fault_state.duplicated[t]),
+                delayed=int(fault_state.delayed[t]),
+                crashed=int(fault_state.crashed_count[t]),
+                crashed_vertices=fault_state.crashed_vertices(t),
+            )
         results.append((outputs, metrics))
     return results
 
@@ -355,14 +393,16 @@ def _run_trial(payload: tuple) -> tuple[dict, NetworkMetrics]:
     """Top-level worker (must be picklable for multiprocessing)."""
     from repro.congest.network import Network
 
-    algorithm, graph, inputs, model, bandwidth_factor, max_rounds, plane = (
-        payload
-    )
+    (
+        algorithm, graph, inputs, model, bandwidth_factor, max_rounds,
+        faults, plane,
+    ) = payload
     if graph is None:
         graph = _POOL_SHARED["graph"]
     net = Network(graph, model=model, bandwidth_factor=bandwidth_factor)
     outputs = net.run(
-        algorithm, max_rounds=max_rounds, inputs=inputs, plane=plane
+        algorithm, max_rounds=max_rounds, inputs=inputs, plane=plane,
+        faults=faults,
     )
     return outputs, net.metrics
 
@@ -376,6 +416,7 @@ def run_many(
     bandwidth_factor: int = 32,
     max_rounds: int = 10_000,
     plane: str | None = "auto",
+    faults=None,
 ) -> list[tuple[dict, NetworkMetrics]]:
     """Run ``algorithm`` over many trials, optionally in parallel.
 
@@ -401,6 +442,11 @@ def run_many(
         execution is inherently single-process (the whole sweep *is*
         one program), so ``plane="grid"`` runs in this process and
         ``processes`` does not apply.
+    faults:
+        Sweep-wide :class:`~repro.congest.runtime.faults.FaultPlan`
+        default; a :class:`Trial`'s ``faults`` field overrides it per
+        trial (the fault-intensity-sweep shape).  ``None`` injects
+        nothing.
 
     Returns
     -------
@@ -430,13 +476,18 @@ def run_many(
                     spec.max_rounds
                     if spec.max_rounds is not None
                     else max_rounds,
+                    spec.faults if spec.faults is not None else faults,
                 )
             )
         elif isinstance(spec, tuple):
             graph, inputs = spec
-            jobs.append((graph, inputs, model, bandwidth_factor, max_rounds))
+            jobs.append(
+                (graph, inputs, model, bandwidth_factor, max_rounds, faults)
+            )
         else:
-            jobs.append((spec, None, model, bandwidth_factor, max_rounds))
+            jobs.append(
+                (spec, None, model, bandwidth_factor, max_rounds, faults)
+            )
     if processes is None:
         processes = os.cpu_count() or 1
     processes = max(1, min(processes, len(jobs))) if jobs else 1

@@ -124,12 +124,19 @@ class ExecutionPlane:
         metrics,
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
+        faults=None,
     ):
         if self.runner is None:
             raise ValueError(
                 f"plane {self.name!r} is batch-only: run it through "
                 f"repro.congest.run_many, not Network.run"
             )
+        # Fault plans are forwarded only when present so runners that
+        # predate the fault seam (e.g. toy planes registered by tests)
+        # keep working unchanged on fault-free runs.
+        kwargs = {}
+        if faults is not None:
+            kwargs["faults"] = faults
         return self.runner(
             topology,
             algorithm,
@@ -138,6 +145,7 @@ class ExecutionPlane:
             metrics=metrics,
             max_rounds=max_rounds,
             inputs=inputs,
+            **kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

@@ -185,6 +185,7 @@ def execute(
     max_rounds: int = 10_000,
     inputs: Mapping[Any, Any] | None = None,
     expand_broadcasts: bool = False,
+    faults=None,
 ) -> dict[Any, Any]:
     """Run ``algorithm`` on ``topology`` with the active-set scheduler.
 
@@ -196,7 +197,11 @@ def execute(
     ``expand_broadcasts=True`` they are instead expanded to their
     equivalent dicts up front and delivered over the unicast path (the
     plain *object* plane — the broadcast protocol's definitional
-    semantics at the PR-1 cost model).
+    semantics at the PR-1 cost model).  ``faults`` optionally supplies a
+    :class:`~repro.congest.runtime.faults.FaultPlan`: crashes are drawn
+    at the top of each round and the round's validated sends detour
+    through the fault state's per-message fate pass before delivery
+    (see :mod:`repro.congest.runtime.faults`).
 
     Normally reached through ``Network.run`` via the plane registry:
 
@@ -253,6 +258,14 @@ def execute(
     dirty_fill: list[int] = []
 
     active = [i for i in range(n) if not instances[i].halted]
+    if faults is None:
+        fault_state = None
+        round_sends: list | None = None
+    else:
+        from repro.congest.runtime.faults import FaultState
+
+        fault_state = FaultState.for_single(faults, topology)
+        round_sends = []
     message_count = 0
     total_bits = 0
     max_edge = metrics.max_edge_bits_in_round
@@ -275,6 +288,13 @@ def execute(
         bits_append = round_bits.append
         count_append = bcast_counts.append
         size_append = bcast_sizes.append
+        if fault_state is not None:
+            eligible = np.zeros(n, dtype=bool)
+            eligible[active] = True
+            crashed_rows = fault_state.crash_step(round_number, eligible)
+            if crashed_rows.size:
+                newly_crashed = set(crashed_rows.tolist())
+                active = [i for i in active if i not in newly_crashed]
         for i in active:
             ctx = contexts[i]
             ctx.round_number = round_number
@@ -316,16 +336,20 @@ def execute(
                                     limit, bandwidth_bits,
                                     count_append, size_append,
                                 )
-                            sender = ctx.node
-                            for j in targets:
-                                box = fill[j]
-                                if box:
-                                    box[sender] = message
-                                else:
-                                    if box is None:
-                                        box = fill[j] = {}
-                                    dirty_append(j)
-                                    box[sender] = message
+                            if round_sends is not None:
+                                for j in targets:
+                                    round_sends.append((i, j, message))
+                            else:
+                                sender = ctx.node
+                                for j in targets:
+                                    box = fill[j]
+                                    if box:
+                                        box[sender] = message
+                                    else:
+                                        if box is None:
+                                            box = fill[j] = {}
+                                        dirty_append(j)
+                                        box[sender] = message
                     elif receivers:
                         # Subset broadcast: one C-level superset check
                         # replaces the per-receiver membership loop.
@@ -352,17 +376,21 @@ def execute(
                                 limit, bandwidth_bits,
                                 count_append, size_append,
                             )
-                        sender = ctx.node
-                        for u in receivers:
-                            j = index_of[u]
-                            box = fill[j]
-                            if box:
-                                box[sender] = message
-                            else:
-                                if box is None:
-                                    box = fill[j] = {}
-                                dirty_append(j)
-                                box[sender] = message
+                        if round_sends is not None:
+                            for u in receivers:
+                                round_sends.append((i, index_of[u], message))
+                        else:
+                            sender = ctx.node
+                            for u in receivers:
+                                j = index_of[u]
+                                box = fill[j]
+                                if box:
+                                    box[sender] = message
+                                else:
+                                    if box is None:
+                                        box = fill[j] = {}
+                                    dirty_append(j)
+                                    box[sender] = message
                 else:
                     # Unicast path: explicit dict outbox.
                     sender = ctx.node
@@ -392,6 +420,9 @@ def execute(
                                 f"bandwidth {bandwidth_bits} bits"
                             )
                         bits_append(bits)
+                        if round_sends is not None:
+                            round_sends.append((i, index_of[receiver], message))
+                            continue
                         j = index_of[receiver]
                         box = fill[j]
                         if box:
@@ -403,6 +434,21 @@ def execute(
                             box[sender] = message
             if not instances[i]._halted:
                 still_append(i)
+        if round_sends is not None:
+            # Fate pass over the validated sends (accounting above is
+            # unaffected — drops and delays are delivery-side), then
+            # deliver the survivors through the same box protocol.
+            delivered = fault_state.object_round(round_number, round_sends)
+            round_sends.clear()
+            for i, j, message in delivered:
+                box = fill[j]
+                if box:
+                    box[vertices[i]] = message
+                else:
+                    if box is None:
+                        box = fill[j] = {}
+                    dirty_append(j)
+                    box[vertices[i]] = message
         active = still_active
         # Per-round vector reduction of the deferred counters.
         if round_bits:
@@ -456,6 +502,8 @@ def execute(
             )
             max_edge = max(max_edge, max(bcast_sizes))
         metrics.record_batch(message_count, total_bits, max_edge)
+        if fault_state is not None:
+            fault_state.flush(metrics)
         # Return the buffers to the pool *empty*: both dirty sets (an
         # exception can leave messages on either side mid-round, and a
         # normal exit leaves the final round's undelivered sends in
@@ -487,6 +535,7 @@ def execute_reference(
     metrics: NetworkMetrics,
     max_rounds: int = 10_000,
     inputs: Mapping[Any, Any] | None = None,
+    faults=None,
 ) -> dict[Any, Any]:
     """The seed round loop, kept as the engine's executable spec.
 
@@ -555,11 +604,28 @@ def execute_reference(
 
     inboxes: dict[Any, dict[Any, Message]] = {v: {} for v in vertex_list}
 
+    if faults is None:
+        fault_state = None
+    else:
+        from repro.congest.runtime.faults import FaultState
+
+        fault_state = FaultState.for_single(faults, topology)
+    index_of = topology.index_of
+
     def done() -> bool:
         return all(node.halted for node in nodes.values())
 
     def advance(round_number: int) -> None:
         nonlocal inboxes
+        if fault_state is not None:
+            eligible = np.fromiter(
+                (not nodes[v].halted for v in vertex_list),
+                dtype=bool, count=n,
+            )
+            for row in fault_state.crash_step(
+                round_number, eligible
+            ).tolist():
+                nodes[vertex_list[row]].halt()
         outboxes: dict[Any, dict[Any, Message]] = {}
         for v, node in nodes.items():
             if node.halted:
@@ -573,10 +639,26 @@ def execute_reference(
                 validate_and_count(v, sent)
                 outboxes[v] = sent
         inboxes = {v: {} for v in vertex_list}
-        for sender, sent in outboxes.items():
-            for receiver, message in sent.items():
-                inboxes[receiver][sender] = message
+        if fault_state is None:
+            for sender, sent in outboxes.items():
+                for receiver, message in sent.items():
+                    inboxes[receiver][sender] = message
+        else:
+            fresh = [
+                (index_of[sender], index_of[receiver], message)
+                for sender, sent in outboxes.items()
+                for receiver, message in sent.items()
+            ]
+            for i, j, message in fault_state.object_round(
+                round_number, fresh
+            ):
+                inboxes[vertex_list[j]][vertex_list[i]] = message
 
-    run_rounds(metrics=metrics, max_rounds=max_rounds, done=done,
-               advance=advance)
+    run_rounds(
+        metrics=metrics, max_rounds=max_rounds, done=done, advance=advance,
+        flush=(
+            None if fault_state is None
+            else lambda: fault_state.flush(metrics)
+        ),
+    )
     return {v: node.output() for v, node in nodes.items()}

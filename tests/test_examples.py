@@ -51,3 +51,27 @@ class TestExamples:
         # The plane ablation ran and both planes agreed.
         assert "columnar plane" in out
         assert "identical outcome and metrics" in out
+
+    def test_resilience_report(self, capsys):
+        module = _load("resilience_report")
+        module.main(n=5, trials=2)
+        out = capsys.readouterr().out
+        assert "maximal independent set" in out
+        assert "BFS tree" in out
+        assert "colouring" in out
+        # The degradation table has a validated fault-free anchor row and
+        # at least one faulty row where the guarantee measurably erodes.
+        lines = [line.split() for line in out.splitlines()
+                 if line.strip().startswith(("none", "crash", "drop",
+                                             "delay"))]
+        assert lines, "no degradation rows printed"
+        baseline_violations = [
+            int(row[-4]) for row in lines if row[0] == "none"
+        ]
+        assert baseline_violations and all(
+            v == 0 for v in baseline_violations
+        )
+        faulty_violations = [
+            int(row[-4]) for row in lines if row[0] != "none"
+        ]
+        assert sum(faulty_violations) > 0

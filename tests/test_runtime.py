@@ -30,6 +30,8 @@ import pytest
 
 from repro.cli import main as cli_main
 from repro.congest import (
+    FaultPlan,
+    Message,
     Network,
     Trial,
     plane_names,
@@ -37,6 +39,7 @@ from repro.congest import (
     run_many,
     supported_planes,
 )
+from repro.congest.network import FunctionAlgorithm
 from repro.congest.algorithms import (
     BroadcastAlgorithm,
     ColumnarBFSTree,
@@ -271,6 +274,123 @@ def test_every_registered_plane_runs_var_columns_differentially(name):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection: every registered plane, enforced like the differentials
+# ---------------------------------------------------------------------------
+# The keystone property (runtime/faults.py): a zero-rate FaultPlan runs
+# the full fault machinery yet must be *byte-identical* — outputs and
+# every metrics field — to running with no plan at all.  And a faulty
+# plan must produce identical outputs and fault counters on every plane
+# of a family.  Both are enforced for every registered plane: a plane
+# whose kind has no entry here fails loudly, exactly like the
+# differential-coverage gates above.
+FAULT_SAMPLE_WORKLOADS = {
+    "object": lambda graph: LubyMISAlgorithm(mis_horizon(graph)),
+    "columnar": lambda graph: ColumnarLubyMIS(mis_horizon(graph)),
+}
+
+_FAULTY_PLAN = FaultPlan(seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2)
+
+
+def _fault_workload(name):
+    plane = get_plane(name)
+    factory = FAULT_SAMPLE_WORKLOADS.get(plane.kind)
+    if factory is None:
+        pytest.fail(
+            f"registered plane {name!r} has kind {plane.kind!r} with no "
+            f"fault sample workload: add one to FAULT_SAMPLE_WORKLOADS so "
+            f"the plane's zero-fault identity and faulty differential are "
+            f"covered"
+        )
+    return plane, factory
+
+
+@pytest.mark.parametrize("name", plane_names())
+def test_every_registered_plane_zero_fault_identity(name):
+    plane, factory = _fault_workload(name)
+    graph = triangulated_grid(5, 5)
+    horizon = mis_horizon(graph)
+    if plane.batch_only:
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, seed),
+                  max_rounds=horizon + 2)
+            for seed in (21, 22, 23)
+        ]
+        bare = run_many(factory(graph), trials, processes=1, plane=name)
+        zeroed = run_many(
+            factory(graph),
+            [
+                Trial(graph, inputs=trial.inputs, max_rounds=trial.max_rounds,
+                      faults=FaultPlan())
+                for trial in trials
+            ],
+            processes=1, plane=name,
+        )
+        for (outputs, metrics), (z_outputs, z_metrics) in zip(bare, zeroed):
+            assert z_outputs == outputs
+            assert list(z_outputs) == list(outputs)
+            assert z_metrics == metrics  # every field, fault counters too
+        return
+    inputs = seeded_inputs(graph, 21)
+    net = Network(graph)
+    outputs = net.run(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs, plane=name
+    )
+    zero_net = Network(graph)
+    z_outputs = zero_net.run(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs, plane=name,
+        faults=FaultPlan(),
+    )
+    assert z_outputs == outputs
+    assert list(z_outputs) == list(outputs)
+    assert zero_net.metrics == net.metrics  # dataclass eq: every field
+
+
+@pytest.mark.parametrize("name", plane_names())
+def test_every_registered_plane_runs_faulty_differentially(name):
+    """A faulty plan is a pure function of (seed, round, edge): outputs
+    and fault counters must match the family's per-message reference
+    executor running the same plan."""
+    plane, factory = _fault_workload(name)
+    graph = triangulated_grid(5, 5)
+    horizon = mis_horizon(graph)
+    if plane.batch_only:
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, seed),
+                  max_rounds=horizon + 2,
+                  faults=_FAULTY_PLAN.reseed(_FAULTY_PLAN.seed + seed))
+            for seed in (31, 32, 33)
+        ]
+        batched = run_many(factory(graph), trials, processes=1, plane=name)
+        for trial, (outputs, metrics) in zip(trials, batched):
+            net = Network(trial.graph)
+            expected = net._run_reference(
+                factory(graph), max_rounds=trial.max_rounds,
+                inputs=trial.inputs, faults=trial.faults,
+            )
+            assert outputs == expected
+            assert list(outputs) == list(expected)
+            assert metrics == net.metrics
+            assert metrics.dropped + metrics.delayed + metrics.crashed > 0
+        return
+    inputs = seeded_inputs(graph, 31)
+    net = Network(graph)
+    outputs = net.run(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs, plane=name,
+        faults=_FAULTY_PLAN,
+    )
+    reference_net = Network(graph)
+    expected = reference_net._run_reference(
+        factory(graph), max_rounds=horizon + 2, inputs=inputs,
+        faults=_FAULTY_PLAN,
+    )
+    assert outputs == expected
+    assert list(outputs) == list(expected)
+    assert net.metrics == reference_net.metrics
+    # The plan actually bit: the adversary did something this run.
+    assert net.metrics.dropped + net.metrics.delayed > 0
+
+
+# ---------------------------------------------------------------------------
 # Buffer pool: the release_round_buffers contract, owned by the scheduler
 # ---------------------------------------------------------------------------
 class TestInboxPool:
@@ -344,6 +464,46 @@ class TestInboxPool:
         # The sweep's finally released every pooled pair (the weak pool
         # ends empty — the regression this test guards).
         assert len(scheduler_module._INBOX_POOL) == 0
+
+    def test_advance_raising_mid_round_returns_buffers_empty(self):
+        # The run_rounds flush-in-finally contract: when advance raises
+        # mid-round (fault injection hits this path routinely — e.g. a
+        # crashed neighbourhood starving an algorithm into an internal
+        # error), the pooled double-buffered inboxes must still be
+        # checked back in *empty* on both sides — ``read`` still holds
+        # the previous round's messages and ``fill`` holds the partial
+        # round's deliveries at the moment of the raise.
+        graph = nx.path_graph(6)
+        boom_vertex = max(graph.nodes)
+
+        def step(state, ctx, inbox):
+            if ctx.round_number >= 2 and ctx.node == boom_vertex:
+                raise ValueError("mid-round failure")
+            outbox = {v: Message(1, bit_size=4) for v in ctx.neighbors}
+            return state, outbox, False, None
+
+        net = Network(graph)
+        topology = net._topology
+        scheduler_module.release_round_buffers(topology)
+        with pytest.raises(ValueError, match="mid-round failure"):
+            net.run(FunctionAlgorithm(step), max_rounds=10,
+                    plane="broadcast")
+        pooled = scheduler_module._INBOX_POOL.get(topology)
+        assert pooled is not None
+        for buffer in pooled:
+            assert all(not box for box in buffer if box is not None)
+        # The cap-exhaustion RuntimeError takes the same finally path.
+        def chatty(state, ctx, inbox):
+            outbox = {v: Message(1, bit_size=4) for v in ctx.neighbors}
+            return state, outbox, False, None
+
+        with pytest.raises(RuntimeError, match="did not halt within"):
+            Network(graph).run(FunctionAlgorithm(chatty), max_rounds=3,
+                               plane="broadcast")
+        pooled = scheduler_module._INBOX_POOL.get(topology)
+        assert pooled is not None
+        for buffer in pooled:
+            assert all(not box for box in buffer if box is not None)
 
     def test_engine_compat_aliases_point_at_scheduler_pool(self):
         from repro.congest import engine as engine_module
