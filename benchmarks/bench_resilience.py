@@ -14,6 +14,9 @@ checkers:
 ``delay``
     Bounded-delay asynchrony: each message is deferred by a uniform
     ``d ≤ D`` rounds (``D`` is the intensity knob).
+``corrupt``
+    Byzantine low-bit corruption: each message's payload integers get
+    their low bit flipped with probability *p*.
 
 The *reported* quantities are the units the guarantees are stated in:
 violation counts and rates from the validators, timeout counts (trials
@@ -24,9 +27,18 @@ from the (validated) fault-free baseline, and each
 intensity with a non-zero violation or timeout rate — is summarised in
 the payload's ``breaking_points``.
 
+``--recovery`` additionally sweeps the *recovered* counterpart of each
+curve: the self-healing / restarting algorithm variants for crash
+faults, and the ack/retransmit reliable-delivery wrapper
+(:mod:`repro.congest.runtime.recovery`) for message faults.  The
+payload's ``recovery_summary`` pairs each recovered curve with its
+baseline and reports which intensities were restored to a zero
+violation rate plus the round/bit overhead the recovery mechanism paid.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick] [--json PATH]
+    PYTHONPATH=src python benchmarks/bench_resilience.py \
+        [--quick] [--recovery] [--json PATH]
 
 ``--quick`` shrinks graphs and trial counts so the run fits the
 perf-smoke budget.  Results are written to ``BENCH_resilience.json`` at
@@ -48,14 +60,19 @@ import networkx as nx
 from _common import bench_payload, fmt, print_table, write_bench_json
 
 from repro.congest import (
+    ColumnarReliable,
     FaultPlan,
     Network,
     check_bfs_tree,
     check_coloring,
     check_mis,
 )
-from repro.congest.algorithms import ColumnarBFSTree
-from repro.congest.classic import ColumnarLubyMIS, ColumnarTrialColoring
+from repro.congest.algorithms import ColumnarBFSTree, ColumnarRestartingBFS
+from repro.congest.classic import (
+    ColumnarLubyMIS,
+    ColumnarSelfHealingMIS,
+    ColumnarTrialColoring,
+)
 from repro.graphs import random_regular_expander, triangulated_grid
 
 
@@ -71,6 +88,8 @@ def fault_plan(model, intensity, seed):
         return FaultPlan(seed=seed, drop=intensity)
     if model == "delay":
         return FaultPlan(seed=seed, delay=int(intensity))
+    if model == "corrupt":
+        return FaultPlan(seed=seed, corrupt=intensity)
     raise ValueError(f"unknown fault model {model!r}")
 
 
@@ -90,7 +109,13 @@ def build_algorithms(quick):
     root = next(iter(grid.nodes))
     bfs_horizon = nx.eccentricity(grid, v=root) + 3
     delta = max(d for _, d in grid.degree)
-    color_horizon = 40 * max(4, grid.number_of_nodes().bit_length() ** 2)
+    # Quick mode trims the colouring horizon: fault-free runs halt in a
+    # few rounds either way, but heavy-corruption trials ride the full
+    # horizon to their timeout, and that wall-clock dominates the smoke
+    # budget at the 40x setting.
+    color_horizon = (10 if quick else 40) * max(
+        4, grid.number_of_nodes().bit_length() ** 2
+    )
 
     return [
         {
@@ -110,6 +135,8 @@ def build_algorithms(quick):
             "needs_inputs": False,
             "max_rounds": bfs_horizon + 42,
             "trials": trials,
+            "root": root,
+            "bfs_horizon": bfs_horizon,
             "check": lambda graph, outputs, crashed:
                 check_bfs_tree(graph, outputs, root, crashed=crashed),
         },
@@ -120,11 +147,98 @@ def build_algorithms(quick):
             "needs_inputs": True,
             "max_rounds": color_horizon + 2,
             "trials": trials,
+            "palette": delta + 1,
+            "color_horizon": color_horizon,
             "check": lambda graph, outputs, crashed:
                 check_coloring(graph, outputs, crashed=crashed,
                                palette=delta + 1),
         },
     ]
+
+
+# Which recovery mechanism wins each guarantee back.  Crash faults need
+# *algorithmic* redundancy (a crashed vertex is gone; no retransmission
+# brings it back), so they get the self-healing / restarting variants.
+# Message faults (drop, delay, corrupt) get the ack/retransmit wrapper
+# from runtime.recovery — stacked on the self-healing MIS so the
+# repair phase also mops up any residual loss past the retry budget.
+# Coloring has no crash-recovery variant, so that pair is skipped.
+def build_recovered(specs, trials=None):
+    """Fault-tolerant counterparts for the ``--recovery`` sweep.
+
+    Returns specs shaped like :func:`build_algorithms` entries plus a
+    ``models`` set (which fault models this counterpart answers) and a
+    ``recovery`` label recorded on every curve point it produces.
+    ``trials`` overrides the baseline trial count (quick mode runs the
+    expensive wrapped sweeps on fewer trials; :func:`recovery_summary`
+    normalizes overheads per trial so the ratios stay comparable).
+    """
+    by_name = {
+        name: dict(spec, trials=trials or spec["trials"])
+        for name, spec in ((s["name"], s) for s in specs)
+    }
+    recovered = []
+
+    mis = by_name["mis"]
+    bl = mis["graph"].number_of_nodes().bit_length()
+    luby_rounds, repair_rounds = 6 * bl, 4 * bl + 8
+    sh_rounds = luby_rounds + repair_rounds + 1
+
+    def make_self_healing():
+        return ColumnarSelfHealingMIS(luby_rounds, repair_rounds)
+
+    recovered.append(dict(
+        mis,
+        models={"crash"},
+        make=make_self_healing,
+        max_rounds=sh_rounds + 2,
+        recovery="self-healing",
+    ))
+    recovered.append(dict(
+        mis,
+        models={"drop", "delay", "corrupt"},
+        make=lambda: ColumnarReliable(make_self_healing(), retries=2),
+        max_rounds=6 * sh_rounds + 2,
+        recovery="reliable+self-healing",
+    ))
+
+    bfs = by_name["bfs"]
+    # RestartingBFS halts exactly at its horizon; 3x the fault-free
+    # eccentricity bound leaves room for crash-triggered re-elections to
+    # re-converge.
+    restart_horizon = 3 * bfs["bfs_horizon"] + 12
+
+    def make_restarting():
+        return ColumnarRestartingBFS(bfs["root"], restart_horizon)
+
+    recovered.append(dict(
+        bfs,
+        models={"crash"},
+        make=make_restarting,
+        max_rounds=restart_horizon + 2,
+        recovery="restarting",
+    ))
+    recovered.append(dict(
+        bfs,
+        models={"drop", "delay", "corrupt"},
+        make=lambda: ColumnarReliable(make_restarting(), retries=2),
+        max_rounds=6 * restart_horizon + 2,
+        recovery="reliable+restarting",
+    ))
+
+    coloring = by_name["coloring"]
+    recovered.append(dict(
+        coloring,
+        models={"drop", "delay", "corrupt"},
+        make=lambda: ColumnarReliable(
+            ColumnarTrialColoring(coloring["palette"],
+                                  coloring["color_horizon"]),
+            retries=2,
+        ),
+        max_rounds=6 * coloring["color_horizon"] + 2,
+        recovery="reliable",
+    ))
+    return recovered
 
 
 # Intensity 0 heads every sweep: the validated fault-free anchor of the
@@ -134,19 +248,22 @@ FAULT_SWEEPS = {
     "crash": [0.0, 0.002, 0.01, 0.05],
     "drop": [0.0, 0.02, 0.1, 0.3],
     "delay": [0, 1, 2, 4],
+    "corrupt": [0.0, 0.05, 0.2, 0.5],
 }
 QUICK_SWEEPS = {
     "crash": [0.0, 0.01, 0.05],
     "drop": [0.0, 0.1, 0.3],
     "delay": [0, 2],
+    "corrupt": [0.0, 0.2],
 }
 
 
 def run_curve_point(spec, model, intensity, seed_base=0):
     """Run one algorithm × fault model × intensity sweep and aggregate."""
     graph = spec["graph"]
+    recovery = spec.get("recovery")
     checked = violations = timeouts = 0
-    dropped = duplicated = delayed = crashed = 0
+    dropped = duplicated = delayed = crashed = corrupted = 0
     rounds = messages = bits = 0
     details = []
     start = time.perf_counter()
@@ -162,7 +279,10 @@ def run_curve_point(spec, model, intensity, seed_base=0):
                 faults=plan if plan.active else None,
             )
         except RuntimeError as exc:
-            if "did not halt" not in str(exc):
+            # Either the scheduler's max_rounds cap or the algorithm's
+            # own horizon guard: both mean the trial ran out of time.
+            if ("did not halt" not in str(exc)
+                    and "exceeded horizon" not in str(exc)):
                 raise
             timeouts += 1
         else:
@@ -171,7 +291,13 @@ def run_curve_point(spec, model, intensity, seed_base=0):
             checked += report.checked
             violations += report.violations
             if report.details and len(details) < 3:
-                details.append(report.details[0])
+                # The trial seed makes each sampled violation
+                # replayable: seed both fault_plan() and
+                # seeded_inputs() with it to reproduce the run.
+                details.append({
+                    "seed": seed_base + index,
+                    "example": report.details[0],
+                })
         metrics = net.metrics
         rounds += metrics.rounds
         messages += metrics.messages
@@ -180,9 +306,11 @@ def run_curve_point(spec, model, intensity, seed_base=0):
         duplicated += metrics.duplicated
         delayed += metrics.delayed
         crashed += metrics.crashed
+        corrupted += metrics.corrupted
     elapsed = time.perf_counter() - start
+    suffix = "_recovered" if recovery else ""
     return {
-        "workload": f"{spec['name']}_{model}_{intensity}",
+        "workload": f"{spec['name']}_{model}_{intensity}{suffix}",
         "n": graph.number_of_nodes(),
         "m": graph.number_of_edges(),
         "trials": spec["trials"],
@@ -193,6 +321,7 @@ def run_curve_point(spec, model, intensity, seed_base=0):
         "algorithm": spec["name"],
         "fault_model": model,
         "intensity": intensity,
+        "recovery": recovery,
         "checked": checked,
         "violations": violations,
         "violation_rate": violations / checked if checked else 0.0,
@@ -202,21 +331,75 @@ def run_curve_point(spec, model, intensity, seed_base=0):
         "faults_duplicated": duplicated,
         "faults_delayed": delayed,
         "faults_crashed": crashed,
+        "faults_corrupted": corrupted,
         "sample_violations": details,
     }
 
 
 def breaking_points(records):
     """Smallest swept intensity per (algorithm, model) where the
-    guarantee degrades (violations or timeouts appear)."""
+    *baseline* guarantee degrades (violations or timeouts appear)."""
     points = {}
     for record in records:
+        if record.get("recovery"):
+            continue
         key = f"{record['algorithm']}/{record['fault_model']}"
         degraded = record["violations"] > 0 or record["timeouts"] > 0
         if degraded and (key not in points
                          or record["intensity"] < points[key]):
             points[key] = record["intensity"]
     return points
+
+
+def recovery_summary(records):
+    """Pair each recovered curve with its baseline and report the win.
+
+    Per ``algorithm/model`` pair: the intensities where the baseline
+    violated (or timed out) and the recovered run restored a clean
+    guarantee, plus the mean round/bit overhead the recovery mechanism
+    paid across the shared sweep.
+    """
+    baseline = {
+        (r["algorithm"], r["fault_model"], r["intensity"]): r
+        for r in records if not r.get("recovery")
+    }
+    summary = {}
+    for record in records:
+        if not record.get("recovery"):
+            continue
+        base = baseline.get((record["algorithm"], record["fault_model"],
+                             record["intensity"]))
+        if base is None:
+            continue
+        key = f"{record['algorithm']}/{record['fault_model']}"
+        entry = summary.setdefault(key, {
+            "recovery": record["recovery"],
+            "restored_intensities": [],
+            "round_overhead": [],
+            "bit_overhead": [],
+        })
+        broken = base["violations"] > 0 or base["timeouts"] > 0
+        healed = record["violations"] == 0 and record["timeouts"] == 0
+        if broken and healed:
+            entry["restored_intensities"].append(record["intensity"])
+        # Per-trial normalization: recovered sweeps may run fewer
+        # trials than their baseline (quick mode).
+        scale = base["trials"] / record["trials"]
+        if base["rounds"]:
+            entry["round_overhead"].append(
+                scale * record["rounds"] / base["rounds"]
+            )
+        if base["bits"]:
+            entry["bit_overhead"].append(
+                scale * record["bits"] / base["bits"]
+            )
+    for entry in summary.values():
+        for field in ("round_overhead", "bit_overhead"):
+            ratios = entry[field]
+            entry[field] = (round(sum(ratios) / len(ratios), 2)
+                            if ratios else None)
+        entry["restored_intensities"].sort()
+    return summary
 
 
 def main(argv=None):
@@ -226,6 +409,12 @@ def main(argv=None):
         help="small graphs and trial counts; fits the perf-smoke budget",
     )
     parser.add_argument(
+        "--recovery", action="store_true",
+        help="also sweep the recovered counterparts (self-healing / "
+             "restarting variants, reliable-delivery wrapper) and "
+             "report baseline-vs-recovered curves",
+    )
+    parser.add_argument(
         "--json", type=Path, default=None,
         help="where to write the results JSON "
              "(default: BENCH_resilience.json at the repo root)",
@@ -233,15 +422,22 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     sweeps = QUICK_SWEEPS if args.quick else FAULT_SWEEPS
+    specs = build_algorithms(args.quick)
+    sweep_specs = [(spec, sorted(sweeps)) for spec in specs]
+    if args.recovery:
+        recovered = build_recovered(specs, trials=3 if args.quick else None)
+        sweep_specs += [
+            (spec, sorted(spec["models"])) for spec in recovered
+        ]
     records = []
-    for spec in build_algorithms(args.quick):
-        for model, intensities in sweeps.items():
-            for intensity in intensities:
+    for spec, models in sweep_specs:
+        for model in models:
+            for intensity in sweeps[model]:
                 record = run_curve_point(spec, model, intensity)
                 if intensity == 0 and (record["violations"]
                                        or record["timeouts"]):
                     raise AssertionError(
-                        f"{record['workload']}: fault-free baseline must "
+                        f"{record['workload']}: fault-free run must "
                         "satisfy its guarantee"
                     )
                 records.append(record)
@@ -249,24 +445,46 @@ def main(argv=None):
     print_table(
         "Guarantee degradation under injected faults "
         "(validators re-verify each paper guarantee on live vertices)",
-        ["workload", "trials", "violations", "rate", "timeouts",
-         "crashed", "dropped", "delayed", "rounds"],
+        ["workload", "recovery", "trials", "violations", "rate",
+         "timeouts", "crashed", "dropped", "delayed", "corrupted",
+         "rounds"],
         [
-            [r["workload"], r["trials"], r["violations"],
-             fmt(r["violation_rate"], 4), r["timeouts"],
+            [r["workload"], r["recovery"] or "-", r["trials"],
+             r["violations"], fmt(r["violation_rate"], 4), r["timeouts"],
              r["faults_crashed"], r["faults_dropped"], r["faults_delayed"],
-             r["rounds"]]
+             r["faults_corrupted"], r["rounds"]]
             for r in records
         ],
     )
 
     points = breaking_points(records)
+    extras = {}
+    if args.recovery:
+        summary = recovery_summary(records)
+        extras["recovery_summary"] = summary
+        restored = [key for key, entry in summary.items()
+                    if entry["restored_intensities"]]
+        for key in sorted(summary):
+            entry = summary[key]
+            print(
+                f"recovery {key} [{entry['recovery']}]: restored at "
+                f"{entry['restored_intensities'] or 'none'}, overhead "
+                f"{entry['round_overhead']}x rounds / "
+                f"{entry['bit_overhead']}x bits"
+            )
+        if len(restored) < 2:
+            raise AssertionError(
+                "recovery sweep must restore at least two "
+                f"algorithm/model pairs to a zero violation rate at an "
+                f"intensity where the baseline breaks; got {restored}"
+            )
     payload = bench_payload(
         "resilience",
         records,
         quick=args.quick,
         fault_sweeps={k: list(v) for k, v in sweeps.items()},
         breaking_points=points,
+        **extras,
     )
     path = write_bench_json("resilience", payload, args.json)
     for key, intensity in sorted(points.items()):

@@ -7,8 +7,18 @@ machinery (masks drawn, gathers applied, counters folded) yet must be
 **byte-identical** — outputs, output ordering, and every
 ``NetworkMetrics`` field — to running with no plan at all.  This script
 re-verifies that matrix standalone, one row per plane registered in
-``repro.congest.runtime``, plus a faulty determinism row (the same
-seeded plan twice must reproduce the same outputs and fault tallies).
+``repro.congest.runtime``, with four columns:
+
+* **zero-fault identity** — zero-rate plan ≡ no plan;
+* **faulty determinism** — the same seeded plan (all five fault knobs:
+  crash, drop, dup, delay, corrupt) twice must reproduce the same
+  outputs and fault tallies;
+* **adversary determinism** — ditto for each targeted-adversary plan
+  (``degree:frac``, ``cut``, ``budget`` selectors plus Byzantine
+  corruption), and the sweep must actually corrupt something;
+* **wrapper identity** — with the ack/retransmit recovery wrapper
+  (:mod:`repro.congest.runtime.recovery`) installed, a zero-rate plan
+  must still be byte-identical to no plan at all.
 
 The deep cross-plane differentials live in ``tests/test_runtime.py``
 (coverage-enforced per registered plane); this is the quick CI face of
@@ -27,7 +37,15 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.congest import FaultPlan, Network, Trial, plane_names, run_many
+from repro.congest import (
+    ColumnarReliable,
+    FaultPlan,
+    Network,
+    ReliableNodeAlgorithm,
+    Trial,
+    plane_names,
+    run_many,
+)
 from repro.congest.classic import ColumnarLubyMIS, LubyMISAlgorithm
 from repro.congest.runtime.planes import get_plane
 from repro.graphs import triangulated_grid
@@ -37,7 +55,32 @@ FAULT_SAMPLE_WORKLOADS = {
     "columnar": lambda horizon: ColumnarLubyMIS(horizon),
 }
 
-FAULTY_PLAN = FaultPlan(seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2)
+# The recovery wrapper must be just as transparent to the zero-fault
+# identity contract as the bare algorithm (retries=1 keeps the window,
+# and hence the run, short).
+WRAPPED_WORKLOADS = {
+    "object": lambda horizon: ReliableNodeAlgorithm(
+        LubyMISAlgorithm(horizon), retries=1
+    ),
+    "columnar": lambda horizon: ColumnarReliable(
+        ColumnarLubyMIS(horizon), retries=1
+    ),
+}
+WRAPPER_WINDOW = 4  # physical rounds per logical round at retries=1
+
+FAULTY_PLAN = FaultPlan(
+    seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2, corrupt=0.15
+)
+
+# Targeted adversaries: every selector from faults.py, plus Byzantine
+# corruption stacked on loss.  Each must replay byte-identically and
+# the sweep as a whole must actually corrupt at least one message.
+ADVERSARY_PLANS = (
+    FaultPlan(seed=11, corrupt=0.3, drop=0.1),
+    FaultPlan(seed=13, drop=0.4, corrupt=0.2, target="degree:0.3"),
+    FaultPlan(seed=17, drop=0.5, corrupt=0.25, target="cut"),
+    FaultPlan(seed=19, drop=0.3, corrupt=0.2, target="budget"),
+)
 
 
 def seeded_inputs(graph, seed):
@@ -45,13 +88,15 @@ def seeded_inputs(graph, seed):
     return {v: rng.randrange(1 << 30) for v in graph.nodes}
 
 
-def run_plane(name, factory, graph, horizon, faults):
+def run_plane(name, factory, graph, horizon, faults, max_rounds=None):
     """(outputs-as-list-of-pairs, metrics) for one plane run."""
     plane = get_plane(name)
+    if max_rounds is None:
+        max_rounds = horizon + 2
     if plane.batch_only:
         trials = [
             Trial(graph, inputs=seeded_inputs(graph, 21),
-                  max_rounds=horizon + 2, faults=faults)
+                  max_rounds=max_rounds, faults=faults)
         ]
         [(outputs, metrics)] = run_many(
             factory(horizon), trials, processes=1, plane=name
@@ -59,7 +104,7 @@ def run_plane(name, factory, graph, horizon, faults):
         return list(outputs.items()), metrics
     net = Network(graph)
     outputs = net.run(
-        factory(horizon), max_rounds=horizon + 2,
+        factory(horizon), max_rounds=max_rounds,
         inputs=seeded_inputs(graph, 21), plane=name, faults=faults,
     )
     return list(outputs.items()), net.metrics
@@ -70,8 +115,9 @@ def main():
     horizon = 20 * max(4, graph.number_of_nodes().bit_length() ** 2)
     failures = 0
     print(f"{'plane':<20} {'zero-fault identity':<20} "
-          f"{'faulty determinism':<20}")
-    print("-" * 62)
+          f"{'faulty determinism':<20} {'adversary determinism':<22} "
+          f"{'wrapper identity':<20}")
+    print("-" * 104)
     for name in plane_names():
         plane = get_plane(name)
         factory = FAULT_SAMPLE_WORKLOADS.get(plane.kind)
@@ -87,17 +133,41 @@ def main():
 
         first = run_plane(name, factory, graph, horizon, FAULTY_PLAN)
         second = run_plane(name, factory, graph, horizon, FAULTY_PLAN)
-        bit = first[1].dropped + first[1].delayed + first[1].crashed > 0
+        bit = (first[1].dropped + first[1].delayed + first[1].crashed
+               + first[1].corrupted > 0)
         determinism = ("ok" if first == second and bit
                        else "MISMATCH" if first != second
                        else "PLAN DID NOTHING")
 
-        failures += (identity != "ok") + (determinism != "ok")
-        print(f"{name:<20} {identity:<20} {determinism:<20}")
+        corrupted = 0
+        adversary = "ok"
+        for plan in ADVERSARY_PLANS:
+            one = run_plane(name, factory, graph, horizon, plan)
+            two = run_plane(name, factory, graph, horizon, plan)
+            if one != two:
+                adversary = "MISMATCH"
+                break
+            corrupted += one[1].corrupted
+        if adversary == "ok" and not corrupted:
+            adversary = "PLANS DID NOTHING"
+
+        wrapped = WRAPPED_WORKLOADS[plane.kind]
+        wrapped_rounds = WRAPPER_WINDOW * horizon + 2
+        bare_w = run_plane(name, wrapped, graph, horizon, None,
+                           max_rounds=wrapped_rounds)
+        zeroed_w = run_plane(name, wrapped, graph, horizon, FaultPlan(),
+                             max_rounds=wrapped_rounds)
+        wrapper = "ok" if zeroed_w == bare_w else "MISMATCH"
+
+        failures += ((identity != "ok") + (determinism != "ok")
+                     + (adversary != "ok") + (wrapper != "ok"))
+        print(f"{name:<20} {identity:<20} {determinism:<20} "
+              f"{adversary:<22} {wrapper:<20}")
     if failures:
         print(f"\nFAIL: {failures} fault-matrix check(s) broken")
         return 1
-    print("\nall planes: zero-fault identity and faulty determinism hold")
+    print("\nall planes: zero-fault identity, faulty/adversary determinism,"
+          " and wrapper identity hold")
     return 0
 
 

@@ -27,5 +27,5 @@ python benchmarks/bench_delivery.py --quick --json "$SMOKE_DIR/BENCH_delivery.qu
 python benchmarks/bench_columnar.py --quick --json "$SMOKE_DIR/BENCH_columnar.quick.json"
 python benchmarks/bench_grid.py --quick --json "$SMOKE_DIR/BENCH_grid.quick.json"
 python benchmarks/bench_gathering.py --quick --json "$SMOKE_DIR/BENCH_gathering.quick.json"
-python benchmarks/bench_resilience.py --quick --json "$SMOKE_DIR/BENCH_resilience.quick.json"
+python benchmarks/bench_resilience.py --quick --recovery --json "$SMOKE_DIR/BENCH_resilience.quick.json"
 python scripts/check_bench_regression.py --all "$SMOKE_DIR"

@@ -293,7 +293,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             fault_note = (f"  dropped = {metrics.dropped}  "
                           f"duplicated = {metrics.duplicated}  "
                           f"delayed = {metrics.delayed}  "
-                          f"crashed = {metrics.crashed}")
+                          f"crashed = {metrics.crashed}  "
+                          f"corrupted = {metrics.corrupted}")
         print(f"  trial {index}: rounds = {metrics.rounds}  "
               f"messages = {metrics.messages}  bits = {metrics.total_bits}  "
               f"{summarize(outputs)}{fault_note}")
@@ -303,6 +304,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"sweep total: rounds = {total_rounds}  "
           f"messages = {total_messages}  bits = {total_bits}  "
           f"wall clock = {elapsed:.3f}s")
+    if plan is not None:
+        # One-line adversary summary: what the fault plan actually did
+        # across the sweep, without JSON spelunking.
+        print("faults: crashed = {}  dropped = {}  duplicated = {}  "
+              "delayed = {}  corrupted = {}".format(
+                  *(sum(getattr(metrics, field) for _, metrics in results)
+                    for field in ("crashed", "dropped", "duplicated",
+                                  "delayed", "corrupted"))))
     return 0
 
 
@@ -383,7 +392,8 @@ def make_parser() -> argparse.ArgumentParser:
                         "'broadcast'")
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="fault plan as comma-separated knobs, e.g. "
-                        "'crash=0.01,drop=0.05,dup=0.01,delay=2,seed=7' "
+                        "'crash=0.01,drop=0.05,dup=0.01,delay=2,"
+                        "corrupt=0.05,target=degree:0.25,seed=7' "
                         "(repro.congest.FaultPlan.parse); each trial "
                         "reseeds the plan with seed+trial so a sweep "
                         "draws independent fault schedules")

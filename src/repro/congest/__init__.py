@@ -75,9 +75,11 @@ from repro.congest.columnar import (
 )
 from repro.congest.engine import CompiledTopology
 from repro.congest.runtime import (
+    ColumnarReliable,
     ExecutionPlane,
     FaultPlan,
     GridTopology,
+    ReliableNodeAlgorithm,
     Trial,
     execute_grid,
     plane_names,
@@ -116,7 +118,9 @@ from repro.congest.cluster_sim import (
 )
 from repro.congest.classic import (
     ColumnarLubyMIS,
+    ColumnarSelfHealingMIS,
     ColumnarTrialColoring,
+    SelfHealingMIS,
     delta_plus_one_coloring,
     distributed_greedy_matching,
     luby_mis,
@@ -126,6 +130,8 @@ from repro.congest.algorithms import (
     BroadcastAlgorithm,
     ColorReductionAlgorithm,
     ColumnarBFSTree,
+    ColumnarRestartingBFS,
+    RestartingBFS,
     ColumnarConvergecastSum,
     ColumnarFloodValue,
     ColumnarVarFlood,
@@ -160,8 +166,14 @@ __all__ = [
     "ColumnarContext",
     "ColumnarInbox",
     "ColumnarLubyMIS",
+    "ColumnarReliable",
+    "ColumnarRestartingBFS",
+    "ColumnarSelfHealingMIS",
     "ColumnarTrialColoring",
     "ColumnarBFSTree",
+    "ReliableNodeAlgorithm",
+    "RestartingBFS",
+    "SelfHealingMIS",
     "ColumnarConvergecastSum",
     "ColumnarFloodValue",
     "ColumnarVarFlood",

@@ -177,6 +177,189 @@ def bfs_tree(
     return tree, net.metrics
 
 
+class RestartingBFS(NodeAlgorithm):
+    """Fault-aware BFS tree: continuous re-announcement + re-election.
+
+    Where :class:`BFSTreeAlgorithm` announces its depth exactly once,
+    every reached vertex here re-broadcasts its depth *every* round and
+    adopts any strictly better offer (Bellman–Ford style: smallest
+    ``(depth, repr)`` announcer wins).  Depths only ever decrease and —
+    absent corruption — never drop below the true distance, so under
+    drops and delays the tree converges to exact BFS depths as long as
+    the horizon leaves room for retries.  A per-vertex silence counter
+    re-elects a live parent among current depth-1 announcers after
+    ``_PATIENCE`` rounds without hearing from the old one, healing
+    around crashed interior vertices.  Low-bit corruption can forge a
+    too-small depth, so for ``corrupt`` adversaries this variant is run
+    under the reliable-delivery wrapper
+    (:mod:`repro.congest.runtime.recovery`), which turns corruption into
+    loss and re-announcement heals the loss.
+    """
+
+    _PATIENCE = 3
+
+    def __init__(self, root: Hashable, horizon: int) -> None:
+        super().__init__()
+        self.root = root
+        self.horizon = horizon
+        self.parent: Hashable | None = None
+        self.depth: int | None = None
+        self.silent = 0
+
+    def spawn(self) -> "RestartingBFS":
+        return RestartingBFS(self.root, self.horizon)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        if ctx.node == self.root:
+            self.depth = 0
+            self.parent = ctx.node
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
+        announced: dict[Any, int] = {}
+        for sender, message in inbox.items():
+            depth = message.payload
+            # Corruption can mangle framing; only well-formed depth
+            # announcements (plain non-negative ints) are believed.
+            if isinstance(depth, bool) or not isinstance(
+                depth, (int, np.integer)
+            ):
+                continue
+            if depth < 0:
+                continue
+            announced[sender] = int(depth)
+        is_root = ctx.node == self.root
+        if announced and not is_root:
+            best_sender = min(
+                announced, key=lambda s: (announced[s], repr(s))
+            )
+            candidate = announced[best_sender] + 1
+            if self.depth is None or candidate < self.depth:
+                self.depth = candidate
+                self.parent = best_sender
+                self.silent = 0
+        if not is_root and self.depth is not None:
+            if self.parent in announced:
+                self.silent = 0
+            else:
+                self.silent += 1
+                if self.silent >= self._PATIENCE:
+                    candidates = [
+                        s for s, d in announced.items()
+                        if d + 1 == self.depth
+                    ]
+                    if candidates:
+                        self.parent = min(candidates, key=repr)
+                        self.silent = 0
+        outgoing: "dict[Any, Message] | Broadcast" = {}
+        if self.depth is not None:
+            outgoing = ctx.broadcast(Message(self.depth))
+        if ctx.round_number >= self.horizon:
+            self.halt()
+        return outgoing
+
+    def output(self):
+        if self.depth is None:
+            return None
+        return (self.parent, self.depth)
+
+
+class ColumnarRestartingBFS(ColumnarAlgorithm):
+    """:class:`RestartingBFS` as a round-vectorized columnar program.
+
+    Exact port: adoption is one segmented ``argmin`` over packed
+    ``(depth, repr-rank)`` keys, parent liveness is a segmented ``any``
+    over ``sender == parent[receiver]``, and re-election is a filtered
+    ``argmin`` over announcer ranks at depth-1.
+    """
+
+    spec = ColumnarSpec(("depth", np.uint32))
+    # Root init via ctx.index_of (grid form fans out per trial block);
+    # state is dense arrays only; emissions gated on the live mask.
+    grid_safe = True
+
+    _PATIENCE = 3
+
+    def __init__(self, root: Hashable, horizon: int) -> None:
+        self.root = root
+        self.horizon = horizon
+
+    def spawn(self) -> "ColumnarRestartingBFS":
+        return ColumnarRestartingBFS(self.root, self.horizon)
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        self.depth = np.full(n, -1, dtype=np.int64)
+        self.parent = np.full(n, -1, dtype=np.int64)
+        self.silent = np.zeros(n, dtype=np.int64)
+        self.is_root = np.zeros(n, dtype=bool)
+        root_index = ctx.index_of(self.root)
+        self.is_root[root_index] = True
+        self.depth[root_index] = 0
+        self.parent[root_index] = root_index
+        self.rank = ctx.repr_rank
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        stepped = ~ctx.halted
+        inbox = ctx.inbox
+        heard_parent = np.zeros(self.depth.shape[0], dtype=bool)
+        if len(inbox):
+            depths = inbox.column("depth").astype(np.int64)
+            senders = inbox.senders
+            # Adopt the smallest (depth, repr-rank) announcer when it
+            # strictly improves on the current depth.
+            keys = (depths << 32) | self.rank[senders]
+            first = ctx.reduce_neighbors("argmin", keys)
+            idx = np.flatnonzero(
+                stepped & ~self.is_root & (first >= 0)
+            )
+            if idx.size:
+                pick = first[idx]
+                candidate = depths[pick] + 1
+                better = (self.depth[idx] < 0) | (candidate < self.depth[idx])
+                sub = idx[better]
+                if sub.size:
+                    self.depth[sub] = candidate[better]
+                    self.parent[sub] = senders[pick[better]]
+                    self.silent[sub] = 0
+            receivers = inbox.receivers()
+            heard_parent = ctx.reduce_neighbors(
+                "any", senders == self.parent[receivers]
+            )
+        tracked = stepped & ~self.is_root & (self.depth >= 0)
+        self.silent[tracked & heard_parent] = 0
+        bump = tracked & ~heard_parent
+        self.silent[bump] += 1
+        stale = bump & (self.silent >= self._PATIENCE)
+        if len(inbox) and stale.any():
+            receivers = inbox.receivers()
+            at_parent_depth = depths == (self.depth[receivers] - 1)
+            candidate = ctx.reduce_neighbors(
+                "argmin", self.rank[senders], where=at_parent_depth
+            )
+            idx = np.flatnonzero(stale & (candidate >= 0))
+            if idx.size:
+                self.parent[idx] = senders[candidate[idx]]
+                self.silent[idx] = 0
+        reached = np.flatnonzero(stepped & (self.depth >= 0))
+        if reached.size:
+            ctx.emit_columns(reached, depth=self.depth[reached])
+        if ctx.round_number >= self.horizon:
+            ctx.halt(stepped)
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [
+            None if self.depth[i] < 0
+            else (ctx.vertices[int(self.parent[i])], int(self.depth[i]))
+            for i in range(ctx.n)
+        ]
+
+
+_RESTARTING_BFS_VARIANTS = {
+    "object": RestartingBFS,
+    "columnar": ColumnarRestartingBFS,
+}
+
+
 # ---------------------------------------------------------------------------
 # Broadcast
 # ---------------------------------------------------------------------------

@@ -259,6 +259,229 @@ def luby_mis(
     return independent, net.metrics
 
 
+class SelfHealingMIS(NodeAlgorithm):
+    """Fault-aware Luby MIS: a bounded draw/resolve phase followed by a
+    self-healing repair phase that wins the MIS guarantees back.
+
+    Phase 1 (rounds ``1..luby_rounds``) runs the same DRAW/RESOLVE
+    lockstep as :class:`LubyMISAlgorithm`, but decided vertices merely
+    stop drawing instead of halting — they must stay alive for phase 2.
+    Phase 2 (``repair_rounds`` report rounds plus one final absorb
+    round) has every live vertex broadcast a ``(2, status)`` report with
+    status ``1`` (in the set), ``2`` (out, covered by a live in-set
+    neighbour) or ``0`` (out and uncovered).  Repairs are rank-ordered:
+    an in-set vertex leaves when a smaller-``repr`` neighbour also
+    reports in-set (independence), and an uncovered vertex joins when no
+    neighbour reports in-set and it beats every *uncovered* reporter
+    (maximality — covered neighbours never block a join, which is what
+    makes the repair deadlock-free).  Crash faults only ever break
+    maximality, so under pure crashes the repair phase deterministically
+    restores a valid MIS over the live vertices; paired with the
+    reliable-delivery wrapper (:mod:`repro.congest.runtime.recovery`) it
+    also rides out drops, delays, and low-bit corruption.
+    """
+
+    def __init__(self, luby_rounds: int, repair_rounds: int) -> None:
+        super().__init__()
+        if luby_rounds < 2 or luby_rounds % 2:
+            raise ValueError(
+                f"luby_rounds must be a positive even number of rounds, "
+                f"got {luby_rounds}"
+            )
+        if repair_rounds < 1:
+            raise ValueError(f"repair_rounds must be >= 1, got {repair_rounds}")
+        self.luby_rounds = luby_rounds
+        self.repair_rounds = repair_rounds
+        self.rng: random.Random | None = None
+        self.active = True
+        self.in_set = False
+        self.covered = False
+        self.priority = 0
+
+    def spawn(self) -> "SelfHealingMIS":
+        return SelfHealingMIS(self.luby_rounds, self.repair_rounds)
+
+    def initialize(self, ctx: NodeContext) -> None:
+        self.rng = random.Random(self.input)
+        self._node_repr = repr(ctx.node)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[Any, Message]):
+        r = ctx.round_number
+        if r <= self.luby_rounds:
+            if r % 2 == 1:  # DRAW (odd rounds, lockstep)
+                for _sender, message in inbox.items():
+                    if message.payload[0] == 1:  # neighbour joined the IS
+                        self.covered = True
+                        self.active = False
+                if self.active and ctx.degree == 0:
+                    self.in_set = True
+                    self.active = False
+                if not self.active:
+                    return {}
+                self.priority = self.rng.randrange(1 << 30)
+                return ctx.broadcast(Message((0, self.priority)))
+            # RESOLVE: all kind-0 draws come from still-active vertices.
+            if not self.active:
+                return {}
+            wins = True
+            my_priority = self.priority
+            for sender, message in inbox.items():
+                kind, value = message.payload
+                if kind == 0 and (
+                    value > my_priority
+                    or (value == my_priority and repr(sender) > self._node_repr)
+                ):
+                    wins = False
+                    break
+            if wins:
+                self.in_set = True
+                self.active = False
+                return ctx.broadcast(_MIS_JOINED)
+            return {}
+        # Phase 2: repair by rank-ordered report exchange.
+        r0 = r - self.luby_rounds
+        if r0 > 1:
+            in_reprs = []
+            uncovered_reprs = []
+            for sender, message in inbox.items():
+                kind, value = message.payload
+                if kind != 2:
+                    continue  # stale phase-1 traffic (delays) is ignored
+                if value == 1:
+                    in_reprs.append(repr(sender))
+                elif value == 0:
+                    uncovered_reprs.append(repr(sender))
+            covered_now = bool(in_reprs)
+            if self.in_set and covered_now and min(in_reprs) < self._node_repr:
+                self.in_set = False  # independence: the smaller rank stays
+            if not self.in_set and not covered_now:
+                if not uncovered_reprs or self._node_repr < min(uncovered_reprs):
+                    self.in_set = True  # maximality: local minimum joins
+            self.covered = covered_now
+        if r0 > self.repair_rounds:
+            self.halt()
+            return {}
+        status = 1 if self.in_set else (2 if self.covered else 0)
+        return ctx.broadcast(Message((2, status)))
+
+    def output(self):
+        return self.in_set
+
+
+class ColumnarSelfHealingMIS(ColumnarAlgorithm):
+    """:class:`SelfHealingMIS` as a round-vectorized columnar program.
+
+    Exact port (same RNG streams, same payloads, same repair rules with
+    ``repr``-rank in place of ``repr`` strings): phase-1 win detection is
+    the packed-key segmented ``max`` of :class:`ColumnarLubyMIS`, and
+    each repair round is two segmented ``min`` reductions over reporter
+    ranks (smallest in-set reporter for the leave rule, smallest
+    uncovered reporter for the join rule).
+    """
+
+    spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
+    # State is dense arrays only and every emission is gated on the live
+    # mask, so T trials batch as one block-diagonal grid.
+    grid_safe = True
+
+    def __init__(self, luby_rounds: int, repair_rounds: int) -> None:
+        if luby_rounds < 2 or luby_rounds % 2:
+            raise ValueError(
+                f"luby_rounds must be a positive even number of rounds, "
+                f"got {luby_rounds}"
+            )
+        if repair_rounds < 1:
+            raise ValueError(f"repair_rounds must be >= 1, got {repair_rounds}")
+        self.luby_rounds = luby_rounds
+        self.repair_rounds = repair_rounds
+
+    def spawn(self) -> "ColumnarSelfHealingMIS":
+        return ColumnarSelfHealingMIS(self.luby_rounds, self.repair_rounds)
+
+    def setup(self, ctx: ColumnarContext) -> None:
+        n = ctx.n
+        self.rngs = [random.Random(seed) for seed in ctx.inputs]
+        self.active = np.ones(n, dtype=bool)
+        self.in_set = np.zeros(n, dtype=bool)
+        self.covered = np.zeros(n, dtype=bool)
+        self.priority = np.zeros(n, dtype=np.int64)
+        self.rank = ctx.repr_rank
+
+    def on_round(self, ctx: ColumnarContext) -> None:
+        stepped = ~ctx.halted
+        r = ctx.round_number
+        if r <= self.luby_rounds:
+            kinds = ctx.inbox.column("kind")
+            if r % 2 == 1:  # DRAW
+                joined = ctx.reduce_neighbors("any", kinds == 1)
+                got = stepped & joined
+                self.covered |= got
+                self.active &= ~got
+                isolated = stepped & self.active & (ctx.degrees == 0)
+                self.in_set |= isolated
+                self.active &= ~isolated
+                survivors = np.flatnonzero(stepped & self.active)
+                if survivors.size:
+                    rngs = self.rngs
+                    priority = self.priority
+                    for i in survivors.tolist():
+                        priority[i] = rngs[i].randrange(1 << 30)
+                    ctx.emit_columns(survivors, kind=0, value=priority[survivors])
+            else:  # RESOLVE
+                values = ctx.inbox.column("value").astype(np.int64)
+                keys = (values << 32) | self.rank[ctx.inbox.senders]
+                best = ctx.reduce_neighbors(
+                    "max", keys, where=(kinds == 0), empty=np.int64(-1)
+                )
+                my_key = (self.priority << 32) | self.rank
+                wins = stepped & self.active & (best < my_key)
+                winners = np.flatnonzero(wins)
+                if winners.size:
+                    self.in_set[winners] = True
+                    self.active[winners] = False
+                    ctx.emit_columns(winners, kind=1, value=0)
+            return
+        # Phase 2: repair by rank-ordered report exchange.
+        r0 = r - self.luby_rounds
+        if r0 > 1:
+            kinds = ctx.inbox.column("kind")
+            values = ctx.inbox.column("value")
+            sender_rank = self.rank[ctx.inbox.senders]
+            big = np.int64(np.iinfo(np.int64).max)
+            best_in = ctx.reduce_neighbors(
+                "min", sender_rank, where=(kinds == 2) & (values == 1),
+                empty=big,
+            )
+            covered_now = best_in < big
+            leave = stepped & self.in_set & (best_in < self.rank)
+            self.in_set &= ~leave
+            min_uncovered = ctx.reduce_neighbors(
+                "min", sender_rank, where=(kinds == 2) & (values == 0),
+                empty=big,
+            )
+            join = stepped & ~self.in_set & ~covered_now & (
+                self.rank < min_uncovered
+            )
+            self.in_set |= join
+            self.covered = np.where(stepped, covered_now, self.covered)
+        if r0 > self.repair_rounds:
+            ctx.halt(stepped)
+            return
+        alive = np.flatnonzero(stepped)
+        if alive.size:
+            status = np.where(self.in_set, 1, np.where(self.covered, 2, 0))
+            ctx.emit_columns(alive, kind=2, value=status[alive])
+
+    def outputs(self, ctx: ColumnarContext) -> list:
+        return [bool(flag) for flag in self.in_set]
+
+
+_SELF_HEALING_MIS_VARIANTS = {
+    "object": SelfHealingMIS,
+    "columnar": ColumnarSelfHealingMIS,
+}
+
+
 class ProposalMatchingAlgorithm(NodeAlgorithm):
     """Randomized maximal matching: unmatched vertices propose to a random
     unmatched neighbour; a proposal pair (mutual or accepted) matches.
@@ -470,9 +693,17 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
         if finalized.any():
             receivers = ctx.inbox.receivers()
             touched = receivers[finalized]
-            self.taken[touched, values[finalized]] = True
-            rows = np.unique(touched)
-            self.taken_count[rows] = self.taken[rows].sum(axis=1)
+            colors = values[finalized]
+            # Byzantine corruption can push a colour outside the
+            # palette; an out-of-range colour can never block or
+            # conflict (trials stay in-palette), so drop it rather
+            # than overrun the bitmask.
+            in_palette = colors < self.palette_size
+            touched, colors = touched[in_palette], colors[in_palette]
+            if touched.size:
+                self.taken[touched, colors] = True
+                rows = np.unique(touched)
+                self.taken_count[rows] = self.taken[rows].sum(axis=1)
         has_trial = self.trial >= 0
         # Conflict (a): an uncoloured neighbour tried the same colour.
         trial_of_receiver = self.trial[ctx.inbox.receivers()]
@@ -502,7 +733,11 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
             # (same length ⇒ same ``choice`` draw), without a row scan.
             for i in drawers.tolist():
                 if constrained[i]:
-                    available = np.flatnonzero(~taken[i]).tolist()
+                    # Byzantine senders can finalize several colours
+                    # each and exhaust the (Δ+1) palette — impossible
+                    # fault-free; retry from the full palette rather
+                    # than crash on an empty draw.
+                    available = np.flatnonzero(~taken[i]).tolist() or full
                 else:
                     available = full
                 trial[i] = rngs[i].choice(available)

@@ -32,9 +32,9 @@ from dataclasses import dataclass, field
 class NetworkMetrics:
     """Raw counters for one simulated execution.
 
-    The fault counters (``dropped``/``duplicated``/``delayed`` messages,
-    ``crashed`` vertices) stay zero on fault-free runs — part of the
-    zero-fault identity contract of
+    The fault counters (``dropped``/``duplicated``/``delayed``/
+    ``corrupted`` messages, ``crashed`` vertices) stay zero on
+    fault-free runs — part of the zero-fault identity contract of
     :mod:`repro.congest.runtime.faults`.  ``crashed_vertices`` is the
     tuple of crashed vertex ids in crash order, so resilience reports
     (:mod:`repro.congest.validators`) can restrict guarantee checks to
@@ -48,6 +48,7 @@ class NetworkMetrics:
     duplicated: int = 0
     delayed: int = 0
     crashed: int = 0
+    corrupted: int = 0
     crashed_vertices: tuple = ()
 
     def record_round(self) -> None:
@@ -71,6 +72,7 @@ class NetworkMetrics:
         duplicated: int = 0,
         delayed: int = 0,
         crashed: int = 0,
+        corrupted: int = 0,
     ) -> None:
         """Fold one batch of deferred counters in a single update — the
         flush path of the engine's per-round (and the columnar plane's
@@ -87,6 +89,7 @@ class NetworkMetrics:
         self.duplicated += duplicated
         self.delayed += delayed
         self.crashed += crashed
+        self.corrupted += corrupted
 
     def record_faults(
         self,
@@ -95,6 +98,7 @@ class NetworkMetrics:
         duplicated: int = 0,
         delayed: int = 0,
         crashed: int = 0,
+        corrupted: int = 0,
         crashed_vertices: tuple = (),
     ) -> None:
         """Fold one fault-injected execution's adversary tallies (the
@@ -103,6 +107,7 @@ class NetworkMetrics:
         self.duplicated += duplicated
         self.delayed += delayed
         self.crashed += crashed
+        self.corrupted += corrupted
         if crashed_vertices:
             self.crashed_vertices = self.crashed_vertices + tuple(
                 crashed_vertices
@@ -122,6 +127,7 @@ class NetworkMetrics:
         self.duplicated += other.duplicated
         self.delayed += other.delayed
         self.crashed += other.crashed
+        self.corrupted += other.corrupted
         if other.crashed_vertices:
             self.crashed_vertices = (
                 self.crashed_vertices + other.crashed_vertices

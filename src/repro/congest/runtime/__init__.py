@@ -24,8 +24,15 @@ programs independent of the execution substrate:
   numpy dispatch amortized across the whole sweep;
 * :mod:`~repro.congest.runtime.faults` — fault injection as a scheduler
   concern: a :class:`FaultPlan` (crash-stop, drop, duplication,
-  bounded-delay asynchrony; counter-based Philox draws) that every
-  registered plane executes identically with zero algorithm changes.
+  bounded-delay asynchrony, Byzantine low-bit corruption, targeted
+  adversaries; counter-based Philox draws) that every registered plane
+  executes identically with zero algorithm changes;
+* :mod:`~repro.congest.runtime.recovery` — the self-healing layer:
+  ack/retransmit reliable-delivery wrappers
+  (:class:`ReliableNodeAlgorithm` for object planes,
+  :class:`ColumnarReliable` for columnar/grid planes) that win exact
+  delivery back from drop/delay/corrupt adversaries at a constant
+  round/bit overhead.
 """
 
 from repro.congest.runtime.batch import (
@@ -57,10 +64,33 @@ from repro.congest.runtime.scheduler import (
     run_rounds,
 )
 
+# The recovery wrappers subclass the columnar/object algorithm bases, and
+# the columnar plane itself imports this package's scheduler — so the
+# recovery module is re-exported lazily (PEP 562) to keep the runtime
+# import graph acyclic.
+_RECOVERY_EXPORTS = (
+    "ColumnarReliable",
+    "ReliableNodeAlgorithm",
+    "payload_checksum",
+)
+
+
+def __getattr__(name: str):
+    if name in _RECOVERY_EXPORTS:
+        from repro.congest.runtime import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 __all__ = [
+    "ColumnarReliable",
     "ExecutionPlane",
     "FaultPlan",
     "FaultState",
+    "ReliableNodeAlgorithm",
+    "payload_checksum",
     "GridAccountant",
     "GridTopology",
     "Trial",

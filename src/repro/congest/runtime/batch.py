@@ -247,6 +247,12 @@ def execute_grid(
         if newly.any():
             rounds_of[newly] = round_number
             finished[newly] = True
+            if fault_state is not None:
+                # A finished trial's single run has ended: its block must
+                # see no further fault activity (matured delayed traffic
+                # is discarded untallied), keeping per-trial counters
+                # byte-identical to standalone execution.
+                fault_state.retire_trials(np.flatnonzero(newly))
 
     note_transitions(0)  # trials fully halted during setup count 0 rounds
 
@@ -336,6 +342,7 @@ def execute_grid(
                 duplicated=int(fault_state.duplicated[t]),
                 delayed=int(fault_state.delayed[t]),
                 crashed=int(fault_state.crashed_count[t]),
+                corrupted=int(fault_state.corrupted[t]),
                 crashed_vertices=fault_state.crashed_vertices(t),
             )
         results.append((outputs, metrics))

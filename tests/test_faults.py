@@ -72,6 +72,28 @@ class TestFaultPlan:
         with pytest.raises(ValueError, match="not key=value"):
             FaultPlan.parse("drop")
 
+    def test_corrupt_knob_parses_and_activates(self):
+        plan = FaultPlan.parse("corrupt=0.25, seed=3")
+        assert plan == FaultPlan(seed=3, corrupt=0.25)
+        assert plan.active
+        with pytest.raises(ValueError, match="outside"):
+            FaultPlan(corrupt=1.5)
+
+    def test_target_parses_and_validates(self):
+        assert FaultPlan.parse("drop=0.3,target=degree:0.5").target == (
+            "degree:0.5"
+        )
+        assert FaultPlan(drop=0.1, target="cut").target == "cut"
+        assert FaultPlan(drop=0.1, target="budget").reseed(4).target == (
+            "budget"
+        )
+        with pytest.raises(ValueError, match="unknown fault target"):
+            FaultPlan(drop=0.1, target="hub")
+        with pytest.raises(ValueError, match="degree"):
+            FaultPlan(drop=0.1, target="degree:0")
+        with pytest.raises(ValueError, match="degree"):
+            FaultPlan(drop=0.1, target="degree:nope")
+
     def test_parse_empty_entries_tolerated(self):
         assert FaultPlan.parse("drop=0.5,,") == FaultPlan(drop=0.5)
 
@@ -167,6 +189,101 @@ class TestFaultStateSemantics:
         assert state.crash_step(2, still_running).tolist() == [0, 4]
         assert int(state.crashed_count[0]) == 5
         assert state.crashed_vertices(0) == (1, 2, 3, 0, 4)
+
+
+# ---------------------------------------------------------------------------
+# Byzantine corruption and targeted adversaries
+# ---------------------------------------------------------------------------
+class TestCorruptionAndTargets:
+    def test_corrupt_everything_flips_low_bits(self):
+        state = path_state(FaultPlan(corrupt=1.0))
+        out = state.object_round(1, [(0, 1, (4, True)), (2, 1, (7,))])
+        assert out == [(0, 1, (5, False)), (2, 1, (6,))]
+        assert int(state.corrupted[0]) == 2
+
+    def test_corrupt_decided_before_drop(self):
+        # A message both corrupted and dropped tallies on both counters:
+        # the adversary corrupts in flight, the network then loses it.
+        state = path_state(FaultPlan(corrupt=1.0, drop=1.0))
+        assert state.object_round(1, [(0, 1, (3,))]) == []
+        assert int(state.corrupted[0]) == 1
+        assert int(state.dropped[0]) == 1
+
+    def test_duplicated_copies_share_corrupted_payload(self):
+        state = path_state(FaultPlan(corrupt=1.0, dup=1.0))
+        out = state.object_round(1, [(0, 1, (8,))])
+        assert out == [(0, 1, (9,)), (0, 1, (9,))]
+        assert int(state.corrupted[0]) == 1  # one fresh corruption
+
+    def test_degree_target_restricts_faults_to_top_vertices(self):
+        # Path 0-1-2-3-4: the stable top-20% pick is vertex 1 (first of
+        # the degree-2 tie).  Only edges incident to 1 see the drop.
+        plan = FaultPlan(drop=1.0, target="degree:0.2")
+        state = path_state(plan)
+        out = state.object_round(
+            1, [(0, 1, "hit"), (1, 2, "hit2"), (3, 4, "safe")]
+        )
+        assert out == [(3, 4, "safe")]
+        # Crash eligibility narrows to the same targeted vertices.
+        crash_state = path_state(FaultPlan(crash=1.0, target="degree:0.2"))
+        eligible = np.ones(5, dtype=bool)
+        assert crash_state.crash_step(1, eligible).tolist() == [1]
+
+    def test_cut_target_hits_only_bridges(self):
+        graph = nx.barbell_graph(3, 0)  # two triangles, bridge (2, 3)
+        state = FaultState.for_single(
+            FaultPlan(drop=1.0, target="cut"), compile_topology(graph)
+        )
+        out = state.object_round(
+            1, [(0, 1, "intra"), (2, 3, "bridge"), (3, 2, "bridge-back")]
+        )
+        assert out == [(0, 1, "intra")]
+        assert int(state.dropped[0]) == 2
+
+    def test_budget_target_spends_on_busiest_senders(self):
+        # Star hub 0 sends three messages, leaf 1 sends one; a 0.5 drop
+        # budget (ceil(0.5 * 4) = 2) lands on the hub's two lowest-rank
+        # edges, regardless of the Philox draws.
+        graph = nx.star_graph(4)
+        state = FaultState.for_single(
+            FaultPlan(seed=3, drop=0.5, target="budget"),
+            compile_topology(graph),
+        )
+        out = state.object_round(
+            1,
+            [(0, 1, "a"), (0, 2, "b"), (0, 3, "c"), (1, 0, "d")],
+        )
+        assert out == [(0, 3, "c"), (1, 0, "d")]
+        assert int(state.dropped[0]) == 2
+
+    def test_budget_zero_rate_is_inert(self):
+        # target alone never makes a plan active, and a zero-rate budget
+        # adversary delivers everything untouched.
+        plan = FaultPlan(seed=5, target="budget")
+        assert not plan.active
+        state = path_state(FaultPlan(seed=5, drop=0.0, dup=1.0,
+                                     target="budget"))
+        fresh = [(0, 1, "x"), (1, 2, "y")]
+        out = state.object_round(1, list(fresh))
+        # dup budget: ceil(1.0 * 2) = 2 duplicates on both survivors.
+        assert sorted(map(repr, out)) == sorted(
+            map(repr, [(0, 1, "x"), (0, 1, "x"), (1, 2, "y"), (1, 2, "y")])
+        )
+
+    def test_budget_matches_across_planes_end_to_end(self):
+        graph = nx.gnp_random_graph(14, 0.35, seed=4)
+        rng = random.Random(2)
+        inputs = {v: rng.getrandbits(30) for v in graph.nodes}
+        plan = FaultPlan(seed=11, drop=0.3, corrupt=0.2, target="budget")
+        results = {}
+        for plane, cls in (("object", LubyMISAlgorithm),
+                           ("columnar", ColumnarLubyMIS)):
+            net = Network(graph)
+            outputs = net.run(cls(120), max_rounds=140, inputs=inputs,
+                              plane=plane, faults=plan)
+            results[plane] = (outputs, net.metrics)
+        assert results["object"] == results["columnar"]
+        assert results["object"][1].corrupted > 0
 
 
 # ---------------------------------------------------------------------------

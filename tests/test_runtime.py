@@ -288,7 +288,8 @@ FAULT_SAMPLE_WORKLOADS = {
     "columnar": lambda graph: ColumnarLubyMIS(mis_horizon(graph)),
 }
 
-_FAULTY_PLAN = FaultPlan(seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2)
+_FAULTY_PLAN = FaultPlan(seed=7, crash=0.03, drop=0.2, dup=0.1, delay=2,
+                         corrupt=0.15)
 
 
 def _fault_workload(name):
@@ -668,6 +669,94 @@ class TestGridExecution:
             run_many(NeverHalts(), trials, processes=1, plane="columnar")
         with pytest.raises(RuntimeError, match="did not halt within 5 "):
             run_many(NeverHalts(), trials, processes=1, plane="grid")
+
+    # -- FaultPlan.reseed edge cases on the grid plane ----------------------
+    def faulty_single(self, trial):
+        """The standalone columnar run a grid trial must byte-match."""
+        net = Network(trial.graph)
+        outputs = net.run(
+            ColumnarLubyMIS(mis_horizon(trial.graph)),
+            max_rounds=trial.max_rounds, inputs=trial.inputs,
+            plane="columnar", faults=trial.faults,
+        )
+        return outputs, net.metrics
+
+    def test_single_trial_batch_with_reseeded_plan(self):
+        # A one-trial grid is the degenerate block-diagonal: its
+        # FaultState has one block, and the reseeded plan must behave
+        # exactly as in a standalone run.
+        graph = triangulated_grid(5, 5)
+        plan = _FAULTY_PLAN.reseed(_FAULTY_PLAN.seed + 41)
+        trial = Trial(graph, inputs=seeded_inputs(graph, 41),
+                      max_rounds=mis_horizon(graph) + 2, faults=plan)
+        [(outputs, metrics)] = run_many(
+            ColumnarLubyMIS(mis_horizon(graph)), [trial], processes=1,
+            plane="grid",
+        )
+        s_outputs, s_metrics = self.faulty_single(trial)
+        assert outputs == s_outputs
+        assert metrics == s_metrics
+
+    def test_heterogeneous_plans_in_one_grid_state(self):
+        # One block-diagonal FaultState holding structurally different
+        # plans per block — different knobs, a targeted adversary, a
+        # zero-rate plan, and no plan at all — each block must match its
+        # standalone run exactly.
+        graph = triangulated_grid(5, 5)
+        horizon = mis_horizon(graph)
+        plans = [
+            FaultPlan(seed=3, drop=0.4),
+            FaultPlan(seed=3, crash=0.08),
+            FaultPlan(seed=5, corrupt=0.3, drop=0.1, target="budget"),
+            FaultPlan(seed=9),  # zero-rate: must equal the bare trial
+            None,
+        ]
+        # The last two trials share inputs so the zero-rate block can be
+        # compared field-for-field against the no-plan block.
+        input_seeds = [50, 51, 52, 53, 53]
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, input_seed),
+                  max_rounds=horizon + 2, faults=plan)
+            for input_seed, plan in zip(input_seeds, plans)
+        ]
+        grid = run_many(ColumnarLubyMIS(horizon), trials, processes=1,
+                        plane="grid")
+        for trial, (outputs, metrics) in zip(trials, grid):
+            s_outputs, s_metrics = self.faulty_single(trial)
+            assert outputs == s_outputs
+            assert metrics == s_metrics
+        # The heterogeneity was real: different fault signatures.
+        assert grid[0][1].dropped > 0 and grid[0][1].crashed == 0
+        assert grid[1][1].crashed > 0 and grid[1][1].corrupted == 0
+        assert grid[2][1].corrupted > 0
+        assert grid[3][1] == grid[4][1]
+
+    def test_reseed_matches_directly_constructed_plan(self):
+        # plan.reseed(s) is pure re-keying: the grid block running the
+        # reseeded plan is byte-identical to a standalone run with an
+        # identically-rated plan constructed from scratch at seed s.
+        graph = triangulated_grid(4, 5)
+        horizon = mis_horizon(graph)
+        reseeded = _FAULTY_PLAN.reseed(123)
+        direct = FaultPlan(seed=123, crash=_FAULTY_PLAN.crash,
+                           drop=_FAULTY_PLAN.drop, dup=_FAULTY_PLAN.dup,
+                           delay=_FAULTY_PLAN.delay,
+                           corrupt=_FAULTY_PLAN.corrupt)
+        assert reseeded == direct
+        inputs = seeded_inputs(graph, 60)
+        [(outputs, metrics)] = run_many(
+            ColumnarLubyMIS(horizon),
+            [Trial(graph, inputs=inputs, max_rounds=horizon + 2,
+                   faults=reseeded)],
+            processes=1, plane="grid",
+        )
+        s_outputs, s_metrics = self.faulty_single(
+            Trial(graph, inputs=inputs, max_rounds=horizon + 2,
+                  faults=direct)
+        )
+        assert outputs == s_outputs
+        assert metrics == s_metrics
+        assert metrics.corrupted > 0
 
     def test_backstop_never_preempts_cap_attribution(self):
         # Trial 0 (cap 5) halts at exactly round 5; trial 1 (cap 3)
