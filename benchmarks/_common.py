@@ -43,6 +43,22 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_SCHEMA_VERSION = 2
 
 
+def available_cpus() -> int:
+    """The CPUs this process may actually *use* — the scheduler affinity
+    mask where the platform exposes it (containers and cgroup quotas
+    shrink it below the host's core count), falling back to
+    ``os.cpu_count()``.  Every ``BENCH_*.json`` records this so scaling
+    claims (process pools, the sweep fabric's workers) can be read
+    against the parallelism that was really available."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - exotic platform
+            pass
+    return os.cpu_count() or 1
+
+
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     widths = [
         max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
@@ -94,11 +110,16 @@ def workload_record(
 
 
 def bench_payload(bench: str, workloads: list[dict], **extra) -> dict:
-    """Assemble the uniform top-level payload for ``BENCH_<bench>.json``."""
+    """Assemble the uniform top-level payload for ``BENCH_<bench>.json``.
+
+    ``available_cpus`` is the measured scheduler affinity (see
+    :func:`available_cpus`), not a hardcoded placeholder; fabric
+    benchmarks additionally pass ``fabric_workers=N`` through ``extra``
+    so a scaling curve records how many worker daemons produced it."""
     payload = {
         "bench": bench,
         "schema_version": BENCH_SCHEMA_VERSION,
-        "available_cpus": os.cpu_count() or 1,
+        "available_cpus": available_cpus(),
         "wall_clock_s": sum(
             w.get("wall_clock_s") or 0.0 for w in workloads
         ),

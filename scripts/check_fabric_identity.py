@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Fabric-identity smoke: the sweep fabric may never change results.
+
+The keystone contract of ``repro.congest.runtime.fabric``: a sweep
+dispatched across worker daemons merges **byte-identical** — outputs,
+output ordering, and every ``NetworkMetrics`` field, compared as pickle
+bytes — to the single-process ``run_many``, no matter how the sweep was
+partitioned or which workers died mid-flight.  This script spins up two
+real ``python -m repro fabric-worker`` subprocesses on localhost and
+re-verifies that matrix standalone, one row per scenario:
+
+* **fault-free sweep** — a mixed Luby-MIS seed sweep across 2 workers;
+* **faulty sweep** — the same sweep under a seeded crash+drop
+  :class:`~repro.congest.FaultPlan` (fault injection rides inside the
+  job tuples, so it must shard transparently);
+* **mid-sweep SIGKILL** — one worker killed partway through the sweep
+  (and restarted on its port): heartbeat-timeout detection, backoff
+  retries, and re-dispatch must recover without touching a byte;
+* **no workers** — the coordinator degrades to in-process execution.
+
+The deep protocol/coordinator tests live in ``tests/test_fabric.py``;
+this is the quick CI face of the contract, runnable anywhere::
+
+    PYTHONPATH=src python scripts/check_fabric_identity.py
+
+Exit status is non-zero if any scenario's results diverge.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.congest import FabricStats, FaultPlan, Trial, run_many, run_many_fabric
+from repro.congest.classic import ColumnarLubyMIS
+from repro.graphs import triangulated_grid
+
+BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+GRAPH_SIDE = 8
+TRIALS = 12
+BLOCK_SIZE = 2
+HEARTBEAT_TIMEOUT = 1.0
+FAULTY_PLAN = FaultPlan(seed=9, crash=0.02, drop=0.05)
+
+
+def spawn_worker(port: int = 0):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "fabric-worker", "--port", str(port)],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        cwd=REPO_ROOT,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    match = BANNER.search(process.stdout.readline())
+    if match is None:
+        process.kill()
+        raise RuntimeError("fabric-worker did not print its banner")
+    return process, (match.group(1), int(match.group(2)))
+
+
+def build_sweep():
+    graph = triangulated_grid(GRAPH_SIDE, GRAPH_SIDE)
+    horizon = 20 * max(4, graph.number_of_nodes().bit_length() ** 2)
+    trials = []
+    for index in range(TRIALS):
+        rng = random.Random(index)
+        trials.append(Trial(
+            graph,
+            inputs={v: rng.randrange(1 << 30) for v in graph.nodes},
+            max_rounds=horizon + 2,
+        ))
+    return ColumnarLubyMIS(horizon), trials, horizon
+
+
+def verdict(local, fabric):
+    return "ok" if pickle.dumps(fabric) == pickle.dumps(local) else "MISMATCH"
+
+
+def main() -> int:
+    algorithm, trials, horizon = build_sweep()
+    make = lambda: ColumnarLubyMIS(horizon)  # noqa: E731 - fresh instance per run
+    rows = []
+    failures = 0
+
+    local_plain = run_many(make(), trials, processes=1)
+    local_faulty = run_many(make(), trials, processes=1, faults=FAULTY_PLAN)
+
+    workers = [spawn_worker(), spawn_worker()]
+    respawned = []
+    try:
+        addresses = [address for _, address in workers]
+
+        start = time.perf_counter()
+        fabric = run_many_fabric(
+            make(), trials, addresses, block_size=BLOCK_SIZE,
+            heartbeat_timeout=HEARTBEAT_TIMEOUT,
+        )
+        duration = time.perf_counter() - start
+        rows.append(("fault-free sweep (2 workers)",
+                     verdict(local_plain, fabric), ""))
+
+        fabric = run_many_fabric(
+            make(), trials, addresses, block_size=BLOCK_SIZE,
+            heartbeat_timeout=HEARTBEAT_TIMEOUT, faults=FAULTY_PLAN,
+        )
+        rows.append(("faulty sweep (crash+drop plan)",
+                     verdict(local_faulty, fabric), ""))
+
+        # Chaos: SIGKILL worker 2 partway through, restart it on the
+        # same port so a late retry may also find the fresh daemon.
+        victim_port = addresses[1][1]
+
+        def killer():
+            time.sleep(max(0.02, 0.4 * duration))
+            workers[1][0].kill()
+            time.sleep(0.1)
+            respawned.append(spawn_worker(victim_port))
+
+        stats = FabricStats()
+        thread = threading.Thread(target=killer)
+        thread.start()
+        fabric = run_many_fabric(
+            make(), trials, addresses, block_size=BLOCK_SIZE,
+            heartbeat_timeout=HEARTBEAT_TIMEOUT, retries=4, base_delay=0.05,
+            stats=stats,
+        )
+        thread.join()
+        rows.append((
+            "mid-sweep SIGKILL + restart",
+            verdict(local_plain, fabric),
+            f"failures={stats.worker_failures} retries={stats.retries} "
+            f"speculative={stats.speculative_dispatches}",
+        ))
+    finally:
+        for process, _address in workers + respawned:
+            process.kill()
+
+    stats = FabricStats()
+    fabric = run_many_fabric(
+        make(), trials, [], block_size=BLOCK_SIZE, stats=stats,
+    )
+    rows.append(("no workers (local degrade)", verdict(local_plain, fabric),
+                 f"local blocks={stats.completed_local}"))
+
+    print(f"{'scenario':<34} {'byte-identity':<14} notes")
+    print("-" * 70)
+    for scenario, result, notes in rows:
+        failures += result != "ok"
+        print(f"{scenario:<34} {result:<14} {notes}")
+    if failures:
+        print(f"\nFAIL: {failures} fabric scenario(s) diverged from the "
+              "single-process sweep")
+        return 1
+    print("\nall scenarios byte-identical to single-process run_many "
+          "(outputs and every NetworkMetrics field)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -414,6 +414,58 @@ def _run_trial(payload: tuple) -> tuple[dict, NetworkMetrics]:
     return outputs, net.metrics
 
 
+def normalize_jobs(
+    trials: Iterable[nx.Graph | Trial | tuple],
+    *,
+    model: str = "congest",
+    bandwidth_factor: int = 32,
+    max_rounds: int = 10_000,
+    faults=None,
+) -> list[tuple]:
+    """Normalize a ``run_many`` trial list into the canonical 6-tuple job
+    shape ``(graph, inputs, model, bandwidth_factor, max_rounds, faults)``.
+
+    This is the unit every batch executor speaks — :func:`execute_grid`
+    consumes it directly, and the sweep fabric
+    (:mod:`repro.congest.runtime.fabric`) ships contiguous slices of it
+    to remote workers.  Per-:class:`Trial` overrides are resolved here,
+    once, so every execution strategy sees identical jobs.
+
+    >>> import networkx as nx
+    >>> graph = nx.path_graph(2)
+    >>> jobs = normalize_jobs([graph, Trial(graph, max_rounds=5)])
+    >>> [job[4] for job in jobs]  # per-trial cap overrides the default
+    [10000, 5]
+    """
+    jobs = []
+    for spec in trials:
+        if isinstance(spec, Trial):
+            jobs.append(
+                (
+                    spec.graph,
+                    spec.inputs,
+                    spec.model if spec.model is not None else model,
+                    spec.bandwidth_factor
+                    if spec.bandwidth_factor is not None
+                    else bandwidth_factor,
+                    spec.max_rounds
+                    if spec.max_rounds is not None
+                    else max_rounds,
+                    spec.faults if spec.faults is not None else faults,
+                )
+            )
+        elif isinstance(spec, tuple):
+            graph, inputs = spec
+            jobs.append(
+                (graph, inputs, model, bandwidth_factor, max_rounds, faults)
+            )
+        else:
+            jobs.append(
+                (spec, None, model, bandwidth_factor, max_rounds, faults)
+            )
+    return jobs
+
+
 def run_many(
     algorithm,
     trials: Iterable[nx.Graph | Trial | tuple],
@@ -469,32 +521,29 @@ def run_many(
     >>> [outputs[2] for outputs, _metrics in results]
     [9, 9]
     """
-    jobs = []
-    for spec in trials:
-        if isinstance(spec, Trial):
-            jobs.append(
-                (
-                    spec.graph,
-                    spec.inputs,
-                    spec.model if spec.model is not None else model,
-                    spec.bandwidth_factor
-                    if spec.bandwidth_factor is not None
-                    else bandwidth_factor,
-                    spec.max_rounds
-                    if spec.max_rounds is not None
-                    else max_rounds,
-                    spec.faults if spec.faults is not None else faults,
-                )
-            )
-        elif isinstance(spec, tuple):
-            graph, inputs = spec
-            jobs.append(
-                (graph, inputs, model, bandwidth_factor, max_rounds, faults)
-            )
-        else:
-            jobs.append(
-                (spec, None, model, bandwidth_factor, max_rounds, faults)
-            )
+    jobs = normalize_jobs(
+        trials, model=model, bandwidth_factor=bandwidth_factor,
+        max_rounds=max_rounds, faults=faults,
+    )
+    return execute_jobs(algorithm, jobs, processes=processes, plane=plane)
+
+
+def execute_jobs(
+    algorithm,
+    jobs: list[tuple],
+    processes: int | None = None,
+    *,
+    plane: str | None = "auto",
+) -> list[tuple[dict, NetworkMetrics]]:
+    """Execute normalized 6-tuple jobs (see :func:`normalize_jobs`) with
+    :func:`run_many`'s exact strategy selection and result contract.
+
+    This is the post-normalization half of :func:`run_many`, split out so
+    the sweep fabric's workers (:mod:`repro.congest.runtime.fabric.worker`)
+    and the coordinator's in-process fallback run a shipped trial block
+    through *the same code path* a local sweep takes — the byte-identity
+    keystone of the fabric rests on this shared entry.
+    """
     if processes is None:
         processes = os.cpu_count() or 1
     processes = max(1, min(processes, len(jobs))) if jobs else 1

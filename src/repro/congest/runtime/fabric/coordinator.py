@@ -1,0 +1,625 @@
+"""The sweep coordinator: partition, dispatch, retry, speculate, resume.
+
+:func:`run_many_fabric` is the fabric's front door — a drop-in sibling of
+:func:`~repro.congest.run_many` that shards a sweep across worker
+daemons (:mod:`repro.congest.runtime.fabric.worker`) while treating
+worker failure as the normal case:
+
+* the sweep is partitioned into contiguous **trial blocks** (the retry
+  and checkpoint unit);
+* one dispatcher thread per worker pulls blocks from a shared queue and
+  ships them over the framed protocol; a worker that stops heartbeating
+  for ``heartbeat_timeout`` seconds (SIGKILL, network partition, hang)
+  times out, its block is retried with exponential backoff +
+  deterministic jitter (:func:`~repro.congest.runtime.fabric.retry.
+  retry_with_backoff`), and a worker that exhausts its retries is
+  declared dead — its queued work drains to the surviving workers;
+* once the queue is empty, idle workers **speculatively re-dispatch**
+  blocks that have been in flight longer than ``straggler_factor`` times
+  the median completed-block duration; the first finished copy wins and
+  duplicates are discarded (results are deterministic, so dedup is
+  purely a wall-clock concern);
+* every completed block is journalled to a crash-safe **checkpoint**
+  (append + flush + fsync per record; a torn tail from a crashed
+  coordinator is detected and truncated away), and ``resume=True``
+  re-runs only the missing blocks of an interrupted sweep;
+* with no reachable workers at all the coordinator **degrades
+  gracefully** to in-process execution (``fallback="local"``, the
+  default) through the same :func:`~repro.congest.runtime.batch.
+  execute_jobs` entry, or raises :class:`FabricUnavailableError` with a
+  one-line diagnostic (``fallback="error"``).
+
+Determinism keystone: trials are independent and every execution path —
+remote grid, remote per-trial, local fallback — runs the canonical
+6-tuple jobs through the same batch executor, so the merged results
+(outputs *and* every :class:`~repro.congest.metrics.NetworkMetrics`
+field) are byte-identical to a single-process ``run_many`` no matter
+how blocks were partitioned, which workers died, or which speculative
+copy won.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.congest.runtime.batch import execute_jobs, normalize_jobs
+from repro.congest.runtime.fabric import protocol
+from repro.congest.runtime.fabric.retry import retry_with_backoff
+
+CHECKPOINT_VERSION = 1
+
+
+class FabricUnavailableError(RuntimeError):
+    """No fabric worker is reachable and local fallback is disabled."""
+
+
+class _RemoteAlgorithmError(Exception):
+    """A worker reported a deterministic execution failure."""
+
+    def __init__(self, exception: str, message: str) -> None:
+        super().__init__(message)
+        self.exception = exception
+
+    def rehydrate(self) -> BaseException:
+        cls = {
+            "RuntimeError": RuntimeError,
+            "ValueError": ValueError,
+            "TypeError": TypeError,
+        }.get(self.exception, RuntimeError)
+        return cls(str(self))
+
+
+@dataclass
+class FabricStats:
+    """Observable outcome of one :func:`run_many_fabric` sweep."""
+
+    blocks: int = 0
+    block_size: int = 0
+    workers: int = 0
+    dispatches: int = 0
+    completed_remote: int = 0
+    completed_local: int = 0
+    completed_from_checkpoint: int = 0
+    retries: int = 0
+    speculative_dispatches: int = 0
+    speculative_wasted: int = 0
+    worker_failures: int = 0
+    dead_workers: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"blocks = {self.blocks} (size {self.block_size})  "
+            f"remote = {self.completed_remote}  "
+            f"local = {self.completed_local}  "
+            f"checkpoint = {self.completed_from_checkpoint}  "
+            f"retries = {self.retries}  "
+            f"speculative = {self.speculative_dispatches}  "
+            f"worker failures = {self.worker_failures}  "
+            f"dead workers = {len(self.dead_workers)}/{self.workers}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Crash-safe checkpoint journal
+# ---------------------------------------------------------------------------
+class CheckpointJournal:
+    """Append-only JSONL journal of completed blocks.
+
+    Line 0 is a header binding the journal to one exact sweep (a digest
+    of the pickled ``(algorithm, jobs)`` plus the block partition); each
+    subsequent line is one completed block with its pickled results.
+    Records are flushed *and* fsynced as they land, so a SIGKILLed
+    coordinator loses at most the block it was writing — and a torn
+    final line is detected on load and truncated before appending
+    resumes.
+    """
+
+    def __init__(
+        self, path: str | Path, *, digest: str, blocks: int, resume: bool
+    ) -> None:
+        self.path = Path(path)
+        self.completed: dict[int, list] = {}
+        if resume and self.path.exists():
+            keep = self._load(digest, blocks)
+            with open(self.path, "r+b") as handle:
+                handle.truncate(keep)
+            self._handle = open(self.path, "ab")
+        else:
+            self._handle = open(self.path, "wb")
+            self._write({
+                "type": "fabric-checkpoint",
+                "version": CHECKPOINT_VERSION,
+                "digest": digest,
+                "blocks": blocks,
+            })
+
+    def _load(self, digest: str, blocks: int) -> int:
+        """Replay the journal into :attr:`completed`; returns the byte
+        offset after the last intact record (torn tails end there)."""
+        keep = 0
+        with open(self.path, "rb") as handle:
+            lines = handle.readlines()
+        if not lines:
+            raise ValueError(
+                f"checkpoint {self.path} is empty; run without resume"
+            )
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("type") != "fabric-checkpoint"
+            or header.get("version") != CHECKPOINT_VERSION
+        ):
+            raise ValueError(
+                f"checkpoint {self.path} is not a version-"
+                f"{CHECKPOINT_VERSION} fabric checkpoint"
+            )
+        if header.get("digest") != digest or header.get("blocks") != blocks:
+            raise ValueError(
+                f"checkpoint {self.path} was written for a different sweep "
+                "(algorithm, trials, or block partition changed); delete it "
+                "or run without resume"
+            )
+        keep = len(lines[0])
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+                if record.get("type") != "block":
+                    raise ValueError(f"unexpected record {record.get('type')!r}")
+                results = protocol.decode_payload(record["payload"])
+                if len(results) != record["trials"]:
+                    raise ValueError("trial count mismatch")
+                self.completed[int(record["block"])] = results
+            except (ValueError, KeyError, protocol.ProtocolError):
+                break  # torn tail: everything from here is discarded
+            keep += len(line)
+        return keep
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record).encode("utf-8") + b"\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, block_id: int, results: list) -> None:
+        self._write({
+            "type": "block",
+            "block": block_id,
+            "trials": len(results),
+            "payload": protocol.encode_payload(results),
+        })
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def sweep_digest(algorithm, jobs: list, block_size: int) -> str:
+    """Fingerprint binding a checkpoint to one exact sweep + partition."""
+    blob = pickle.dumps(
+        (type(algorithm).__qualname__, algorithm.__dict__, block_size, jobs),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Shared dispatch state
+# ---------------------------------------------------------------------------
+class _SweepState:
+    """Lock-guarded block ledger shared by the dispatcher threads."""
+
+    def __init__(self, block_ids: list[int], completed: dict[int, list],
+                 straggler_factor: float) -> None:
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.pending: deque[int] = deque(
+            b for b in block_ids if b not in completed
+        )
+        self.total = len(block_ids)
+        self.completed = completed
+        self.inflight: dict[int, set[str]] = {}
+        self.started_at: dict[int, float] = {}
+        self.durations: list[float] = []
+        self.error: _RemoteAlgorithmError | None = None
+        self.straggler_factor = straggler_factor
+        self.alive_workers = 0
+
+    # All methods below assume self.lock is held by the caller.
+    def done(self) -> bool:
+        return len(self.completed) >= self.total or self.error is not None
+
+    def claim(self, worker: str, *, speculate: bool) -> tuple[int, bool] | None:
+        """Next block for ``worker``: pending first, then — when idle —
+        a straggling in-flight block it is not already running."""
+        while self.pending:
+            block = self.pending.popleft()
+            if block in self.completed:
+                continue
+            self.inflight.setdefault(block, set()).add(worker)
+            self.started_at.setdefault(block, time.monotonic())
+            return block, False
+        if not speculate or not self.durations:
+            return None
+        median = sorted(self.durations)[len(self.durations) // 2]
+        horizon = self.straggler_factor * max(median, 1e-3)
+        now = time.monotonic()
+        for block, runners in self.inflight.items():
+            if block in self.completed or worker in runners:
+                continue
+            if now - self.started_at.get(block, now) > horizon:
+                runners.add(worker)
+                return block, True
+        return None
+
+    def complete(self, block: int, results: list) -> bool:
+        """First result wins; returns False for a duplicate (discarded)."""
+        if block in self.completed:
+            return False
+        self.completed[block] = results
+        started = self.started_at.get(block)
+        if started is not None:
+            self.durations.append(time.monotonic() - started)
+        self.inflight.pop(block, None)
+        self.cond.notify_all()
+        return True
+
+    def release(self, block: int, worker: str) -> None:
+        """Give up a claim (worker failure): requeue unless someone else
+        still runs it or it already completed."""
+        runners = self.inflight.get(block)
+        if runners is not None:
+            runners.discard(worker)
+            if not runners and block not in self.completed:
+                self.inflight.pop(block, None)
+                self.started_at.pop(block, None)
+                self.pending.append(block)
+        self.cond.notify_all()
+
+    def fail(self, error: _RemoteAlgorithmError) -> None:
+        self.error = error
+        self.cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# One dispatcher thread per worker
+# ---------------------------------------------------------------------------
+class _Dispatcher(threading.Thread):
+    def __init__(self, index: int, address: tuple[str, int], state: _SweepState,
+                 payload_for, plane, opts: dict, stats: FabricStats) -> None:
+        super().__init__(daemon=True, name=f"fabric-dispatch-{index}")
+        self.index = index
+        self.address = address
+        self.label = f"{address[0]}:{address[1]}#{index}"
+        self.state = state
+        self.payload_for = payload_for
+        self.plane = plane
+        self.opts = opts
+        self.stats = stats
+        self._sock: socket.socket | None = None
+
+    # -- socket plumbing ---------------------------------------------------
+    def _close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _connected(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                self.address, timeout=self.opts["heartbeat_timeout"]
+            )
+            try:
+                protocol.send_frame(
+                    sock, protocol.hello("coordinator", os.getpid())
+                )
+                protocol.expect_hello(
+                    protocol.recv_frame(sock),
+                    peer=f"worker {self.address[0]}:{self.address[1]}",
+                )
+            except BaseException:
+                sock.close()
+                raise
+            self._sock = sock
+        return self._sock
+
+    def _cancelled(self, block: int) -> bool:
+        with self.state.lock:
+            return self.state.done() or block in self.state.completed
+
+    def _run_block_once(self, block: int) -> list | None:
+        """One dispatch attempt: (re)connect, ship, stream results.
+
+        Returns ``None`` when the attempt is *cancelled* — the block
+        completed elsewhere (a speculative copy lost the race) or the
+        sweep ended — in which case the connection is dropped so the
+        worker's now-useless result stream can't desynchronize framing.
+        """
+        sock = self._connected()
+        protocol.send_frame(sock, {
+            "type": "run-block",
+            "block": block,
+            "plane": self.plane,
+            "trials": None,
+            "payload": self.payload_for(block),
+        })
+        results: list = []
+        while True:
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                raise protocol.ProtocolError(
+                    f"worker closed the connection mid-block {block}"
+                )
+            kind = frame["type"]
+            if kind == "heartbeat":
+                if self._cancelled(block):
+                    self._close()
+                    return None
+                continue
+            if kind == "trial-result":
+                results.append(protocol.decode_payload(frame["payload"]))
+            elif kind == "block-done":
+                if frame["trials"] != len(results):
+                    raise protocol.ProtocolError(
+                        f"block {block}: worker reported {frame['trials']} "
+                        f"trials but streamed {len(results)}"
+                    )
+                return results
+            elif kind == "error":
+                if frame.get("kind") == "algorithm":
+                    raise _RemoteAlgorithmError(
+                        frame.get("exception", "RuntimeError"),
+                        frame.get("message", "remote execution failed"),
+                    )
+                raise protocol.ProtocolError(
+                    f"worker error: {frame.get('message')}"
+                )
+            else:
+                raise protocol.ProtocolError(
+                    f"unexpected frame {kind!r} during block {block}"
+                )
+
+    # -- dispatch loop -----------------------------------------------------
+    def run(self) -> None:
+        state = self.state
+        try:
+            while True:
+                with state.lock:
+                    if state.done():
+                        return
+                    claim = state.claim(self.label, speculate=True)
+                    if claim is None:
+                        state.cond.wait(0.05)
+                        continue
+                    block, speculative = claim
+                    self.stats.dispatches += 1
+                    if speculative:
+                        self.stats.speculative_dispatches += 1
+
+                def note_failure(attempt: int, exc: BaseException,
+                                 block=block) -> None:
+                    # Failed attempt: drop the connection (the socket is
+                    # in an unknown framing state) and count it; the
+                    # deterministic backoff sleep follows.
+                    self._close()
+                    with state.lock:
+                        self.stats.worker_failures += 1
+                        if attempt < self.opts["retries"]:
+                            self.stats.retries += 1
+
+                try:
+                    results = retry_with_backoff(
+                        lambda: self._run_block_once(block),
+                        retries=self.opts["retries"],
+                        base_delay=self.opts["base_delay"],
+                        seed=self.opts["seed"] + self.index,
+                        retry_on=(OSError, protocol.ProtocolError),
+                        on_failure=note_failure,
+                    )
+                except _RemoteAlgorithmError as exc:
+                    with state.lock:
+                        state.release(block, self.label)
+                        state.fail(exc)
+                    return
+                except (OSError, protocol.ProtocolError):
+                    # Retries exhausted: this worker is dead.  Requeue
+                    # the block for the survivors (or the local
+                    # fallback) and exit.
+                    with state.lock:
+                        state.release(block, self.label)
+                        self.stats.dead_workers.append(self.label)
+                    return
+                with state.lock:
+                    if results is None or not state.complete(block, results):
+                        # Cancelled mid-stream or beaten by another copy:
+                        # first result won, this one is discarded.
+                        state.release(block, self.label)
+                        self.stats.speculative_wasted += 1
+                    else:
+                        self.stats.completed_remote += 1
+                        journal = self.opts.get("journal")
+                        if journal is not None:
+                            journal.append(block, results)
+        finally:
+            self._close()
+            with state.lock:
+                state.alive_workers -= 1
+                state.cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# run_many_fabric
+# ---------------------------------------------------------------------------
+def parse_worker_address(spec: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)``, with a clear error otherwise.
+
+    >>> parse_worker_address("127.0.0.1:9041")
+    ('127.0.0.1', 9041)
+    """
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"worker address {spec!r} is not of the form host:port"
+        )
+    return host, int(port)
+
+
+def _partition(n_jobs: int, workers: int, block_size: int | None) -> int:
+    """Default block size: ~4 blocks per worker, so retries and
+    speculation have sub-sweep granularity without per-trial framing
+    overhead."""
+    if block_size is not None:
+        if block_size < 1:
+            raise ValueError(f"block_size {block_size} must be >= 1")
+        return block_size
+    return max(1, -(-n_jobs // (4 * max(1, workers))))
+
+
+def run_many_fabric(
+    algorithm,
+    trials,
+    workers: list[tuple[str, int] | str],
+    *,
+    model: str = "congest",
+    bandwidth_factor: int = 32,
+    max_rounds: int = 10_000,
+    plane: str | None = "auto",
+    faults=None,
+    block_size: int | None = None,
+    heartbeat_timeout: float = 2.0,
+    retries: int = 3,
+    base_delay: float = 0.05,
+    backoff_seed: int = 0,
+    straggler_factor: float = 3.0,
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    fallback: str = "local",
+    stats: FabricStats | None = None,
+):
+    """Run a sweep across fabric workers; a fault-tolerant, resumable
+    drop-in for :func:`~repro.congest.run_many`.
+
+    ``workers`` lists daemon addresses (``(host, port)`` tuples or
+    ``"host:port"`` strings); an empty list runs everything in-process
+    (checkpointing still applies).  See the module docstring for the
+    failure-handling policy and
+    :func:`~repro.congest.run_many` for the sweep parameters.  Returns
+    ``[(outputs, metrics), ...]`` in trial order, byte-identical to the
+    single-process sweep.  Pass a :class:`FabricStats` to observe what
+    the fabric actually did.
+    """
+    if fallback not in ("local", "error"):
+        raise ValueError(f"fallback {fallback!r} must be 'local' or 'error'")
+    addresses = [
+        parse_worker_address(w) if isinstance(w, str) else (w[0], int(w[1]))
+        for w in workers
+    ]
+    if stats is None:
+        stats = FabricStats()
+    jobs = normalize_jobs(
+        trials, model=model, bandwidth_factor=bandwidth_factor,
+        max_rounds=max_rounds, faults=faults,
+    )
+    if not jobs:
+        return []
+    size = _partition(len(jobs), len(addresses), block_size)
+    block_slices = [
+        (start, min(start + size, len(jobs)))
+        for start in range(0, len(jobs), size)
+    ]
+    block_ids = list(range(len(block_slices)))
+    stats.blocks = len(block_ids)
+    stats.block_size = size
+    stats.workers = len(addresses)
+
+    journal: CheckpointJournal | None = None
+    completed: dict[int, list] = {}
+    if checkpoint is not None:
+        journal = CheckpointJournal(
+            checkpoint,
+            digest=sweep_digest(algorithm, jobs, size),
+            blocks=len(block_ids),
+            resume=resume,
+        )
+        completed = journal.completed
+        stats.completed_from_checkpoint = len(completed)
+
+    state = _SweepState(block_ids, completed, straggler_factor)
+
+    payload_cache: dict[int, str] = {}
+    payload_lock = threading.Lock()
+
+    def payload_for(block: int) -> str:
+        with payload_lock:
+            cached = payload_cache.get(block)
+            if cached is None:
+                start, stop = block_slices[block]
+                cached = payload_cache[block] = protocol.encode_payload(
+                    (algorithm, jobs[start:stop])
+                )
+            return cached
+
+    try:
+        if addresses and not state.done():
+            opts = {
+                "heartbeat_timeout": heartbeat_timeout,
+                "retries": retries,
+                "base_delay": base_delay,
+                "seed": backoff_seed,
+                "journal": journal,
+            }
+            dispatchers = [
+                _Dispatcher(index, address, state, payload_for, plane, opts,
+                            stats)
+                for index, address in enumerate(addresses)
+            ]
+            with state.lock:
+                state.alive_workers = len(dispatchers)
+            for dispatcher in dispatchers:
+                dispatcher.start()
+            with state.lock:
+                while not state.done() and state.alive_workers > 0:
+                    state.cond.wait(0.1)
+            for dispatcher in dispatchers:
+                dispatcher.join()
+            if state.error is not None:
+                raise state.error.rehydrate()
+
+        missing = [b for b in block_ids if b not in completed]
+        if missing:
+            if fallback == "error":
+                dead = ", ".join(stats.dead_workers) or "none reachable"
+                raise FabricUnavailableError(
+                    f"{len(missing)}/{len(block_ids)} trial blocks have no "
+                    f"worker to run them (workers: "
+                    f"{', '.join(f'{h}:{p}' for h, p in addresses) or 'none configured'}; "
+                    f"dead: {dead}) and local fallback is disabled"
+                )
+            # Graceful degradation: the coordinator's own process is the
+            # worker of last resort, through the identical batch entry.
+            for block in missing:
+                start, stop = block_slices[block]
+                results = execute_jobs(
+                    algorithm, jobs[start:stop], processes=1, plane=plane
+                )
+                with state.lock:
+                    if state.complete(block, results):
+                        stats.completed_local += 1
+                        if journal is not None:
+                            journal.append(block, results)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return [result for block in block_ids for result in completed[block]]

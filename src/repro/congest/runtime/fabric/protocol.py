@@ -1,0 +1,175 @@
+"""Wire protocol of the sweep fabric: length-prefixed JSON frames over TCP.
+
+Every frame on a fabric connection is a 4-byte big-endian length followed
+by that many bytes of UTF-8 JSON encoding one message object.  JSON keeps
+the control plane human-debuggable (``nc`` + a hex dump reads it);
+binary job payloads — graphs, algorithms, per-trial results — ride
+*inside* the envelope as zlib-compressed pickle, base64-encoded into a
+single string field (:func:`encode_payload`/:func:`decode_payload`).
+
+Message types (``type`` field), version ``PROTOCOL_VERSION``:
+
+========================  =====================================================
+``hello``                 Handshake, both directions.  Fields: ``version``,
+                          ``role`` (``"coordinator"``/``"worker"``), ``pid``.
+                          A version mismatch is answered with ``error`` and
+                          the connection is closed.
+``run-block``             Coordinator → worker job dispatch.  Fields:
+                          ``block`` (id), ``trials`` (count), ``plane``,
+                          ``payload`` (pickled ``(algorithm, jobs)`` where
+                          ``jobs`` is the canonical 6-tuple list of
+                          :func:`~repro.congest.runtime.batch.normalize_jobs`).
+``heartbeat``             Worker → coordinator liveness while a block
+                          computes.  Fields: ``block``, ``elapsed``.
+``trial-result``          Worker → coordinator result stream, one frame per
+                          trial.  Fields: ``block``, ``trial`` (index within
+                          the block), ``payload`` (pickled
+                          ``(outputs, metrics)``).
+``block-done``            Worker → coordinator completion marker.  Fields:
+                          ``block``, ``trials``.
+``error``                 Either direction.  Fields: ``kind``
+                          (``"algorithm"`` for deterministic execution
+                          errors that must not be retried, ``"protocol"``
+                          otherwise), ``message``.
+``shutdown``              Coordinator → worker: close this connection;
+                          ``stop: true`` additionally terminates the daemon
+                          (benchmarks and tests use it for clean teardown).
+``ping`` / ``pong``       Liveness probe outside a block.
+========================  =====================================================
+
+Security note: job payloads are pickled, so a fabric worker executes
+whatever a connected coordinator sends it.  Workers bind loopback by
+default and must only ever listen on trusted networks — the same trust
+model as the MAAS region↔rack RPC mesh this protocol is modelled on.
+
+>>> frame = encode_frame({"type": "ping"})
+>>> frame[:4], frame[4:]
+(b'\\x00\\x00\\x00\\x10', b'{"type": "ping"}')
+>>> decode_payload(encode_payload({"answer": 42}))
+{'answer': 42}
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+import zlib
+
+PROTOCOL_VERSION = 1
+
+# A frame is control-plane JSON plus one block's payload; even a whole
+# 64-trial sweep of 8k-node graphs pickles well under this.  Anything
+# larger is a corrupt length prefix, not a legitimate frame.
+MAX_FRAME_BYTES = 1 << 30
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A fabric connection violated the framing or message contract."""
+
+
+def encode_payload(obj) -> str:
+    """Pickle → zlib → base64: binary cargo as a JSON-safe string."""
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    ).decode("ascii")
+
+
+def decode_payload(text: str):
+    """Inverse of :func:`encode_payload`."""
+    try:
+        return pickle.loads(zlib.decompress(base64.b64decode(text)))
+    except Exception as exc:  # corrupt cargo is a protocol fault
+        raise ProtocolError(f"undecodable payload: {exc}") from exc
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON."""
+    body = json.dumps(message).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Send one frame; propagates ``OSError`` on a dead peer."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame
+    boundary, :class:`ProtocolError` on EOF mid-frame."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} "
+                "bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` on clean EOF.
+
+    Raises :class:`ProtocolError` on truncation, oversized lengths, or
+    non-object JSON, and lets socket timeouts (`TimeoutError`) propagate
+    — the coordinator's heartbeat failure detector *is* that timeout.
+    """
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    body = _recv_exact(sock, length)
+    if body is None:  # EOF between header and body
+        raise ProtocolError("connection closed between frame header and body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"frame is not a typed message: {message!r}")
+    return message
+
+
+def hello(role: str, pid: int) -> dict:
+    return {
+        "type": "hello", "version": PROTOCOL_VERSION, "role": role,
+        "pid": pid,
+    }
+
+
+def expect_hello(message: dict | None, *, peer: str) -> dict:
+    """Validate a handshake frame, raising :class:`ProtocolError` with the
+    failure spelled out (missing, wrong type, version skew)."""
+    if message is None:
+        raise ProtocolError(f"{peer} closed the connection before hello")
+    if message.get("type") == "error":
+        raise ProtocolError(
+            f"{peer} rejected handshake: {message.get('message')}"
+        )
+    if message.get("type") != "hello":
+        raise ProtocolError(
+            f"expected hello from {peer}, got {message.get('type')!r}"
+        )
+    if message.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: {peer} speaks "
+            f"{message.get('version')!r}, this side speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    return message

@@ -1,0 +1,94 @@
+"""Deterministic exponential backoff, shared by every fabric retry site.
+
+The coordinator retries block dispatch after worker failures and retries
+the initial connect to each worker; both sites draw their delays from
+the same seeded schedule so a fabric run's retry timing is a pure
+function of ``(seed, attempt)`` — reproducible in tests and logs, never
+a thundering herd (each worker's seed differs, so their jitter decorrelates).
+
+>>> schedule = backoff_schedule(4, base_delay=0.1, seed=7)
+>>> all(  # exponential floor, bounded jitter
+...     0.1 * 2**i <= delay < 0.15 * 2**i
+...     for i, delay in enumerate(schedule))
+True
+>>> schedule == backoff_schedule(4, base_delay=0.1, seed=7)  # same seed
+True
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Sequence
+
+# Jitter multiplies each delay by a draw from [1, 1 + _JITTER_SPAN): the
+# exponential floor is kept (a delay is never *shorter* than its
+# deterministic base) while decorrelating concurrent retriers.
+_JITTER_SPAN = 0.5
+
+
+def backoff_schedule(
+    retries: int, *, base_delay: float, seed: int
+) -> list[float]:
+    """The exact delays ``retry_with_backoff`` sleeps between attempts.
+
+    ``retries`` delays: the *i*-th (0-based) is
+    ``base_delay * 2**i * (1 + jitter_i)`` with ``jitter_i`` drawn from
+    ``random.Random(seed)`` in ``[0, 0.5)`` — exponential growth with a
+    deterministic jitter overlay.
+    """
+    if retries < 0:
+        raise ValueError(f"retries {retries} must be >= 0")
+    if base_delay < 0:
+        raise ValueError(f"base_delay {base_delay} must be >= 0")
+    rng = random.Random(seed)
+    return [
+        base_delay * (1 << attempt) * (1.0 + _JITTER_SPAN * rng.random())
+        for attempt in range(retries)
+    ]
+
+
+def retry_with_backoff(
+    fn: Callable[[], object],
+    *,
+    retries: int,
+    base_delay: float,
+    seed: int,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_failure: Callable[[int, BaseException], None] | None = None,
+):
+    """Call ``fn`` up to ``retries + 1`` times, sleeping the deterministic
+    :func:`backoff_schedule` between attempts.
+
+    Only exceptions matching ``retry_on`` are retried (the fabric default
+    retries infrastructure faults — ``OSError`` covers refused/reset/
+    timed-out sockets — and never algorithm errors, which are
+    deterministic and would fail identically everywhere).  The final
+    failure re-raises the last exception.  ``on_failure(attempt, exc)``
+    observes each failed attempt (0-based) before its backoff sleep;
+    ``sleep`` is injectable so tests assert the schedule without waiting.
+
+    >>> calls = []
+    >>> def flaky():
+    ...     calls.append(len(calls))
+    ...     if len(calls) < 3:
+    ...         raise OSError("connection refused")
+    ...     return "connected"
+    >>> retry_with_backoff(flaky, retries=4, base_delay=0, seed=1)
+    'connected'
+    >>> calls
+    [0, 1, 2]
+    """
+    schedule: Sequence[float] = backoff_schedule(
+        retries, base_delay=base_delay, seed=seed
+    )
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if on_failure is not None:
+                on_failure(attempt, exc)
+            if attempt >= retries:
+                raise
+            sleep(schedule[attempt])
