@@ -23,10 +23,15 @@ Every ``BENCH_*.json`` written by this harness shares one top-level shape
     }
 
 and every workload record carries the uniform keys ``workload``, ``n``,
-``m``, ``trials``, ``wall_clock_s``, ``rounds``, ``messages``, ``bits``
-(:func:`workload_record`; ``messages``/``bits`` are ``None`` for
+``m``, ``trials``, ``wall_clock_s``, ``rounds``, ``messages``, ``bits``,
+``rng`` (:func:`workload_record`; ``messages``/``bits`` are ``None`` for
 workloads that never enter the message-passing simulator, e.g. the
-decomposition ledgers of Table 1).  Simulator sweeps should go through
+decomposition ledgers of Table 1; ``rng`` names the randomness
+discipline of :mod:`repro.congest.runtime.rng` the workload ran under —
+``"exact"`` unless a sweep opted into ``"vectorized"``).  The top level
+records ``numpy_version`` alongside ``available_cpus``: vectorized rng
+sweeps draw from ``numpy.random.Philox``, so the bit-generator's
+provenance is part of a result's reproducibility story.  Simulator sweeps should go through
 :func:`sweep_run_many`, which drives :func:`repro.congest.run_many` and
 aggregates the per-trial :class:`~repro.congest.metrics.NetworkMetrics`
 into one record.
@@ -92,6 +97,7 @@ def workload_record(
     messages: int | None,
     bits: int | None,
     trials: int = 1,
+    rng: str = "exact",
     **extra,
 ) -> dict:
     """One uniformly-keyed workload entry for a ``BENCH_*.json``."""
@@ -104,6 +110,7 @@ def workload_record(
         "rounds": rounds,
         "messages": messages,
         "bits": bits,
+        "rng": rng,
     }
     record.update(extra)
     return record
@@ -116,10 +123,13 @@ def bench_payload(bench: str, workloads: list[dict], **extra) -> dict:
     :func:`available_cpus`), not a hardcoded placeholder; fabric
     benchmarks additionally pass ``fabric_workers=N`` through ``extra``
     so a scaling curve records how many worker daemons produced it."""
+    import numpy
+
     payload = {
         "bench": bench,
         "schema_version": BENCH_SCHEMA_VERSION,
         "available_cpus": available_cpus(),
+        "numpy_version": numpy.__version__,
         "wall_clock_s": sum(
             w.get("wall_clock_s") or 0.0 for w in workloads
         ),
@@ -169,6 +179,7 @@ def sweep_run_many(
     graph = first.graph if isinstance(first, Trial) else (
         first[0] if isinstance(first, tuple) else first
     )
+    rng = run_many_kwargs.get("rng")
     record = workload_record(
         workload,
         n=graph.number_of_nodes(),
@@ -178,6 +189,7 @@ def sweep_run_many(
         rounds=sum(metrics.rounds for _, metrics in results),
         messages=sum(metrics.messages for _, metrics in results),
         bits=sum(metrics.total_bits for _, metrics in results),
+        rng=getattr(rng, "mode", rng) or "exact",
         processes=processes,
     )
     return record, results

@@ -22,6 +22,17 @@ the classic CONGEST primitives at 512–2048 nodes: Luby MIS and
 floor), BFS trees on diameter-heavy grids and an expander, and flooding
 on a cycle (pure round dispatch — the grid's ceiling).
 
+A second table attacks that floor directly: the randomized workloads
+re-run on the grid plane under ``rng="vectorized"``
+(:mod:`repro.congest.runtime.rng` — counter-based Philox column draws
+keyed ``(seed, vertex, round)``) against the exact-mode grid baseline.
+Vectorized results are *distributional*, not stream-identical, so the
+in-bench checks shift accordingly: every trial's guarantee is
+re-verified (``check_mis`` / ``check_coloring``), and the first trial
+is replayed as a single vectorized columnar run, which must be
+byte-identical to its grid block slice.  Every JSON entry records which
+``rng`` produced it.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_grid.py [--quick] [--json PATH]
@@ -46,7 +57,13 @@ import networkx as nx
 
 from _common import bench_payload, fmt, print_table, write_bench_json
 
-from repro.congest import Network, Trial, run_many
+from repro.congest import (
+    Network,
+    Trial,
+    check_coloring,
+    check_mis,
+    run_many,
+)
 from repro.congest.algorithms import ColumnarBFSTree, ColumnarFloodValue
 from repro.congest.classic import ColumnarLubyMIS, ColumnarTrialColoring
 from repro.graphs import random_regular_expander, triangulated_grid
@@ -125,12 +142,78 @@ def bench_workload(name, graph, make_algorithm, trial_count, needs_inputs,
         "rounds": total_rounds,
         "messages": total_messages,
         "bits": total_bits,
+        "rng": "exact",
         "columnar_per_trial_s": columnar_s,
         "engine_s": grid_s,
         "speedup_vs_columnar": columnar_s / grid_s
         if grid_s > 0 else float("inf"),
         "messages_per_sec_grid":
             total_messages / grid_s if grid_s else 0.0,
+    }
+
+
+def bench_rng_workload(name, graph, make_algorithm, trial_count, horizon,
+                       repeats, validate, seed_base=0):
+    """Exact-mode grid vs vectorized grid for one randomized workload.
+
+    The comparison is distributional — the two modes are different
+    correct samplers, so round counts differ slightly — which is the
+    point: the reported speedup is wall-clock for *the same sweep
+    specification*, with every vectorized trial's guarantee re-verified
+    and the first trial cross-checked against a single vectorized
+    columnar run (byte-identity of the grid block slice).
+    """
+    trials = [
+        Trial(graph, inputs=seeded_inputs(graph, seed_base + index),
+              max_rounds=horizon + 2)
+        for index in range(trial_count)
+    ]
+    exact_s, _exact_results = _best_of(
+        repeats,
+        lambda: run_many(make_algorithm(), trials, processes=1,
+                         plane="grid", rng="exact"),
+    )
+    vectorized_s, vectorized_results = _best_of(
+        repeats,
+        lambda: run_many(make_algorithm(), trials, processes=1,
+                         plane="grid", rng="vectorized"),
+    )
+
+    for outputs, _metrics in vectorized_results:
+        report = validate(graph, outputs)
+        if not report.holds:
+            raise AssertionError(
+                f"{name}: vectorized run violates its guarantee: {report}"
+            )
+    single_net = Network(graph)
+    single_out = single_net.run(
+        make_algorithm(), max_rounds=trials[0].max_rounds,
+        inputs=trials[0].inputs, plane="columnar", rng="vectorized",
+    )
+    if single_out != vectorized_results[0][0] or counters(
+        single_net.metrics
+    ) != counters(vectorized_results[0][1]):
+        raise AssertionError(
+            f"{name}: vectorized grid block diverged from the single run"
+        )
+
+    total_messages = sum(m.messages for _, m in vectorized_results)
+    return {
+        "workload": name,
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "trials": trial_count,
+        "wall_clock_s": vectorized_s,
+        "rounds": sum(m.rounds for _, m in vectorized_results),
+        "messages": total_messages,
+        "bits": sum(m.total_bits for _, m in vectorized_results),
+        "rng": "vectorized",
+        "exact_grid_s": exact_s,
+        "engine_s": vectorized_s,
+        "speedup_vs_exact_grid": exact_s / vectorized_s
+        if vectorized_s > 0 else float("inf"),
+        "messages_per_sec_grid":
+            total_messages / vectorized_s if vectorized_s else 0.0,
     }
 
 
@@ -189,6 +272,50 @@ def build_workloads(quick):
     return workloads
 
 
+def build_rng_workloads(quick):
+    """(name, graph, make_algorithm, trials, horizon, repeats, validate)
+
+    The randomized workloads only — vectorized rng never touches the
+    deterministic ones (BFS, flooding draw nothing).  The full-mode
+    shapes are the acceptance sweep: 64 trials x 2048 nodes, MIS and
+    colouring, where exact mode's per-vertex Python draws are the
+    measured floor.
+    """
+    workloads = []
+
+    def mis(name, graph, trial_count, repeats):
+        n = graph.number_of_nodes()
+        horizon = 20 * max(4, n.bit_length() ** 2)
+        workloads.append(
+            (name, graph, lambda: ColumnarLubyMIS(horizon), trial_count,
+             horizon, repeats, check_mis)
+        )
+
+    def coloring(name, graph, trial_count, repeats):
+        n = graph.number_of_nodes()
+        delta = max(d for _, d in graph.degree)
+        horizon = 40 * max(4, n.bit_length() ** 2)
+        palette = delta + 1
+
+        def validate(graph, outputs):
+            return check_coloring(graph, outputs, palette=palette)
+
+        workloads.append(
+            (name, graph, lambda: ColumnarTrialColoring(palette, horizon),
+             trial_count, horizon, repeats, validate)
+        )
+
+    if quick:
+        mis("mis_expander_256x16_vectorized",
+            random_regular_expander(256, 8, seed=2), 16, 2)
+    else:
+        mis("mis_expander_2048x64_vectorized",
+            random_regular_expander(2048, 8, seed=3), 64, 1)
+        coloring("coloring_expander_2048x64_vectorized",
+                 random_regular_expander(2048, 8, seed=5), 64, 1)
+    return workloads
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -209,6 +336,13 @@ def main(argv=None):
             name, graph, make_algorithm, trial_count, needs_inputs,
             horizon, repeats,
         ))
+    rng_results = []
+    for (name, graph, make_algorithm, trial_count, horizon, repeats,
+         validate) in build_rng_workloads(args.quick):
+        rng_results.append(bench_rng_workload(
+            name, graph, make_algorithm, trial_count, horizon, repeats,
+            validate,
+        ))
 
     print_table(
         "Trial-major grid vs per-trial columnar execution "
@@ -225,17 +359,39 @@ def main(argv=None):
         ],
     )
 
+    print_table(
+        "Vectorized rng grid vs exact-mode grid "
+        "(every vectorized trial's guarantee re-verified; first trial "
+        "byte-identical to its single vectorized columnar run)",
+        ["workload", "n", "trials", "msgs", "exact grid s",
+         "vectorized s", "speedup", "msgs/s"],
+        [
+            [r["workload"], r["n"], r["trials"], r["messages"],
+             fmt(r["exact_grid_s"], 4), fmt(r["engine_s"], 4),
+             fmt(r["speedup_vs_exact_grid"], 2),
+             int(r["messages_per_sec_grid"])]
+            for r in rng_results
+        ],
+    )
+
     geo_mean = statistics.geometric_mean(
         [r["speedup_vs_columnar"] for r in results]
     )
+    rng_geo_mean = statistics.geometric_mean(
+        [r["speedup_vs_exact_grid"] for r in rng_results]
+    ) if rng_results else None
     payload = bench_payload(
         "grid",
-        results,
+        results + rng_results,
         quick=args.quick,
         geomean_speedup_vs_columnar=geo_mean,
+        geomean_vectorized_speedup_vs_exact_grid=rng_geo_mean,
     )
     path = write_bench_json("grid", payload, args.json)
     print(f"geomean speedup vs per-trial columnar: {geo_mean:.2f}x")
+    if rng_geo_mean is not None:
+        print(f"geomean vectorized-grid speedup vs exact grid: "
+              f"{rng_geo_mean:.2f}x")
     print(f"wrote {path}")
     return payload
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""RNG-plane smoke: determinism and identity contracts, standalone.
+
+The keystone contracts of ``repro.congest.runtime.rng``, one row per
+plane registered in ``repro.congest.runtime``, with four columns:
+
+* **exact identity** — ``rng="exact"`` (and an explicit ``RngPlan()``)
+  must be **byte-identical** — outputs, output ordering, and every
+  ``NetworkMetrics`` field — to passing no rng at all; exact mode *is*
+  the byte-identity reference and must never drift;
+* **vectorized determinism** — the same vectorized plan twice must
+  reproduce the same outputs and metrics (counter-based Philox draws
+  are a pure function of ``(seed, vertex, round)``) — reported as
+  ``n/a`` for planes whose sample workload has no vectorized variant;
+* **cross-plane agreement** — a vectorized run must be byte-identical
+  across every plane of its family that executes it (``columnar`` vs
+  ``columnar-reference`` vs a ``grid`` block slice);
+* **fault compose** — a zero-rate :class:`~repro.congest.FaultPlan`
+  must stay byte-identical to no plan under *both* rng modes: the two
+  runtime plans (faults, rng) ride the same scheduler seams and must
+  not perturb each other.
+
+The deep distributional tier lives in ``tests/test_rng.py`` (64-seed
+ensembles); this is the quick CI face of the determinism contracts,
+runnable anywhere::
+
+    PYTHONPATH=src python scripts/check_rng_identity.py
+
+Exit status is non-zero if any plane breaks identity or determinism.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.congest import (
+    FaultPlan,
+    Network,
+    RngPlan,
+    Trial,
+    plane_names,
+    run_many,
+)
+from repro.congest.classic import ColumnarLubyMIS, LubyMISAlgorithm
+from repro.congest.runtime.planes import get_plane
+from repro.congest.runtime.rng import supports_vectorized
+from repro.graphs import triangulated_grid
+
+SAMPLE_WORKLOADS = {
+    "object": lambda horizon: LubyMISAlgorithm(horizon),
+    "columnar": lambda horizon: ColumnarLubyMIS(horizon),
+}
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def run_plane(name, factory, graph, horizon, *, rng=None, faults=None):
+    """(outputs-as-list-of-pairs, metrics) for one plane run."""
+    plane = get_plane(name)
+    max_rounds = horizon + 2
+    if plane.batch_only:
+        trials = [
+            Trial(graph, inputs=seeded_inputs(graph, 21),
+                  max_rounds=max_rounds, faults=faults)
+        ]
+        [(outputs, metrics)] = run_many(
+            factory(horizon), trials, processes=1, plane=name, rng=rng
+        )
+        return list(outputs.items()), metrics
+    net = Network(graph)
+    outputs = net.run(
+        factory(horizon), max_rounds=max_rounds,
+        inputs=seeded_inputs(graph, 21), plane=name, faults=faults, rng=rng,
+    )
+    return list(outputs.items()), net.metrics
+
+
+def main():
+    graph = triangulated_grid(5, 5)
+    horizon = 20 * max(4, graph.number_of_nodes().bit_length() ** 2)
+    failures = 0
+    print(f"{'plane':<20} {'exact identity':<18} "
+          f"{'vectorized determinism':<24} {'cross-plane':<14} "
+          f"{'fault compose':<16}")
+    print("-" * 94)
+
+    # Cross-plane agreement is a family property: collect each
+    # vectorized run once and compare at the end of the loop.
+    vectorized_runs: dict[str, tuple] = {}
+
+    for name in plane_names():
+        plane = get_plane(name)
+        factory = SAMPLE_WORKLOADS.get(plane.kind)
+        if factory is None:
+            print(f"{name:<20} NO SAMPLE WORKLOAD for kind "
+                  f"{plane.kind!r} — add one to SAMPLE_WORKLOADS")
+            failures += 1
+            continue
+        has_vectorized = supports_vectorized(factory(horizon))
+
+        bare = run_plane(name, factory, graph, horizon)
+        exact = run_plane(name, factory, graph, horizon, rng="exact")
+        plan = run_plane(name, factory, graph, horizon, rng=RngPlan())
+        identity = "ok" if bare == exact == plan else "MISMATCH"
+
+        if has_vectorized:
+            first = run_plane(name, factory, graph, horizon,
+                              rng="vectorized")
+            second = run_plane(name, factory, graph, horizon,
+                               rng="vectorized")
+            determinism = "ok" if first == second else "MISMATCH"
+            vectorized_runs[name] = first
+        else:
+            determinism = "n/a"
+
+        compose = "ok"
+        for rng in (None, "vectorized") if has_vectorized else (None,):
+            plain = run_plane(name, factory, graph, horizon, rng=rng)
+            zeroed = run_plane(name, factory, graph, horizon, rng=rng,
+                               faults=FaultPlan())
+            if plain != zeroed:
+                compose = "MISMATCH"
+                break
+
+        failures += (identity != "ok") + (determinism == "MISMATCH") \
+            + (compose != "ok")
+        cross = "(deferred)" if has_vectorized else "n/a"
+        print(f"{name:<20} {identity:<18} {determinism:<24} {cross:<14} "
+              f"{compose:<16}")
+
+    distinct = {repr(run) for run in vectorized_runs.values()}
+    if vectorized_runs and len(distinct) != 1:
+        failures += 1
+        print(f"\nCROSS-PLANE MISMATCH: vectorized runs disagree across "
+              f"{sorted(vectorized_runs)}")
+    elif vectorized_runs:
+        print(f"\ncross-plane: vectorized runs byte-identical across "
+              f"{', '.join(sorted(vectorized_runs))}")
+
+    if failures:
+        print(f"\nFAIL: {failures} rng-plane check(s) broken")
+        return 1
+    print("all planes: exact identity, vectorized determinism, cross-plane"
+          " agreement, and fault/rng composition hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

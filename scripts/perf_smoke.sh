@@ -23,6 +23,7 @@ python -m pytest --doctest-modules -q src/repro/congest/runtime src/repro/conges
 python scripts/check_docs.py
 python scripts/check_fault_identity.py
 python scripts/check_fabric_identity.py
+python scripts/check_rng_identity.py
 python benchmarks/bench_engine.py --quick --json "$SMOKE_DIR/BENCH_engine.quick.json"
 python benchmarks/bench_delivery.py --quick --json "$SMOKE_DIR/BENCH_delivery.quick.json"
 python benchmarks/bench_columnar.py --quick --json "$SMOKE_DIR/BENCH_columnar.quick.json"

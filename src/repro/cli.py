@@ -200,7 +200,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ProposalMatchingAlgorithm,
         TrialColoringAlgorithm,
     )
-    from repro.congest.runtime import variant_for_plane
+    from repro.congest.runtime import (
+        plane_names,
+        supports_vectorized,
+        variant_for_plane,
+    )
 
     graph = build_instance(args.instance)
     n = graph.number_of_nodes()
@@ -255,6 +259,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
 
+    if args.rng == "vectorized" and not supports_vectorized(algorithm):
+        # Registry-derived diagnostic (like --plane resolution and
+        # --no-local-fallback): name the incompatible combination and the
+        # planes whose variant *does* draw vectorized, instead of failing
+        # deep inside execution.
+        supporting = []
+        for name in plane_names():
+            try:
+                candidate = variant_for_plane(variants, name)()
+            except ValueError:
+                continue
+            if supports_vectorized(candidate):
+                supporting.append(name)
+        detail = (
+            f"planes with a vectorized variant: {', '.join(supporting)}"
+            if supporting
+            else f"no registered plane has a vectorized variant of "
+                 f"problem {args.problem!r}"
+        )
+        print(
+            f"simulate: --rng vectorized is not supported by "
+            f"{type(algorithm).__name__} (plane {args.plane!r}, rng_modes "
+            f"{tuple(getattr(algorithm, 'rng_modes', ('exact',)))}); "
+            f"{detail}",
+            file=sys.stderr,
+        )
+        return 2
+
     plan = None
     if args.faults is not None:
         try:
@@ -301,13 +333,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             fabric_stats = FabricStats()
             results = run_many_fabric(
                 algorithm, trials, addresses, plane=args.plane,
+                rng=args.rng,
                 checkpoint=args.checkpoint, resume=args.resume,
                 fallback="error" if args.no_local_fallback else "local",
                 stats=fabric_stats,
             )
         else:
             results = run_many(
-                algorithm, trials, processes=args.processes, plane=args.plane
+                algorithm, trials, processes=args.processes,
+                plane=args.plane, rng=args.rng,
             )
     except RuntimeError as exc:
         from repro.congest import FabricUnavailableError
@@ -336,7 +370,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"(n={n}, m={graph.number_of_edges()})  problem: {args.problem}")
     print(f"trials: {args.trials}  processes: {args.processes}  "
           f"available cpus: {os.cpu_count() or 1}  model: {args.model}  "
-          f"plane: {args.plane}"
+          f"plane: {args.plane}  rng: {args.rng}"
           + (f"  workers: {args.workers}" if args.workers else "")
           + (f"  faults: {args.faults}" if args.faults else ""))
     for index, (outputs, metrics) in enumerate(results):
@@ -466,6 +500,15 @@ def make_parser() -> argparse.ArgumentParser:
                         "columnar sweeps; 'grid' forces trial-major grid "
                         "batching; 'dict' is the legacy alias of "
                         "'broadcast'")
+    p.add_argument("--rng", choices=["exact", "vectorized"],
+                   default="exact",
+                   help="randomness discipline (repro.congest.RngPlan): "
+                        "'exact' (default) keeps the byte-identity "
+                        "per-vertex random.Random streams; 'vectorized' "
+                        "draws counter-based Philox columns — "
+                        "deterministic and plane-independent, but a "
+                        "different stream; requires a plane whose "
+                        "variant declares the mode")
     p.add_argument("--faults", metavar="SPEC", default=None,
                    help="fault plan as comma-separated knobs, e.g. "
                         "'crash=0.01,drop=0.05,dup=0.01,delay=2,"

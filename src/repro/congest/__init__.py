@@ -60,6 +60,15 @@ Public API
     counter-based Philox streams and injected at the shared delivery
     seams — every registered plane executes the same plan identically,
     with zero algorithm changes (``Network.run(..., faults=plan)``).
+``RngPlan``
+    The randomness discipline as a plan (``repro.congest.runtime.rng``):
+    ``"exact"`` (default) keeps the byte-identity per-vertex
+    ``random.Random`` streams; ``"vectorized"`` opts randomized
+    columnar algorithms into counter-based Philox column draws keyed
+    ``(seed, vertex, round)`` — deterministic and plane-independent,
+    but distributional rather than stream-identical vs exact mode
+    (``Network.run(..., rng="vectorized")``,
+    ``run_many(..., rng="vectorized")``, ``simulate --rng vectorized``).
 ``GuaranteeReport`` / ``check_mis`` / ``check_bfs_tree`` / ``check_coloring`` / ``check_decomposition``
     Guarantee validators (``repro.congest.validators``): re-verify a
     run's paper guarantee restricted to the live (non-crashed) vertices
@@ -92,6 +101,7 @@ from repro.congest.runtime import (
     FaultPlan,
     GridTopology,
     ReliableNodeAlgorithm,
+    RngPlan,
     Trial,
     execute_grid,
     plane_names,
@@ -167,6 +177,7 @@ __all__ = [
     "FabricWorker",
     "FaultPlan",
     "GridTopology",
+    "RngPlan",
     "Trial",
     "run_many",
     "run_many_fabric",

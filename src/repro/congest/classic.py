@@ -155,12 +155,18 @@ class ColumnarLubyMIS(ColumnarAlgorithm):
     neighbour, join detection — as segmented reductions.  Priorities and
     ``repr``-rank pack into one 62-bit key, so "some neighbour beats me"
     is a single segmented ``max``.
+
+    Under ``rng="vectorized"`` the per-round priority draw becomes one
+    Philox column fill (``ctx.rng.randrange_rows``) instead of a Python
+    loop over per-vertex Mersenne streams — deterministic and
+    plane-independent, but a different (equally uniform) stream.
     """
 
     spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
     # Vertex state lives only in dense arrays (inputs/ranks/masks), so T
     # trials run as one block-diagonal grid (runtime.batch.run_many).
     grid_safe = True
+    rng_modes = ("exact", "vectorized")
 
     _DRAW, _RESOLVE = 0, 1
 
@@ -172,7 +178,6 @@ class ColumnarLubyMIS(ColumnarAlgorithm):
 
     def setup(self, ctx: ColumnarContext) -> None:
         n = ctx.n
-        self.rngs = [random.Random(seed) for seed in ctx.inputs]
         self.active = np.ones(n, dtype=bool)
         self.in_set = np.zeros(n, dtype=bool)
         self.priority = np.zeros(n, dtype=np.int64)
@@ -196,11 +201,12 @@ class ColumnarLubyMIS(ColumnarAlgorithm):
             ctx.halt(retire | isolated)
             survivors = np.flatnonzero(stepped & self.active)
             if survivors.size:
-                rngs = self.rngs
-                priority = self.priority
-                for i in survivors.tolist():
-                    priority[i] = rngs[i].randrange(1 << 30)
-                ctx.emit_columns(survivors, kind=0, value=priority[survivors])
+                self.priority[survivors] = ctx.rng.randrange_rows(
+                    ctx.round_number, survivors, 1 << 30
+                )
+                ctx.emit_columns(
+                    survivors, kind=0, value=self.priority[survivors]
+                )
         else:  # RESOLVE: the inbox holds the draws of active neighbours.
             values = ctx.inbox.column("value").astype(np.int64)
             kinds = ctx.inbox.column("kind")
@@ -383,6 +389,7 @@ class ColumnarSelfHealingMIS(ColumnarAlgorithm):
     # State is dense arrays only and every emission is gated on the live
     # mask, so T trials batch as one block-diagonal grid.
     grid_safe = True
+    rng_modes = ("exact", "vectorized")
 
     def __init__(self, luby_rounds: int, repair_rounds: int) -> None:
         if luby_rounds < 2 or luby_rounds % 2:
@@ -400,7 +407,6 @@ class ColumnarSelfHealingMIS(ColumnarAlgorithm):
 
     def setup(self, ctx: ColumnarContext) -> None:
         n = ctx.n
-        self.rngs = [random.Random(seed) for seed in ctx.inputs]
         self.active = np.ones(n, dtype=bool)
         self.in_set = np.zeros(n, dtype=bool)
         self.covered = np.zeros(n, dtype=bool)
@@ -422,11 +428,12 @@ class ColumnarSelfHealingMIS(ColumnarAlgorithm):
                 self.active &= ~isolated
                 survivors = np.flatnonzero(stepped & self.active)
                 if survivors.size:
-                    rngs = self.rngs
-                    priority = self.priority
-                    for i in survivors.tolist():
-                        priority[i] = rngs[i].randrange(1 << 30)
-                    ctx.emit_columns(survivors, kind=0, value=priority[survivors])
+                    self.priority[survivors] = ctx.rng.randrange_rows(
+                        ctx.round_number, survivors, 1 << 30
+                    )
+                    ctx.emit_columns(
+                        survivors, kind=0, value=self.priority[survivors]
+                    )
             else:  # RESOLVE
                 values = ctx.inbox.column("value").astype(np.int64)
                 keys = (values << 32) | self.rank[ctx.inbox.senders]
@@ -654,13 +661,18 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
     ``n × palette`` bitmask with one fancy-indexed scatter, and the
     same-trial conflict check is a segmented ``any`` — no Python inbox
     iteration.  The per-vertex trial draw stays Python (O(uncoloured ×
-    palette) per round, like the original's local computation).
+    palette) per round, like the original's local computation) in exact
+    mode; under ``rng="vectorized"`` one Philox uniform column ranks
+    into each drawer's ascending available-colour list via a row-wise
+    cumulative sum — the same candidate sets, drawn without any
+    per-vertex Python.
     """
 
     spec = ColumnarSpec(("kind", np.uint8), ("value", np.uint32))
     # All state is dense arrays keyed by grid row (the taken-colour
     # bitmask included), so trial-major grid batching applies.
     grid_safe = True
+    rng_modes = ("exact", "vectorized")
 
     def __init__(self, palette_size: int, horizon: int) -> None:
         self.palette_size = palette_size
@@ -671,7 +683,6 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
 
     def setup(self, ctx: ColumnarContext) -> None:
         n = ctx.n
-        self.rngs = [random.Random(seed) for seed in ctx.inputs]
         self.color = np.full(n, -1, dtype=np.int64)
         self.trial = np.full(n, -1, dtype=np.int64)
         # taken[v, c] — a neighbour of v has *finalized* colour c;
@@ -722,26 +733,52 @@ class ColumnarTrialColoring(ColumnarAlgorithm):
             ctx.halt(finalize)
         drawers = np.flatnonzero(stepped & (self.color < 0))
         if drawers.size:
-            rngs = self.rngs
-            trial = self.trial
-            taken = self.taken
-            full = self.full_palette
-            constrained = self.taken_count
-            # Vertices with no finalized neighbour colour draw from the
-            # shared full palette — identical RNG stream to the object
-            # plane's per-vertex ``[c for c in range(palette) …]`` list
-            # (same length ⇒ same ``choice`` draw), without a row scan.
-            for i in drawers.tolist():
-                if constrained[i]:
-                    # Byzantine senders can finalize several colours
-                    # each and exhaust the (Δ+1) palette — impossible
-                    # fault-free; retry from the full palette rather
-                    # than crash on an empty draw.
-                    available = np.flatnonzero(~taken[i]).tolist() or full
-                else:
-                    available = full
-                trial[i] = rngs[i].choice(available)
-            ctx.emit_columns(drawers, kind=0, value=trial[drawers])
+            if ctx.rng.vectorized:
+                self._draw_vectorized(ctx, drawers)
+            else:
+                self._draw_exact(ctx, drawers)
+            ctx.emit_columns(drawers, kind=0, value=self.trial[drawers])
+
+    def _draw_exact(self, ctx: ColumnarContext, drawers) -> None:
+        rngs = ctx.rng.streams
+        trial = self.trial
+        taken = self.taken
+        full = self.full_palette
+        constrained = self.taken_count
+        # Vertices with no finalized neighbour colour draw from the
+        # shared full palette — identical RNG stream to the object
+        # plane's per-vertex ``[c for c in range(palette) …]`` list
+        # (same length ⇒ same ``choice`` draw), without a row scan.
+        for i in drawers.tolist():
+            if constrained[i]:
+                # Byzantine senders can finalize several colours
+                # each and exhaust the (Δ+1) palette — impossible
+                # fault-free; retry from the full palette rather
+                # than crash on an empty draw.
+                available = np.flatnonzero(~taken[i]).tolist() or full
+            else:
+                available = full
+            trial[i] = rngs[i].choice(available)
+
+    def _draw_vectorized(self, ctx: ColumnarContext, drawers) -> None:
+        # One uniform column ranks into each drawer's ascending
+        # available-colour list: pick the k-th free colour where
+        # k = ⌊u · |available|⌋, via a row-wise cumulative sum over the
+        # taken bitmask.  Same candidate sets as the exact loop
+        # (including the Byzantine full-palette retry), zero per-vertex
+        # Python.
+        avail = ~self.taken[drawers]
+        counts = self.palette_size - self.taken_count[drawers]
+        exhausted = counts <= 0
+        if exhausted.any():
+            avail[exhausted] = True
+            counts = np.where(exhausted, avail.shape[1], counts)
+        u = ctx.rng.uniform_rows(ctx.round_number, drawers)
+        picks = np.minimum((u * counts).astype(np.int64), counts - 1)
+        cumulative = np.cumsum(avail, axis=1)
+        self.trial[drawers] = np.argmax(
+            cumulative == (picks + 1)[:, None], axis=1
+        )
 
     def outputs(self, ctx: ColumnarContext) -> list:
         return [None if c < 0 else int(c) for c in self.color]

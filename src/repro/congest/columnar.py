@@ -70,6 +70,12 @@ import numpy as np
 
 from repro.congest.message import ColumnarSpec, Message, VarColumn
 from repro.congest.metrics import ScalarAccountant
+from repro.congest.runtime.rng import (
+    ExactRng,
+    RngPlan,
+    rng_state_for,
+    supports_vectorized,
+)
 from repro.congest.runtime.scheduler import run_rounds
 
 _INT64_MAX = np.iinfo(np.int64).max
@@ -355,6 +361,12 @@ class ColumnarContext:
         repository).
     inputs:
         Per-vertex inputs aligned to dense indices (``None`` where absent).
+    rng:
+        The run's draw state (:mod:`repro.congest.runtime.rng`): an
+        :class:`~repro.congest.runtime.rng.ExactRng` over the inputs by
+        default (byte-identical per-vertex ``random.Random`` streams),
+        or the vectorized Philox state when the run opted into
+        ``rng="vectorized"``.  Algorithms branch on ``ctx.rng.vectorized``.
     round_number, inbox, halted:
         Current round (1-based), this round's :class:`ColumnarInbox`, and
         the halt mask (read it freely; mutate only via :meth:`halt`).
@@ -374,11 +386,11 @@ class ColumnarContext:
 
     __slots__ = (
         "n", "vertices", "indptr", "indices", "degrees", "repr_rank",
-        "inputs", "round_number", "inbox", "halted",
+        "inputs", "rng", "round_number", "inbox", "halted",
         "_index_of", "_spec", "_emissions", "_halted_count",
     )
 
-    def __init__(self, topology, plane, spec, inputs_list) -> None:
+    def __init__(self, topology, plane, spec, inputs_list, rng=None) -> None:
         self.n = topology.n
         self.vertices = topology.vertices
         self.indptr = topology.indptr
@@ -386,6 +398,7 @@ class ColumnarContext:
         self.degrees = plane.degrees
         self.repr_rank = plane.repr_rank
         self.inputs = inputs_list
+        self.rng = ExactRng(inputs_list) if rng is None else rng
         self.round_number = 0
         self.inbox = ColumnarInbox.empty(topology.n, spec)
         self.halted = np.zeros(topology.n, dtype=bool)
@@ -612,7 +625,12 @@ class ColumnarAlgorithm:
     never assumes a vertex id resolves to exactly one dense row — AND
     every emission is gated on ``~ctx.halted`` (e.g. via a
     ``stepped = ~ctx.halted`` mask, as all ports here do), never on a
-    private liveness mask alone.  The second condition is what lets the
+    private liveness mask alone.  ``rng_modes`` declares which draw
+    disciplines the subclass implements: every algorithm supports the
+    byte-identity default ``"exact"``; randomized ports that also read
+    vectorized Philox columns (via ``ctx.rng.randrange_rows`` /
+    ``ctx.rng.uniform_rows``) add ``"vectorized"`` — see
+    :mod:`repro.congest.runtime.rng`.  The second condition is what lets the
     grid executor *freeze* a trial that exceeded its per-trial round cap
     by halting its rows: an algorithm that keeps emitting from
     externally-halted rows would raise the halted-sender error instead
@@ -624,6 +642,7 @@ class ColumnarAlgorithm:
     spec: ColumnarSpec
     plane_kind = "columnar"
     grid_safe = False
+    rng_modes = ("exact",)
 
     def spawn(self) -> "ColumnarAlgorithm":
         return type(self)()
@@ -1027,6 +1046,7 @@ def execute_columnar(
     inputs: Mapping[Any, Any] | None = None,
     reference: bool = False,
     faults=None,
+    rng=None,
 ) -> dict[Any, Any]:
     """Run a :class:`ColumnarAlgorithm` over a compiled topology.
 
@@ -1043,6 +1063,16 @@ def execute_columnar(
     and validated emissions pass through the plan's drop/dup/delay fate
     pass before the receiver sort.  A zero plan is byte-identical to
     ``faults=None``.
+
+    ``rng`` optionally takes an
+    :class:`~repro.congest.runtime.rng.RngPlan` (or a mode string):
+    ``"exact"`` — the default — keeps the per-vertex ``random.Random``
+    streams and is byte-identical to ``rng=None``; ``"vectorized"``
+    hands the algorithm counter-based Philox column draws instead,
+    which requires the algorithm to declare ``"vectorized"`` in its
+    ``rng_modes``.  The draw state is independent of the delivery
+    plane, so vectorized runs agree bit-for-bit between
+    ``reference=True`` and the fast path.
     """
     spec = getattr(algorithm, "spec", None)
     if not isinstance(spec, ColumnarSpec):
@@ -1056,7 +1086,17 @@ def execute_columnar(
         [None] * topology.n if inputs is None
         else [inputs.get(v) for v in vertices]
     )
-    ctx = ColumnarContext(topology, plane, spec, inputs_list)
+    rng_plan = RngPlan.coerce(rng)
+    if rng_plan.vectorized and not supports_vectorized(algorithm):
+        raise ValueError(
+            f"{type(algorithm).__name__} does not support rng mode "
+            f"'vectorized': its rng_modes are "
+            f"{tuple(getattr(algorithm, 'rng_modes', ('exact',)))}"
+        )
+    ctx = ColumnarContext(
+        topology, plane, spec, inputs_list,
+        rng_state_for(rng_plan, inputs_list),
+    )
     instance.setup(ctx)
     limit = bandwidth_bits if model == "congest" else (1 << 62)
     acc = ScalarAccountant()  # deferred fast-path counters

@@ -71,6 +71,7 @@ from repro.congest.message import Broadcast, Message, bandwidth_bits_for
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.runtime.compile import compile_topology
 from repro.congest.runtime.planes import reference_plane_for, resolve_plane
+from repro.congest.runtime.rng import RngPlan, supports_vectorized
 
 
 class BandwidthExceededError(RuntimeError):
@@ -129,10 +130,15 @@ class NodeAlgorithm:
     ``plane_kind = "object"`` declares the execution-plane family to the
     runtime registry (:mod:`repro.congest.runtime.planes`): object-family
     algorithms run on the ``reference``/``object``/``broadcast`` planes,
-    resolved by name — never by ``isinstance``.
+    resolved by name — never by ``isinstance``.  ``rng_modes`` declares
+    which randomness disciplines the algorithm implements
+    (:mod:`repro.congest.runtime.rng`); object-family algorithms draw
+    from per-vertex ``random.Random`` state directly, so they support
+    only the byte-identity default.
     """
 
     plane_kind = "object"
+    rng_modes = ("exact",)
 
     def __init__(self) -> None:
         self._halted = False
@@ -219,6 +225,7 @@ class Network:
         inputs: Mapping[Any, Any] | None = None,
         plane: str | None = None,
         faults=None,
+        rng=None,
     ) -> dict[Any, Any]:
         """Execute ``algorithm`` at every vertex until all halt.
 
@@ -240,7 +247,21 @@ class Network:
         plane's executor (crash-stop, drop, duplication, bounded delay);
         the fault counters land on :attr:`metrics`.  A zero plan is
         byte-identical to ``faults=None`` on every plane.
+
+        ``rng`` optionally takes an
+        :class:`~repro.congest.runtime.rng.RngPlan` (or a mode string):
+        ``"exact"`` — the default — is byte-identical to ``rng=None``;
+        ``"vectorized"`` requires the algorithm to declare it in
+        ``rng_modes`` and is rejected here otherwise, before any plane
+        executes.
         """
+        rng_plan = RngPlan.coerce(rng)
+        if rng_plan.vectorized and not supports_vectorized(algorithm):
+            raise ValueError(
+                f"{type(algorithm).__name__} does not support rng mode "
+                f"'vectorized': its rng_modes are "
+                f"{tuple(getattr(algorithm, 'rng_modes', ('exact',)))}"
+            )
         executor = resolve_plane(algorithm, plane)
         return executor.execute(
             self._topology,
@@ -251,6 +272,7 @@ class Network:
             max_rounds=max_rounds,
             inputs=inputs,
             faults=faults,
+            rng=rng_plan if rng_plan.vectorized else None,
         )
 
     # ------------------------------------------------------------------
@@ -260,6 +282,7 @@ class Network:
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
         faults=None,
+        rng=None,
     ) -> dict[Any, Any]:
         """Run on the algorithm family's per-message reference plane.
 
@@ -273,6 +296,7 @@ class Network:
         ``tests/test_columnar.py``, ``tests/test_delivery_soak.py``) and
         the baselines the benchmarks measure speedups over.
         """
+        rng_plan = RngPlan.coerce(rng)
         executor = reference_plane_for(algorithm)
         return executor.execute(
             self._topology,
@@ -283,6 +307,7 @@ class Network:
             max_rounds=max_rounds,
             inputs=inputs,
             faults=faults,
+            rng=rng_plan if rng_plan.vectorized else None,
         )
 
 

@@ -27,6 +27,11 @@ programs independent of the execution substrate:
   bounded-delay asynchrony, Byzantine low-bit corruption, targeted
   adversaries; counter-based Philox draws) that every registered plane
   executes identically with zero algorithm changes;
+* :mod:`~repro.congest.runtime.rng` — the randomness discipline as the
+  same kind of plan: :class:`RngPlan` selects the byte-identity exact
+  per-vertex streams (default) or opt-in vectorized counter-based
+  Philox column draws keyed ``(seed, vertex, round)``, deterministic
+  and identical across the columnar/grid planes;
 * :mod:`~repro.congest.runtime.recovery` — the self-healing layer:
   ack/retransmit reliable-delivery wrappers
   (:class:`ReliableNodeAlgorithm` for object planes,
@@ -55,6 +60,12 @@ from repro.congest.runtime.compile import (
     delivery_plane,
 )
 from repro.congest.runtime.faults import FaultPlan, FaultState
+from repro.congest.runtime.rng import (
+    RngPlan,
+    grid_rng_state,
+    rng_state_for,
+    supports_vectorized,
+)
 from repro.congest.runtime.planes import (
     ExecutionPlane,
     get_plane,
@@ -119,6 +130,7 @@ __all__ = [
     "run_many_fabric",
     "GridAccountant",
     "GridTopology",
+    "RngPlan",
     "Trial",
     "compile_topology",
     "delivery_plane",
@@ -127,14 +139,17 @@ __all__ = [
     "execute_jobs",
     "execute_reference",
     "get_plane",
+    "grid_rng_state",
     "normalize_jobs",
     "plane_names",
     "reference_plane_for",
     "register_plane",
     "release_round_buffers",
     "resolve_plane",
+    "rng_state_for",
     "run_many",
     "run_rounds",
     "supported_planes",
+    "supports_vectorized",
     "variant_for_plane",
 ]

@@ -48,6 +48,11 @@ from repro.congest.message import bandwidth_bits_for
 from repro.congest.metrics import NetworkMetrics
 from repro.congest.runtime import planes as _planes
 from repro.congest.runtime.compile import GridTopology, compile_topology
+from repro.congest.runtime.rng import (
+    RngPlan,
+    grid_rng_state,
+    supports_vectorized,
+)
 from repro.congest.runtime.scheduler import release_round_buffers, run_rounds
 
 
@@ -68,6 +73,7 @@ class Trial:
     model: str | None = None
     bandwidth_factor: int | None = None
     faults: Any = None
+    rng: Any = None
 
 
 # ---------------------------------------------------------------------------
@@ -121,7 +127,7 @@ def execute_grid(
     """Run T independent trials as one block-diagonal columnar grid.
 
     ``jobs`` is the normalized trial list: one
-    ``(graph, inputs, model, bandwidth_factor, max_rounds, faults)``
+    ``(graph, inputs, model, bandwidth_factor, max_rounds, faults, rng)``
     tuple per trial.  Returns ``[(outputs, metrics), ...]`` in trial order —
     byte-identical (outputs, output keying, and every metrics counter)
     to running each trial through ``Network.run`` on the columnar plane.
@@ -166,10 +172,18 @@ def execute_grid(
     of fault intensities reproduces the corresponding single runs
     exactly.
 
+    Rng plans ride per trial too (the trailing ``rng`` slot; a legacy
+    6-tuple counts as exact).  All-exact jobs share one lazily built
+    per-vertex stream list — byte-identical to the streams this executor
+    has always produced — while all-vectorized jobs draw per-block
+    Philox columns that match each trial's single vectorized run.  One
+    grid chunk cannot mix modes (:func:`~repro.congest.runtime.rng.grid_rng_state`
+    rejects it): split the sweep instead.
+
     >>> import networkx as nx
     >>> from repro.congest.algorithms import ColumnarFloodValue
     >>> graph = nx.path_graph(3)
-    >>> jobs = [(graph, None, "congest", 32, 10, None)] * 2
+    >>> jobs = [(graph, None, "congest", 32, 10, None, None)] * 2
     >>> results = execute_grid(ColumnarFloodValue(0, 9, 4), jobs)
     >>> [(outputs[2], metrics.rounds) for outputs, metrics in results]
     [(9, 4), (9, 4)]
@@ -185,9 +199,19 @@ def execute_grid(
         raise TypeError(
             f"{type(algorithm).__name__}.spec must be a ColumnarSpec"
         )
+    jobs = [job if len(job) >= 7 else (*job, None) for job in jobs]
+    rng_plans = [RngPlan.coerce(job[6]) for job in jobs]
+    if any(plan.vectorized for plan in rng_plans) and not supports_vectorized(
+        algorithm
+    ):
+        raise ValueError(
+            f"{type(algorithm).__name__} does not support rng mode "
+            f"'vectorized': its rng_modes are "
+            f"{tuple(getattr(algorithm, 'rng_modes', ('exact',)))}"
+        )
     blocks = []
     compiled: dict[int, Any] = {}  # id(graph) → topology: probe each graph once
-    for graph, _inputs, model, _factor, _cap, _faults in jobs:
+    for graph, _inputs, model, _factor, _cap, _faults, _rng in jobs:
         if model not in ("congest", "local"):
             raise ValueError(f"unknown model {model!r}")
         if graph.number_of_nodes() == 0:
@@ -216,8 +240,8 @@ def execute_grid(
     budgets = np.empty(grid.n, dtype=np.int64)
     caps = np.empty(grid.trials, dtype=np.int64)
     inputs_list: list = []
-    for t, (graph, inputs, model, factor, max_rounds, _faults) in enumerate(
-        jobs
+    for t, (graph, inputs, model, factor, max_rounds, _faults, _rng) in (
+        enumerate(jobs)
     ):
         block = grid.blocks[t]
         bandwidth = bandwidth_bits_for(block.n, factor)
@@ -233,7 +257,10 @@ def execute_grid(
             inputs_list.extend(inputs.get(v) for v in block.vertices)
 
     instance = algorithm.spawn()
-    ctx = ColumnarContext(grid, grid.plane, spec, inputs_list)
+    ctx = ColumnarContext(
+        grid, grid.plane, spec, inputs_list,
+        grid_rng_state(rng_plans, inputs_list, grid.block_sizes),
+    )
     instance.setup(ctx)
     acc = GridAccountant(grid)
     rounds_of = np.zeros(grid.trials, dtype=np.int64)
@@ -402,14 +429,14 @@ def _run_trial(payload: tuple) -> tuple[dict, NetworkMetrics]:
 
     (
         algorithm, graph, inputs, model, bandwidth_factor, max_rounds,
-        faults, plane,
+        faults, rng, plane,
     ) = payload
     if graph is None:
         graph = _POOL_SHARED["graph"]
     net = Network(graph, model=model, bandwidth_factor=bandwidth_factor)
     outputs = net.run(
         algorithm, max_rounds=max_rounds, inputs=inputs, plane=plane,
-        faults=faults,
+        faults=faults, rng=rng,
     )
     return outputs, net.metrics
 
@@ -421,9 +448,11 @@ def normalize_jobs(
     bandwidth_factor: int = 32,
     max_rounds: int = 10_000,
     faults=None,
+    rng=None,
 ) -> list[tuple]:
-    """Normalize a ``run_many`` trial list into the canonical 6-tuple job
-    shape ``(graph, inputs, model, bandwidth_factor, max_rounds, faults)``.
+    """Normalize a ``run_many`` trial list into the canonical 7-tuple job
+    shape ``(graph, inputs, model, bandwidth_factor, max_rounds, faults,
+    rng)``.
 
     This is the unit every batch executor speaks — :func:`execute_grid`
     consumes it directly, and the sweep fabric
@@ -452,16 +481,18 @@ def normalize_jobs(
                     if spec.max_rounds is not None
                     else max_rounds,
                     spec.faults if spec.faults is not None else faults,
+                    spec.rng if spec.rng is not None else rng,
                 )
             )
         elif isinstance(spec, tuple):
             graph, inputs = spec
             jobs.append(
-                (graph, inputs, model, bandwidth_factor, max_rounds, faults)
+                (graph, inputs, model, bandwidth_factor, max_rounds, faults,
+                 rng)
             )
         else:
             jobs.append(
-                (spec, None, model, bandwidth_factor, max_rounds, faults)
+                (spec, None, model, bandwidth_factor, max_rounds, faults, rng)
             )
     return jobs
 
@@ -476,6 +507,7 @@ def run_many(
     max_rounds: int = 10_000,
     plane: str | None = "auto",
     faults=None,
+    rng=None,
 ) -> list[tuple[dict, NetworkMetrics]]:
     """Run ``algorithm`` over many trials, optionally in parallel.
 
@@ -506,6 +538,10 @@ def run_many(
         default; a :class:`Trial`'s ``faults`` field overrides it per
         trial (the fault-intensity-sweep shape).  ``None`` injects
         nothing.
+    rng:
+        Sweep-wide :class:`~repro.congest.runtime.rng.RngPlan` (or mode
+        string) default; a :class:`Trial`'s ``rng`` field overrides it
+        per trial.  ``None`` keeps the byte-identity exact streams.
 
     Returns
     -------
@@ -523,7 +559,7 @@ def run_many(
     """
     jobs = normalize_jobs(
         trials, model=model, bandwidth_factor=bandwidth_factor,
-        max_rounds=max_rounds, faults=faults,
+        max_rounds=max_rounds, faults=faults, rng=rng,
     )
     return execute_jobs(algorithm, jobs, processes=processes, plane=plane)
 
@@ -535,8 +571,9 @@ def execute_jobs(
     *,
     plane: str | None = "auto",
 ) -> list[tuple[dict, NetworkMetrics]]:
-    """Execute normalized 6-tuple jobs (see :func:`normalize_jobs`) with
+    """Execute normalized 7-tuple jobs (see :func:`normalize_jobs`) with
     :func:`run_many`'s exact strategy selection and result contract.
+    Legacy 6-tuple jobs (no ``rng`` slot) are accepted and run exact.
 
     This is the post-normalization half of :func:`run_many`, split out so
     the sweep fabric's workers (:mod:`repro.congest.runtime.fabric.worker`)
@@ -567,7 +604,8 @@ def execute_jobs(
 
     trial_plane = None if plane in (None, "auto") else plane
     payloads = [
-        (algorithm, *job, trial_plane) for job in jobs
+        (algorithm, *(job if len(job) >= 7 else (*job, None)), trial_plane)
+        for job in jobs
     ]
     if processes == 1 or len(payloads) <= 1:
         # Serial sweep: consecutive trials on one graph reuse the pooled

@@ -29,9 +29,17 @@ worker failure as the normal case:
   execute_jobs` entry, or raises :class:`FabricUnavailableError` with a
   one-line diagnostic (``fallback="error"``).
 
+Payload economics: dispatchers remember which graph fingerprints they
+have shipped in full on the live connection and substitute
+:class:`~.protocol.GraphRef` sentinels for repeats, pairing with the
+worker's per-connection topology cache so a sweep of many trials over
+few graphs uploads each graph once per worker (and the worker compiles
+it once).  Both records die with the socket, so a reconnect safely
+re-ships everything.
+
 Determinism keystone: trials are independent and every execution path —
 remote grid, remote per-trial, local fallback — runs the canonical
-6-tuple jobs through the same batch executor, so the merged results
+7-tuple jobs through the same batch executor, so the merged results
 (outputs *and* every :class:`~repro.congest.metrics.NetworkMetrics`
 field) are byte-identical to a single-process ``run_many`` no matter
 how blocks were partitioned, which workers died, or which speculative
@@ -54,6 +62,7 @@ from pathlib import Path
 from repro.congest.runtime.batch import execute_jobs, normalize_jobs
 from repro.congest.runtime.fabric import protocol
 from repro.congest.runtime.fabric.retry import retry_with_backoff
+from repro.graphs.cache import graph_fingerprint
 
 CHECKPOINT_VERSION = 1
 
@@ -93,6 +102,7 @@ class FabricStats:
     speculative_dispatches: int = 0
     speculative_wasted: int = 0
     worker_failures: int = 0
+    graph_cache_hits: int = 0
     dead_workers: list = field(default_factory=list)
 
     def summary(self) -> str:
@@ -104,6 +114,7 @@ class FabricStats:
             f"retries = {self.retries}  "
             f"speculative = {self.speculative_dispatches}  "
             f"worker failures = {self.worker_failures}  "
+            f"graph cache hits = {self.graph_cache_hits}  "
             f"dead workers = {len(self.dead_workers)}/{self.workers}"
         )
 
@@ -295,20 +306,27 @@ class _SweepState:
 # ---------------------------------------------------------------------------
 class _Dispatcher(threading.Thread):
     def __init__(self, index: int, address: tuple[str, int], state: _SweepState,
-                 payload_for, plane, opts: dict, stats: FabricStats) -> None:
+                 payload_for, digests_for, plane, opts: dict,
+                 stats: FabricStats) -> None:
         super().__init__(daemon=True, name=f"fabric-dispatch-{index}")
         self.index = index
         self.address = address
         self.label = f"{address[0]}:{address[1]}#{index}"
         self.state = state
         self.payload_for = payload_for
+        self.digests_for = digests_for
         self.plane = plane
         self.opts = opts
         self.stats = stats
         self._sock: socket.socket | None = None
+        # Graph fingerprints shipped in full on the *current* connection
+        # — the worker's per-connection topology cache mirrors exactly
+        # this set, so it must be forgotten whenever the socket is.
+        self._shipped: set[str] = set()
 
     # -- socket plumbing ---------------------------------------------------
     def _close(self) -> None:
+        self._shipped.clear()
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -347,13 +365,18 @@ class _Dispatcher(threading.Thread):
         worker's now-useless result stream can't desynchronize framing.
         """
         sock = self._connected()
+        digests = self.digests_for(block)
+        use_refs = bool(digests) and all(d in self._shipped for d in digests)
         protocol.send_frame(sock, {
             "type": "run-block",
             "block": block,
             "plane": self.plane,
             "trials": None,
-            "payload": self.payload_for(block),
+            "payload": self.payload_for(block, use_refs),
         })
+        # Optimistic: if the frame never actually lands, the connection
+        # dies and _close() forgets these digests along with the socket.
+        self._shipped.update(digests)
         results: list = []
         while True:
             frame = protocol.recv_frame(sock)
@@ -375,6 +398,10 @@ class _Dispatcher(threading.Thread):
                         f"block {block}: worker reported {frame['trials']} "
                         f"trials but streamed {len(results)}"
                     )
+                hits = int(frame.get("graph_cache_hits", 0))
+                if hits:
+                    with self.state.lock:
+                        self.stats.graph_cache_hits += hits
                 return results
             elif kind == "error":
                 if frame.get("kind") == "algorithm":
@@ -496,6 +523,7 @@ def run_many_fabric(
     max_rounds: int = 10_000,
     plane: str | None = "auto",
     faults=None,
+    rng=None,
     block_size: int | None = None,
     heartbeat_timeout: float = 2.0,
     retries: int = 3,
@@ -529,7 +557,7 @@ def run_many_fabric(
         stats = FabricStats()
     jobs = normalize_jobs(
         trials, model=model, bandwidth_factor=bandwidth_factor,
-        max_rounds=max_rounds, faults=faults,
+        max_rounds=max_rounds, faults=faults, rng=rng,
     )
     if not jobs:
         return []
@@ -557,16 +585,51 @@ def run_many_fabric(
 
     state = _SweepState(block_ids, completed, straggler_factor)
 
-    payload_cache: dict[int, str] = {}
+    # Two payload variants per block, shared by every dispatcher: the
+    # full pickle, and — once a dispatcher has shipped all of a block's
+    # graphs on its connection — a variant with each graph replaced by a
+    # GraphRef content fingerprint, so repeated blocks on the same
+    # topology skip the payload re-upload entirely.
+    payload_cache: dict[tuple[int, bool], str] = {}
+    digest_cache: dict[int, tuple] = {}
+    graph_digests: dict[int, str] = {}
     payload_lock = threading.Lock()
 
-    def payload_for(block: int) -> str:
+    def _digests_locked(block: int) -> tuple:
+        cached = digest_cache.get(block)
+        if cached is None:
+            start, stop = block_slices[block]
+            out = []
+            for job in jobs[start:stop]:
+                graph = job[0]
+                digest = graph_digests.get(id(graph))
+                if digest is None:
+                    digest = graph_digests[id(graph)] = graph_fingerprint(
+                        graph
+                    )
+                out.append(digest)
+            cached = digest_cache[block] = tuple(out)
+        return cached
+
+    def digests_for(block: int) -> tuple:
         with payload_lock:
-            cached = payload_cache.get(block)
+            return _digests_locked(block)
+
+    def payload_for(block: int, use_refs: bool = False) -> str:
+        with payload_lock:
+            cached = payload_cache.get((block, use_refs))
             if cached is None:
                 start, stop = block_slices[block]
-                cached = payload_cache[block] = protocol.encode_payload(
-                    (algorithm, jobs[start:stop])
+                block_jobs = jobs[start:stop]
+                if use_refs:
+                    block_jobs = [
+                        (protocol.GraphRef(digest), *job[1:])
+                        for digest, job in zip(
+                            _digests_locked(block), block_jobs
+                        )
+                    ]
+                cached = payload_cache[(block, use_refs)] = (
+                    protocol.encode_payload((algorithm, block_jobs))
                 )
             return cached
 
@@ -580,8 +643,8 @@ def run_many_fabric(
                 "journal": journal,
             }
             dispatchers = [
-                _Dispatcher(index, address, state, payload_for, plane, opts,
-                            stats)
+                _Dispatcher(index, address, state, payload_for, digests_for,
+                            plane, opts, stats)
                 for index, address in enumerate(addresses)
             ]
             with state.lock:

@@ -17,8 +17,11 @@ Message types (``type`` field), version ``PROTOCOL_VERSION``:
 ``run-block``             Coordinator → worker job dispatch.  Fields:
                           ``block`` (id), ``trials`` (count), ``plane``,
                           ``payload`` (pickled ``(algorithm, jobs)`` where
-                          ``jobs`` is the canonical 6-tuple list of
-                          :func:`~repro.congest.runtime.batch.normalize_jobs`).
+                          ``jobs`` is the canonical 7-tuple list of
+                          :func:`~repro.congest.runtime.batch.normalize_jobs`;
+                          a job's graph slot may hold a :class:`GraphRef`
+                          naming a topology already shipped on this
+                          connection by content fingerprint).
 ``heartbeat``             Worker → coordinator liveness while a block
                           computes.  Fields: ``block``, ``elapsed``.
 ``trial-result``          Worker → coordinator result stream, one frame per
@@ -26,7 +29,10 @@ Message types (``type`` field), version ``PROTOCOL_VERSION``:
                           the block), ``payload`` (pickled
                           ``(outputs, metrics)``).
 ``block-done``            Worker → coordinator completion marker.  Fields:
-                          ``block``, ``trials``.
+                          ``block``, ``trials``, ``graph_cache_hits``
+                          (trials whose topology was served from the
+                          worker's per-connection graph cache instead of
+                          re-uploaded/recompiled).
 ``error``                 Either direction.  Fields: ``kind``
                           (``"algorithm"`` for deterministic execution
                           errors that must not be retried, ``"protocol"``
@@ -70,6 +76,33 @@ _LENGTH = struct.Struct(">I")
 
 class ProtocolError(RuntimeError):
     """A fabric connection violated the framing or message contract."""
+
+
+class GraphRef:
+    """Payload sentinel standing in for an already-shipped topology.
+
+    The coordinator substitutes one of these (carrying the
+    :func:`~repro.graphs.cache.graph_fingerprint` content digest) for a
+    job's graph once that digest has been shipped in full on the current
+    connection; the worker resolves it against its per-connection graph
+    cache.  An unresolvable ref is a retryable protocol fault — the
+    coordinator drops the connection, clears its shipped-digest record,
+    and the retry ships the graph in full again.
+    """
+
+    __slots__ = ("digest",)
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphRef({self.digest!r})"
+
+    def __getstate__(self):
+        return self.digest
+
+    def __setstate__(self, digest) -> None:
+        self.digest = digest
 
 
 def encode_payload(obj) -> str:

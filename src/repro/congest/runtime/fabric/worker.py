@@ -21,6 +21,16 @@ with ``kind: "algorithm"`` — the coordinator re-raises instead of
 retrying, since a deterministic error reproduces on every worker — while
 infrastructure faults simply drop the connection and let the
 coordinator's retry machinery take over.
+
+Each connection keeps a topology cache keyed by
+:func:`~repro.graphs.cache.graph_fingerprint` content digest: the first
+block shipping a graph populates it, and every later job on the same
+graph — whether shipped as a :class:`~.protocol.GraphRef` or as a
+redundant full copy — is rewritten to the *cached instance*, so the
+engine's instance-keyed :class:`~repro.graphs.cache.PerGraphCache`
+compilation memo hits and CSR recompilation is skipped.  ``block-done``
+frames report ``graph_cache_hits`` so the coordinator can account for
+the savings.
 """
 
 from __future__ import annotations
@@ -34,6 +44,42 @@ from repro.congest.runtime.fabric import protocol
 from repro.congest.runtime.fabric.retry import retry_with_backoff
 
 _DEFAULT_HEARTBEAT_INTERVAL = 0.1
+
+
+def _resolve_block_graphs(jobs, graph_cache: dict):
+    """Swap each job's graph for the connection-cached instance.
+
+    Returns ``(jobs, cache_hits, missing_refs)``: jobs with graphs
+    resolved to one instance per content digest (so the per-graph
+    compilation memo hits across blocks), the number of jobs served from
+    the cache, and any :class:`~.protocol.GraphRef` digests the
+    coordinator believed were shipped but this connection never saw —
+    non-empty means the block must be rejected as a protocol fault.
+    """
+    from repro.graphs.cache import graph_fingerprint
+
+    resolved = []
+    hits = 0
+    missing: list[str] = []
+    for job in jobs:
+        graph = job[0]
+        if isinstance(graph, protocol.GraphRef):
+            cached = graph_cache.get(graph.digest)
+            if cached is None:
+                missing.append(graph.digest)
+                continue
+            hits += 1
+            resolved.append((cached, *job[1:]))
+            continue
+        digest = graph_fingerprint(graph)
+        cached = graph_cache.get(digest)
+        if cached is None:
+            graph_cache[digest] = graph
+            resolved.append(job)
+        else:
+            hits += 1
+            resolved.append((cached, *job[1:]))
+    return resolved, hits, missing
 
 
 class _HeartbeatSender(threading.Thread):
@@ -136,6 +182,11 @@ class FabricWorker:
     # -- one connection ----------------------------------------------------
     def _serve_connection(self, sock: socket.socket) -> None:
         send_lock = threading.Lock()
+        # Topology cache for this connection: content digest -> graph.
+        # Lives exactly as long as the coordinator's shipped-digest
+        # record for this link, so both sides forget together on a
+        # reconnect.
+        graph_cache: dict[str, object] = {}
         try:
             request = protocol.recv_frame(sock)
             if request is None:
@@ -166,7 +217,7 @@ class FabricWorker:
                     with send_lock:
                         protocol.send_frame(sock, {"type": "pong"})
                 elif kind == "run-block":
-                    self._run_block(sock, send_lock, request)
+                    self._run_block(sock, send_lock, request, graph_cache)
                 elif kind == "shutdown":
                     if request.get("stop"):
                         self.stop()
@@ -183,11 +234,27 @@ class FabricWorker:
         finally:
             sock.close()
 
-    def _run_block(self, sock, send_lock, request: dict) -> None:
+    def _run_block(self, sock, send_lock, request: dict,
+                   graph_cache: dict) -> None:
         from repro.congest.runtime.batch import execute_jobs
 
         block_id = request["block"]
         algorithm, jobs = protocol.decode_payload(request["payload"])
+        jobs, cache_hits, missing = _resolve_block_graphs(jobs, graph_cache)
+        if missing:
+            # The coordinator's shipped-digest record and this cache
+            # disagree; a protocol-kind error makes it retryable — the
+            # coordinator reconnects and ships the graphs in full.
+            with send_lock:
+                protocol.send_frame(sock, {
+                    "type": "error", "kind": "protocol",
+                    "message": (
+                        f"block {block_id} references unshipped graphs: "
+                        f"{sorted(set(missing))}"
+                    ),
+                    "block": block_id,
+                })
+            return
         heartbeat = _HeartbeatSender(
             sock, send_lock, block_id, self.heartbeat_interval
         )
@@ -222,4 +289,5 @@ class FabricWorker:
                 "type": "block-done",
                 "block": block_id,
                 "trials": len(results),
+                "graph_cache_hits": cache_hits,
             })

@@ -125,6 +125,7 @@ class ExecutionPlane:
         max_rounds: int = 10_000,
         inputs: Mapping[Any, Any] | None = None,
         faults=None,
+        rng=None,
     ):
         if self.runner is None:
             raise ValueError(
@@ -133,10 +134,14 @@ class ExecutionPlane:
             )
         # Fault plans are forwarded only when present so runners that
         # predate the fault seam (e.g. toy planes registered by tests)
-        # keep working unchanged on fault-free runs.
+        # keep working unchanged on fault-free runs.  Rng plans follow
+        # the same discipline: exact mode (the default) is the absence
+        # of the kwarg, so only vectorized plans reach the runner.
         kwargs = {}
         if faults is not None:
             kwargs["faults"] = faults
+        if rng is not None and getattr(rng, "vectorized", False):
+            kwargs["rng"] = rng
         return self.runner(
             topology,
             algorithm,

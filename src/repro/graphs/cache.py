@@ -28,6 +28,7 @@ caches), or pass a fresh graph copy.
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from typing import Any, Callable
 
@@ -99,3 +100,32 @@ def invalidate_graph_caches(graph: nx.Graph) -> None:
 def registered_caches() -> list[str]:
     """Names of all registered per-graph caches (diagnostics/tests)."""
     return [cache.name for cache in _REGISTRY]
+
+
+def graph_fingerprint(graph: nx.Graph) -> str:
+    """Content digest of a graph: vertices, adjacency, and attributes.
+
+    A blake2b hex digest over n, m, every vertex (with its attribute
+    dict) and every edge (with its attribute dict), in the graph's own
+    iteration order.  Unlike the instance-keyed :class:`PerGraphCache`
+    this names graph *content*, so two structurally identical copies —
+    in particular a graph and its pickle round-trip on a fabric worker —
+    share one fingerprint.  Dict insertion order survives pickling, so
+    the digest is stable across that round-trip; it is *not* an
+    isomorphism test (a relabelled or reordered build hashes
+    differently, which for content-addressed payload caching is the
+    conservative direction).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        f"{graph.number_of_nodes()}|{graph.number_of_edges()}".encode()
+    )
+    for vertex, data in graph.nodes(data=True):
+        digest.update(
+            repr((vertex, sorted(data.items()) if data else ())).encode()
+        )
+    for u, v, data in graph.edges(data=True):
+        digest.update(
+            repr((u, v, sorted(data.items()) if data else ())).encode()
+        )
+    return digest.hexdigest()

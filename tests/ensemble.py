@@ -1,0 +1,103 @@
+"""Reusable fixed-seed ensemble runner for distributional RNG tests.
+
+Exact mode is validated by byte-identity — every plane replays the same
+per-vertex ``random.Random`` streams, so outputs can be compared
+bit-for-bit.  Vectorized mode deliberately breaks stream identity (one
+Philox column per round instead of n generator calls), so its tests are
+*distributional*: run a ≥64-seed ensemble under each mode, check every
+run's guarantee exactly (an MIS is independent and maximal, a coloring
+is proper, under *any* correct randomness), and check that summary
+statistics of the round distribution agree within a tolerance far wider
+than seed noise but far narrower than what a broken sampler produces
+(e.g. a constant or biased priority column collapses Luby's symmetry
+breaking and blows the round count up, not by 25%, by multiples).
+
+Everything here is deterministic: fixed seed lists, fixed graphs — a
+failure is reproducible, never flaky.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.congest import Trial, run_many
+
+#: Default ensemble width — the distributional tier the RNG plane
+#: documentation promises (≥ 64 independent seeds per mode).
+ENSEMBLE_SEEDS = tuple(range(64))
+
+
+def seeded_inputs(graph, seed):
+    rng = random.Random(seed)
+    return {v: rng.randrange(1 << 30) for v in graph.nodes}
+
+
+def run_ensemble(
+    algorithm_factory,
+    graph,
+    *,
+    seeds=ENSEMBLE_SEEDS,
+    rng="exact",
+    plane="grid",
+    max_rounds,
+):
+    """One trial per seed through ``run_many``; returns
+    ``[(outputs, metrics), ...]`` in seed order.
+
+    ``algorithm_factory`` is a zero-argument callable (a fresh algorithm
+    per sweep); seeds feed both the per-vertex input ids and, through
+    ``Trial.rng``-free plumbing, the ``run_many(rng=...)`` plan seed
+    derivation — so two calls with the same arguments are byte-identical.
+    """
+    trials = [
+        Trial(graph, inputs=seeded_inputs(graph, seed), max_rounds=max_rounds)
+        for seed in seeds
+    ]
+    return run_many(
+        algorithm_factory(), trials, processes=1, plane=plane, rng=rng
+    )
+
+
+def round_counts(results):
+    """Per-trial round counts of an ensemble — the statistic whose
+    distribution exact and vectorized modes must share."""
+    return [metrics.rounds for _outputs, metrics in results]
+
+
+def assert_round_distributions_agree(
+    exact_rounds, vectorized_rounds, *, rel_tol=0.25
+):
+    """Mean round counts within ``rel_tol`` of each other, and both
+    ensembles inside each other's doubled range.
+
+    The tolerance is calibrated to the failure mode, not the noise
+    floor: 64-seed Luby/coloring round means are stable to a few percent
+    across seed sets, while a degenerate sampler (constant column,
+    wrong-bound draw) shifts them by 2x or stalls runs at the horizon.
+    """
+    assert len(exact_rounds) == len(vectorized_rounds)
+    mean_exact = sum(exact_rounds) / len(exact_rounds)
+    mean_vectorized = sum(vectorized_rounds) / len(vectorized_rounds)
+    scale = max(mean_exact, mean_vectorized, 1.0)
+    assert abs(mean_exact - mean_vectorized) <= rel_tol * scale, (
+        f"round distributions diverge: exact mean {mean_exact:.2f} vs "
+        f"vectorized mean {mean_vectorized:.2f}"
+    )
+    assert max(vectorized_rounds) <= 2 * max(exact_rounds)
+    assert max(exact_rounds) <= 2 * max(vectorized_rounds)
+
+
+def assert_every_mis_valid(graph, results):
+    from repro.congest import check_mis
+
+    for outputs, _metrics in results:
+        report = check_mis(graph, outputs)
+        assert report.holds, report
+
+
+def assert_every_coloring_valid(graph, results, *, palette=None):
+    from repro.congest import check_coloring
+
+    for outputs, _metrics in results:
+        report = check_coloring(graph, outputs, palette=palette)
+        assert report.holds, report

@@ -445,6 +445,123 @@ class TestWorkerProtocol:
 
 
 # ---------------------------------------------------------------------------
+# Worker-side topology cache: GraphRef payloads, hit accounting, recovery
+# ---------------------------------------------------------------------------
+class TestGraphCache:
+    @pytest.fixture()
+    def worker(self):
+        worker = FabricWorker(port=0, heartbeat_interval=0.02)
+        thread = threading.Thread(target=worker.serve_forever, daemon=True)
+        thread.start()
+        yield worker
+        worker.stop()
+        thread.join(timeout=5)
+
+    def _connect(self, worker):
+        sock = socket.create_connection(worker.address, timeout=5)
+        protocol.send_frame(sock, protocol.hello("coordinator", 0))
+        protocol.expect_hello(protocol.recv_frame(sock), peer="worker")
+        return sock
+
+    def test_repeat_blocks_hit_cache_and_stay_identical(self, worker):
+        graph = triangulated_grid(5, 5)
+        trials = mis_trials(graph, 6, 200)
+        stats = FabricStats()
+        results = run_many_fabric(
+            ColumnarLubyMIS(200), trials, [worker.address],
+            block_size=2, stats=stats,
+        )
+        local = run_many(ColumnarLubyMIS(200), trials, processes=1)
+        assert pickle.dumps(results) == pickle.dumps(local)
+        # One connection, one graph: every trial after the very first
+        # upload resolves from the worker's cache.
+        assert stats.graph_cache_hits == len(trials) - 1
+
+    def test_block_done_reports_hits_for_duplicate_full_graphs(self, worker):
+        # Even without GraphRef substitution, same-digest full copies
+        # within one block collapse to the first-seen instance.
+        graph = triangulated_grid(4, 4)
+        jobs = normalize_jobs(mis_trials(graph, 3, 200))
+        sock = self._connect(worker)
+        try:
+            protocol.send_frame(sock, {
+                "type": "run-block", "block": 1, "plane": "auto",
+                "trials": None,
+                "payload": protocol.encode_payload(
+                    (ColumnarLubyMIS(200), jobs)
+                ),
+            })
+            while True:
+                frame = protocol.recv_frame(sock)
+                if frame["type"] == "block-done":
+                    break
+            assert frame["graph_cache_hits"] == 2
+        finally:
+            sock.close()
+
+    def test_unresolvable_ref_is_a_retryable_protocol_error(self, worker):
+        graph = triangulated_grid(4, 4)
+        jobs = normalize_jobs(mis_trials(graph, 1, 200))
+        jobs = [(protocol.GraphRef("feedfacedeadbeef"), *job[1:])
+                for job in jobs]
+        sock = self._connect(worker)
+        try:
+            protocol.send_frame(sock, {
+                "type": "run-block", "block": 0, "plane": "auto",
+                "trials": None,
+                "payload": protocol.encode_payload(
+                    (ColumnarLubyMIS(200), jobs)
+                ),
+            })
+            frame = protocol.recv_frame(sock)
+            assert frame["type"] == "error"
+            assert frame["kind"] == "protocol"
+            assert "unshipped graphs" in frame["message"]
+        finally:
+            sock.close()
+
+    def test_ref_payload_resolves_after_full_upload(self, worker):
+        from repro.graphs.cache import graph_fingerprint
+
+        graph = triangulated_grid(4, 4)
+        jobs = normalize_jobs(mis_trials(graph, 2, 200))
+        digest = graph_fingerprint(graph)
+        sock = self._connect(worker)
+        try:
+            protocol.send_frame(sock, {
+                "type": "run-block", "block": 0, "plane": "auto",
+                "trials": None,
+                "payload": protocol.encode_payload(
+                    (ColumnarLubyMIS(200), jobs[:1])
+                ),
+            })
+            while protocol.recv_frame(sock)["type"] != "block-done":
+                pass
+            refs = [(protocol.GraphRef(digest), *job[1:]) for job in jobs]
+            protocol.send_frame(sock, {
+                "type": "run-block", "block": 1, "plane": "auto",
+                "trials": None,
+                "payload": protocol.encode_payload(
+                    (ColumnarLubyMIS(200), refs)
+                ),
+            })
+            results = []
+            while True:
+                frame = protocol.recv_frame(sock)
+                if frame["type"] == "trial-result":
+                    results.append(protocol.decode_payload(frame["payload"]))
+                if frame["type"] == "block-done":
+                    break
+            assert frame["graph_cache_hits"] == 2
+            local = run_many(
+                ColumnarLubyMIS(200), mis_trials(graph, 2, 200), processes=1
+            )
+            assert pickle.dumps(results) == pickle.dumps(local)
+        finally:
+            sock.close()
+
+
+# ---------------------------------------------------------------------------
 # Live fabric: subprocess workers, identity, chaos
 # ---------------------------------------------------------------------------
 @pytest.fixture(scope="module")
