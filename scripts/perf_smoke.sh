@@ -31,4 +31,5 @@ python benchmarks/bench_grid.py --quick --json "$SMOKE_DIR/BENCH_grid.quick.json
 python benchmarks/bench_gathering.py --quick --json "$SMOKE_DIR/BENCH_gathering.quick.json"
 python benchmarks/bench_resilience.py --quick --recovery --json "$SMOKE_DIR/BENCH_resilience.quick.json"
 python benchmarks/bench_fabric.py --quick --json "$SMOKE_DIR/BENCH_fabric.quick.json"
+python benchmarks/bench_scale.py --quick --json "$SMOKE_DIR/BENCH_scale.quick.json"
 python scripts/check_bench_regression.py --all "$SMOKE_DIR"

@@ -387,7 +387,7 @@ class ColumnarContext:
     __slots__ = (
         "n", "vertices", "indptr", "indices", "degrees", "repr_rank",
         "inputs", "rng", "round_number", "inbox", "halted",
-        "_index_of", "_spec", "_emissions", "_halted_count",
+        "_index_of", "_index_dtype", "_spec", "_emissions", "_halted_count",
     )
 
     def __init__(self, topology, plane, spec, inputs_list, rng=None) -> None:
@@ -395,6 +395,7 @@ class ColumnarContext:
         self.vertices = topology.vertices
         self.indptr = topology.indptr
         self.indices = topology.indices
+        self._index_dtype = topology.indices.dtype
         self.degrees = plane.degrees
         self.repr_rank = plane.repr_rank
         self.inputs = inputs_list
@@ -504,6 +505,12 @@ class ColumnarContext:
                 int(senders.min()) < 0 or int(senders.max()) >= self.n
             ):
                 raise ValueError("sender index out of range")
+        # Dtype propagation: emission index columns adopt the topology's
+        # (possibly int32-narrowed) index dtype, so inboxes, receiver
+        # sorts, and segmented reductions downstream stay narrow instead
+        # of silently upcasting.  Validation above ran in int64, so the
+        # cast is range-safe.
+        senders = senders.astype(self._index_dtype, copy=False)
         if senders.size and bool(self.halted[senders].any()):
             raise ValueError("columnar emission from a halted vertex")
         if receivers is not None:
@@ -516,6 +523,7 @@ class ColumnarContext:
                 int(receivers.min()) < 0 or int(receivers.max()) >= self.n
             ):
                 raise ValueError("receiver index out of range")
+            receivers = receivers.astype(self._index_dtype, copy=False)
         declared = set(spec.names) | set(spec.var_names)
         unknown = set(fields) - declared
         missing = declared - set(fields)
@@ -801,7 +809,13 @@ def _deliver_fast(topology, plane, spec, groups, limit, bandwidth_bits, acc,
                 if var_names else None
             )
             bits = spec.bits_of(message_columns, per_message_var)
-            keys = message_senders * n + message_receivers
+            # Edge keys are always built in int64: with a narrowed
+            # topology the indices are int32 and ``sender * n`` would
+            # overflow under NEP 50 instead of promoting.
+            keys = (
+                message_senders.astype(np.int64, copy=False) * n
+                + message_receivers
+            )
             if plane.edge_keys.size:
                 positions = np.searchsorted(plane.edge_keys, keys)
                 positions = np.minimum(positions, plane.edge_keys.size - 1)

@@ -88,6 +88,7 @@ class CompiledTopology:
         "neighbor_index_tuples",
         "indptr",
         "indices",
+        "index_dtype",
         "degrees",
         "_columnar_plane",
         "__weakref__",
@@ -138,6 +139,9 @@ class CompiledTopology:
         ]
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
+        # int64 everywhere: this is the byte-level reference the
+        # narrowed StreamTopology path is differentially tested against.
+        self.index_dtype = self.indices.dtype
         self.degrees = [len(nbrs) for nbrs in neighbor_tuples]
         self._columnar_plane = None
 

@@ -210,7 +210,12 @@ def execute_grid(
             f"{tuple(getattr(algorithm, 'rng_modes', ('exact',)))}"
         )
     blocks = []
-    compiled: dict[int, Any] = {}  # id(graph) → topology: probe each graph once
+    # id(graph) → topology: probe each graph once.  Pre-compiled
+    # topologies (e.g. int32-narrowed StreamTopology blocks from
+    # compile_edge_stream) pass straight through compile_topology, and
+    # GridTopology keeps the composed grid in the narrowed dtype when
+    # every block is narrow and the block-diagonal totals still fit.
+    compiled: dict[int, Any] = {}
     for graph, _inputs, model, _factor, _cap, _faults, _rng in jobs:
         if model not in ("congest", "local"):
             raise ValueError(f"unknown model {model!r}")

@@ -326,7 +326,10 @@ class FaultState:
                 np.arange(topology.n, dtype=np.int64) + off, degrees
             )
             key_parts.append(
-                np.sort(senders * n_total + (topology.indices + off))
+                np.sort(
+                    senders * n_total
+                    + (topology.indices.astype(np.int64, copy=False) + off)
+                )
             )
             edge_counts.append(len(key_parts[-1]))
         self.edge_keys = (
@@ -475,7 +478,10 @@ class FaultState:
     def _ranks(self, senders: np.ndarray, receivers: np.ndarray) -> np.ndarray:
         # Delivery happens after validation, so every pair is an edge and
         # the binary search is exact.
-        return np.searchsorted(self.edge_keys, senders * self.n + receivers)
+        return np.searchsorted(
+            self.edge_keys,
+            senders.astype(np.int64, copy=False) * self.n + receivers,
+        )
 
     def _tally(self, counter: np.ndarray, rows) -> None:
         if self.trials == 1:

@@ -357,7 +357,10 @@ class ColumnarReliable(ColumnarAlgorithm):
                 for name in parts_c[0]
             }
         sums = self._checksums(out_c)
-        ranks = np.searchsorted(self._edge_keys, out_s * self.n + out_r)
+        ranks = np.searchsorted(
+            self._edge_keys,
+            out_s.astype(np.int64, copy=False) * self.n + out_r,
+        )
         self._acked_edge[ranks] = False  # lazily clear prior windows
         self._out = (out_s, out_r, out_c, sums, ranks)
 
@@ -385,7 +388,10 @@ class ColumnarReliable(ColumnarAlgorithm):
         current = rseq == seq
         acks = current & (rkind == 1)
         if acks.any():
-            data_keys = receivers[acks] * self.n + senders[acks]
+            data_keys = (
+                receivers[acks].astype(np.int64, copy=False) * self.n
+                + senders[acks]
+            )
             self._acked_edge[
                 np.searchsorted(self._edge_keys, data_keys)
             ] = True
@@ -393,7 +399,9 @@ class ColumnarReliable(ColumnarAlgorithm):
         if not data.size:
             return
         ranks = np.searchsorted(
-            self._edge_keys, senders[data] * self.n + receivers[data]
+            self._edge_keys,
+            senders[data].astype(np.int64, copy=False) * self.n
+            + receivers[data],
         )
         # Every current-seq data message earns an ack (a redelivery
         # means our previous ack was lost), but only checksum-valid
@@ -406,7 +414,8 @@ class ColumnarReliable(ColumnarAlgorithm):
             "rsum"
         ).astype(np.int64)[data]
         ack_keys = (
-            receivers[data[valid]] * self.n + senders[data[valid]]
+            receivers[data[valid]].astype(np.int64, copy=False) * self.n
+            + senders[data[valid]]
         )
         self._ack_pending.update(
             np.searchsorted(self._edge_keys, ack_keys).tolist()

@@ -6,6 +6,10 @@ Contents
     Minor-free graph families (planar grids, triangulations, trees,
     outerplanar, cactus, bounded treewidth) plus ε-far instances (random
     regular expanders) used in the property-testing experiments.
+``streaming``
+    Edge-block streams (power-law / R-MAT / random-regular) from
+    counter-based Philox generators for million-node topologies —
+    consumed by ``repro.congest.runtime.compile.compile_edge_stream``.
 ``minors``
     Planarity / outerplanarity / cactus predicates and a brute-force
     H-minor containment test for small graphs (used by cluster leaders,
@@ -24,6 +28,13 @@ Contents
     Weighted cluster graphs of vertex partitions (Section 4.1).
 """
 
+from repro.graphs.streaming import (
+    QUANTUM,
+    materialize_edges,
+    stream_powerlaw_edges,
+    stream_random_regular_edges,
+    stream_rmat_edges,
+)
 from repro.graphs.generators import (
     bounded_treewidth_graph,
     cycle_graph,
@@ -71,6 +82,11 @@ from repro.graphs.cache import PerGraphCache, invalidate_graph_caches
 from repro.graphs.stats import GraphStats
 
 __all__ = [
+    "QUANTUM",
+    "materialize_edges",
+    "stream_powerlaw_edges",
+    "stream_random_regular_edges",
+    "stream_rmat_edges",
     "bounded_treewidth_graph",
     "cycle_graph",
     "grid_graph",

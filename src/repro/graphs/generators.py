@@ -21,6 +21,24 @@ import random
 import networkx as nx
 
 
+def _seeded_rng(seed: int, scope: list | None = None) -> random.Random:
+    """The one place this module seeds ``random.Random``.
+
+    With ``scope=None`` this is the historical ``random.Random(seed)``
+    stream (existing families stay byte-identical).  With a scope list —
+    e.g. ``[n, degree, attempt]`` for generator retries — the seed is
+    folded through the shared Philox key-derivation in
+    :mod:`repro.congest.runtime.rng`, so derived streams are independent
+    instead of the old overlapping ``seed + attempt`` arithmetic.  Scope
+    entries must be ints (string hashing is PYTHONHASHSEED-randomized).
+    """
+    if scope is None:
+        return random.Random(seed)
+    from repro.congest.runtime.rng import derive_stream_key
+
+    return random.Random(derive_stream_key(seed, scope))
+
+
 def path_graph(n: int) -> nx.Graph:
     """Path on ``n`` vertices (the Lenzen–Wattenhofer lower-bound family)."""
     return nx.path_graph(n)
@@ -77,7 +95,7 @@ def random_planar_triangulation(n: int, seed: int = 0) -> nx.Graph:
     """
     if n < 3:
         return nx.complete_graph(n)
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     g = nx.Graph()
     g.add_edges_from([(0, 1), (1, 2), (0, 2)])
     faces = [(0, 1, 2), (0, 1, 2)]  # outer + inner face of the triangle
@@ -102,7 +120,7 @@ def random_outerplanar(n: int, seed: int = 0, extra_chords: float = 0.5) -> nx.G
         return g
     if n == 2:
         return nx.path_graph(2)
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     g = nx.cycle_graph(n)
 
     def add_chords(lo: int, hi: int) -> None:
@@ -126,7 +144,7 @@ def random_cactus(n: int, seed: int = 0, cycle_probability: float = 0.5) -> nx.G
     Grown by repeatedly attaching either a pendant edge or a small cycle to
     a random existing vertex.
     """
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     g = nx.Graph()
     g.add_node(0)
     next_vertex = 1
@@ -160,7 +178,7 @@ def bounded_treewidth_graph(
     k = treewidth
     if n <= k + 1:
         return nx.complete_graph(n)
-    rng = random.Random(seed)
+    rng = _seeded_rng(seed)
     g = nx.complete_graph(k + 1)
     cliques = [tuple(range(k + 1))]
     for v in range(k + 1, n):
@@ -187,12 +205,20 @@ def random_regular_expander(n: int, degree: int = 4, seed: int = 0) -> nx.Graph:
     any fixed minor-closed property for suitable ε (Section 6.2's reject
     instances).
 
-    Retries the pairing model until simple and connected.
+    Retries the pairing model until simple and connected.  Attempt 0
+    uses ``seed`` verbatim (the historical stream, so seeded graphs that
+    connect first try are unchanged); retries derive independent seeds
+    through the shared Philox key-derivation instead of the old
+    overlapping ``seed + attempt`` streams.
     """
     if n * degree % 2:
         raise ValueError("n * degree must be even")
     for attempt in range(100):
-        g = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        attempt_rng = (
+            seed if attempt == 0
+            else _seeded_rng(seed, [n, degree, attempt])
+        )
+        g = nx.random_regular_graph(degree, n, seed=attempt_rng)
         if nx.is_connected(g):
             return g
     raise RuntimeError("failed to generate a connected regular graph")

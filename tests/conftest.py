@@ -1,6 +1,11 @@
-"""Shared fixtures: the small minor-free instances used across the suite."""
+"""Shared fixtures: the small minor-free instances used across the suite,
+plus the ``scale`` marker — the million-node tier (``tests/test_scale.py``)
+is registered here and **excluded from tier-1**: it only runs under
+``pytest -m scale`` (its own CI job) or with ``RUN_SCALE=1`` set."""
 
 from __future__ import annotations
+
+import os
 
 import networkx as nx
 import pytest
@@ -14,6 +19,27 @@ from repro.graphs import (
     random_tree,
     triangulated_grid,
 )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "scale: million-node scale tier (minutes of wall clock; excluded "
+        "from tier-1 — run with `pytest -m scale` or RUN_SCALE=1)",
+    )
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if os.environ.get("RUN_SCALE"):
+        return
+    if "scale" in (config.option.markexpr or ""):
+        return
+    skip_scale = pytest.mark.skip(
+        reason="scale tier: run with `pytest -m scale` or RUN_SCALE=1"
+    )
+    for item in items:
+        if "scale" in item.keywords:
+            item.add_marker(skip_scale)
 
 
 def small_minor_free_families() -> dict:

@@ -147,3 +147,137 @@ def test_cluster_graph_of_planar_partition_is_planar(graph):
     # Contraction of connected parts of a planar graph is planar (the
     # minor-closure property the paper's Remark relies on).
     assert is_planar(cluster_graph)
+
+
+# ---------------------------------------------------------------------------
+# Streaming generators (repro.graphs.streaming): whatever (family, seed,
+# block size) hypothesis draws, the stream/compile invariants must hold.
+# ---------------------------------------------------------------------------
+import numpy as np
+
+from repro.congest.runtime.compile import compile_edge_stream
+from repro.graphs.streaming import (
+    materialize_edges,
+    stream_powerlaw_edges,
+    stream_random_regular_edges,
+    stream_rmat_edges,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=500),
+    st.integers(min_value=0, max_value=3000),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=1, max_value=4096),
+)
+def test_powerlaw_stream_deterministic_across_block_sizes(
+    n, m, seed, block_a, block_b
+):
+    a = materialize_edges(
+        stream_powerlaw_edges(n, m, seed=seed, block_edges=block_a)
+    )
+    b = materialize_edges(
+        stream_powerlaw_edges(n, m, seed=seed, block_edges=block_b)
+    )
+    assert a.shape == (m, 2)
+    assert np.array_equal(a, b)
+    if m:
+        assert int(a.min()) >= 0 and int(a.max()) < n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=2000),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=2048),
+)
+def test_rmat_stream_deterministic_and_in_range(scale, m, seed, block):
+    edges = materialize_edges(
+        stream_rmat_edges(scale, m, seed=seed, block_edges=block)
+    )
+    again = materialize_edges(
+        stream_rmat_edges(scale, m, seed=seed, block_edges=1 + block // 2)
+    )
+    assert np.array_equal(edges, again)
+    assert edges.shape == (m, 2)
+    if m:
+        assert int(edges.max()) < (1 << scale)
+        assert int(edges.min()) >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=300),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=999),
+)
+def test_regular_stream_is_exact_stub_pairing(n, degree, seed, block):
+    if (n * degree) % 2 or degree >= n:
+        with pytest.raises(ValueError):
+            list(stream_random_regular_edges(n, degree, seed=seed))
+        return
+    edges = materialize_edges(
+        stream_random_regular_edges(n, degree, seed=seed, block_edges=block)
+    )
+    assert edges.shape == (n * degree // 2, 2)
+    # The pairing consumes each vertex's stubs exactly ``degree`` times.
+    counts = np.bincount(edges.ravel(), minlength=n)
+    assert counts.tolist() == [degree] * n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=400),
+    st.integers(min_value=0, max_value=2500),
+    st.integers(min_value=0, max_value=10**6),
+)
+def test_stream_compile_handshake_and_simplicity(n, m, seed):
+    topology = compile_edge_stream(
+        stream_powerlaw_edges(n, m, seed=seed), n
+    )
+    indptr = topology.indptr.astype(np.int64)
+    indices = topology.indices.astype(np.int64)
+    # Handshake: degree sum equals twice the undirected edge count.
+    assert int(indptr[-1]) == 2 * topology.m
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    # No self-loops, no duplicates after symmetrization...
+    assert not np.any(rows == indices)
+    keys = rows * n + indices
+    assert len(np.unique(keys)) == len(keys)
+    # ...and perfectly symmetric: (u, v) present iff (v, u) present.
+    assert np.array_equal(
+        np.sort(keys), np.sort(indices * n + rows)
+    )
+    # Conservation through the stats ledger.
+    stats = topology.stats
+    assert (
+        stats.candidate_edges
+        == stats.self_loops + stats.duplicates + stats.m
+    )
+
+
+def test_powerlaw_exponent_sanity_on_large_sample():
+    """Heavier-tailed gamma must produce a heavier observed tail: the
+    max degree of a 2.1-exponent stream dominates the 3.5 one, and both
+    top-weight vertices collect far more than the mean degree (Chung–Lu
+    weights are sorted descending by vertex id)."""
+    n, m = 20_000, 120_000
+    heavy = compile_edge_stream(
+        stream_powerlaw_edges(n, m, gamma=2.1, seed=3), n
+    )
+    light = compile_edge_stream(
+        stream_powerlaw_edges(n, m, gamma=3.5, seed=3), n
+    )
+    heavy_degrees = heavy.degrees
+    light_degrees = light.degrees
+    mean = 2 * m / n
+    assert int(heavy_degrees.max()) > 10 * mean
+    assert int(heavy_degrees.max()) > 3 * int(light_degrees.max())
+    # The weight ordering shows up in the degrees: the top decile of
+    # vertex ids (largest weights) holds a majority of heavy's edges.
+    top = int(heavy_degrees[: n // 10].sum())
+    assert top > int(heavy_degrees.sum()) // 2

@@ -918,3 +918,83 @@ class TestCLIPlaneSelection:
             "simulate", "coloring", "cycle:12", "--plane", "dict",
         ]) == 0
         assert "colors =" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Narrowed-dtype compile path: every registered plane, enforced
+# ---------------------------------------------------------------------------
+# The streaming scale layer (runtime/compile.py: compile_edge_stream)
+# produces int32-narrowed CSR topologies.  The int64 path stays the
+# byte-level reference, so the narrowed path is itself a plane-config:
+# every registered plane must run a streamed int32 topology — and its
+# int64 opt-out twin — byte-identically (outputs, output order, and
+# every NetworkMetrics field) against the family's per-message reference
+# executor on the equivalent ``nx.Graph``.  A plane family with no
+# entry here fails loudly, exactly like the coverage gates above.
+from repro.congest.runtime.compile import compile_edge_stream
+from repro.graphs.streaming import materialize_edges, stream_powerlaw_edges
+
+STREAM_SAMPLE_WORKLOADS = {
+    "object": lambda graph: LubyMISAlgorithm(mis_horizon(graph)),
+    "columnar": lambda graph: ColumnarLubyMIS(mis_horizon(graph)),
+}
+
+_STREAM_N, _STREAM_M, _STREAM_SEED = 64, 320, 23
+
+
+def _streamed_topologies():
+    """(int32 topology, int64 opt-out twin, equivalent nx.Graph)."""
+    blocks = list(
+        stream_powerlaw_edges(_STREAM_N, _STREAM_M, seed=_STREAM_SEED)
+    )
+    narrow = compile_edge_stream(iter(blocks), _STREAM_N)
+    wide = compile_edge_stream(iter(blocks), _STREAM_N, index_dtype="int64")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(_STREAM_N))
+    graph.add_edges_from(
+        (int(u), int(v))
+        for u, v in materialize_edges(iter(blocks))
+        if u != v
+    )
+    return narrow, wide, graph
+
+
+@pytest.mark.parametrize("name", plane_names())
+def test_every_registered_plane_covers_narrowed_dtype_topologies(name):
+    plane = get_plane(name)
+    factory = STREAM_SAMPLE_WORKLOADS.get(plane.kind)
+    if factory is None:
+        pytest.fail(
+            f"registered plane {name!r} has kind {plane.kind!r} with no "
+            f"streamed-topology sample workload: add one to "
+            f"STREAM_SAMPLE_WORKLOADS so the narrowed-dtype compile "
+            f"path is differentially tested on this plane"
+        )
+    narrow, wide, graph = _streamed_topologies()
+    assert narrow.index_dtype == np.int32
+    assert wide.index_dtype == np.int64
+    horizon = mis_horizon(graph)
+    inputs = seeded_inputs(graph, 17)
+    cap = horizon + 2
+    reference_net = Network(graph)
+    expected = reference_net._run_reference(
+        factory(graph), max_rounds=cap, inputs=inputs
+    )
+    for topology in (narrow, wide):
+        if plane.batch_only:
+            outputs, metrics = run_many(
+                factory(graph),
+                [Trial(topology, inputs=inputs, max_rounds=cap)],
+                processes=1, plane=name,
+            )[0]
+        else:
+            net = Network(topology)
+            outputs = net.run(
+                factory(graph), max_rounds=cap, inputs=inputs, plane=name
+            )
+            metrics = net.metrics
+        assert outputs == expected
+        assert list(outputs) == list(expected)
+        assert metrics_tuple(metrics) == metrics_tuple(
+            reference_net.metrics
+        )

@@ -1,0 +1,99 @@
+"""The ``scale`` tier: one real million-node configuration.
+
+Excluded from tier-1 (see ``conftest.py``); CI runs it as its own job
+via ``pytest -m scale``.  The point is to execute the headline claim of
+the streaming scale layer end to end on one host: a 10^6-node power-law
+graph streamed from Philox edge blocks, compiled to an int32-narrowed
+CSR, run through the columnar plane for flooding and (vectorized-rng)
+Luby MIS, with solution validity checked by vectorized CSR passes and
+**peak process RSS asserted under 4 GB** (``ru_maxrss`` — the
+process-lifetime high-water mark, so the budget covers compile + both
+workloads together)."""
+
+from __future__ import annotations
+
+import resource
+
+import numpy as np
+import pytest
+
+from repro.congest.algorithms import ColumnarFloodValue
+from repro.congest.classic import ColumnarLubyMIS
+from repro.congest.network import Network
+from repro.congest.runtime.compile import compile_edge_stream
+from repro.graphs.streaming import stream_powerlaw_edges
+
+pytestmark = pytest.mark.scale
+
+SCALE_N = 1_000_000
+SCALE_M = 4_000_000
+SCALE_SEED = 1
+FLOOD_HORIZON = 32
+RSS_LIMIT_BYTES = 4 * 1024**3
+
+
+def peak_rss_bytes() -> int:
+    # Linux reports ru_maxrss in KiB.
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+@pytest.fixture(scope="module")
+def scale_topology():
+    return compile_edge_stream(
+        stream_powerlaw_edges(SCALE_N, SCALE_M, seed=SCALE_SEED),
+        SCALE_N,
+    )
+
+
+def test_million_node_compile_narrows_to_int32(scale_topology):
+    assert scale_topology.n == SCALE_N
+    assert scale_topology.index_dtype == np.int32
+    assert scale_topology.indptr.dtype == np.int32
+    stats = scale_topology.stats
+    assert stats.candidate_edges == SCALE_M
+    assert stats.m == stats.candidate_edges - stats.self_loops - stats.duplicates
+    assert int(scale_topology.indptr[-1]) == 2 * stats.m
+    # The compile pass's own allocation model stays far under the cap.
+    assert stats.peak_bytes < RSS_LIMIT_BYTES // 4
+    assert peak_rss_bytes() < RSS_LIMIT_BYTES
+
+
+def test_million_node_flooding(scale_topology):
+    net = Network(scale_topology)
+    outputs = net.run(
+        ColumnarFloodValue(0, 9001, FLOOD_HORIZON),
+        max_rounds=FLOOD_HORIZON + 1,
+        plane="columnar",
+    )
+    assert net.metrics.rounds == FLOOD_HORIZON
+    # Chung–Lu graphs are not connected; the giant component must be.
+    reached = sum(1 for value in outputs.values() if value == 9001)
+    assert reached > SCALE_N // 2
+    assert net.metrics.messages > reached  # every reached vertex forwards
+    assert peak_rss_bytes() < RSS_LIMIT_BYTES
+
+
+def test_million_node_mis_vectorized(scale_topology):
+    horizon = 20 * max(4, SCALE_N.bit_length() ** 2)
+    net = Network(scale_topology)
+    outputs = net.run(
+        ColumnarLubyMIS(horizon),
+        max_rounds=horizon + 2,
+        plane="columnar",
+        rng="vectorized",
+    )
+    flags = np.fromiter(outputs.values(), dtype=bool, count=SCALE_N)
+    indptr = scale_topology.indptr.astype(np.int64)
+    indices = scale_topology.indices.astype(np.int64)
+    rows = np.repeat(
+        np.arange(SCALE_N, dtype=np.int64), np.diff(indptr)
+    )
+    # Independence: no edge has both endpoints in the set.
+    assert not np.any(flags[rows] & flags[indices])
+    # Maximality: every vertex is in the set or adjacent to it
+    # (isolated vertices join unconditionally, so ``flags`` covers them).
+    neighbor_in = (
+        np.bincount(rows, weights=flags[indices], minlength=SCALE_N) > 0
+    )
+    assert bool(np.all(flags | neighbor_in))
+    assert peak_rss_bytes() < RSS_LIMIT_BYTES
